@@ -1,0 +1,72 @@
+(* A1 — Ablation: maximally adjacent placement on/off (§3.3).
+
+   The incremental compiler prefers placing changed elements on the
+   device hosting their pipeline neighbours. The ablated baseline
+   prefers the interior of the admissible window instead (spreading the
+   change). Adjacency should keep the change on one device, minimizing
+   touched devices and the end-to-end latency added by extra program
+   hops. *)
+
+open Flexbpf.Builder
+
+(* The base datapath spans layers: an entry block on the host stack,
+   then large tables filling the first switch and spilling onto the
+   second. Insertions land between the entry block and the tables, so
+   the admissible window spans host / NIC / switch. *)
+let base_program () =
+  program "base"
+    (block "entry" [ set_meta "seen" (const 1) ]
+     :: List.init 8 (fun i ->
+            Common.exact_table ~size:150_000 (Printf.sprintf "t%02d" i)))
+
+let patch_of k =
+  Flexbpf.Patch.v "insert"
+    (List.init k (fun i ->
+         Flexbpf.Patch.Add_element
+           ( Flexbpf.Patch.After (Flexbpf.Patch.Sel_name "entry"),
+             block (Printf.sprintf "ins%d" i)
+               [ set_meta (Printf.sprintf "m%d" i) (const i) ] )))
+
+let run_variant ~prefer_adjacent k =
+  let path = Common.mk_path ~switches:3 () in
+  let dep =
+    match Compiler.Incremental.deploy ~path (base_program ()) with
+    | Ok d -> d
+    | Error _ -> failwith "deploy"
+  in
+  let used_before =
+    Compiler.Placement.devices_used dep.Compiler.Incremental.dep_placement
+  in
+  match Compiler.Incremental.apply_patch ~prefer_adjacent dep (patch_of k) with
+  | Error e -> failwith (Fmt.str "%a" Compiler.Incremental.pp_error e)
+  | Ok (report, _) ->
+    let sla = Compiler.Sla.estimate dep.Compiler.Incremental.dep_placement in
+    let new_devices =
+      List.filter
+        (fun d -> not (List.mem d used_before))
+        report.Compiler.Incremental.touched_devices
+    in
+    (report, sla, List.length new_devices)
+
+let run_case k =
+  let adj, adj_sla, adj_new = run_variant ~prefer_adjacent:true k in
+  let spread, spread_sla, spread_new = run_variant ~prefer_adjacent:false k in
+  [ Report.i k;
+    Report.i adj_new;
+    Report.i spread_new;
+    Report.f1 adj_sla.Compiler.Sla.added_latency_ns;
+    Report.f1 spread_sla.Compiler.Sla.added_latency_ns;
+    Report.ms adj.Compiler.Incremental.duration;
+    Report.ms spread.Compiler.Incremental.duration ]
+
+let run () =
+  let rows = List.map run_case [ 2; 4; 8 ] in
+  Report.print ~id:"A1" ~title:"ablation: maximally adjacent placement on/off"
+    ~claim:
+      "preferring adjacent placements keeps a change on the devices already \
+       hosting its neighbours; the ablated compiler spreads the same change \
+       over more devices, adding datapath latency"
+    ~header:
+      [ "patch-size"; "new-devs(adj)"; "new-devs(spread)"; "latency-adj(ns)";
+        "latency-spread(ns)"; "time-adj(ms)"; "time-spread(ms)" ]
+    rows

@@ -1,0 +1,53 @@
+(* Shared scaffolding for the experiment harness. *)
+
+open Flexbpf.Builder
+
+(* Whole-stack compile path used by the placement experiments. *)
+let mk_path ?(arch = Targets.Arch.Drmt) ?(switches = 3) () =
+  [ Targets.Device.create ~id:"h0" Targets.Arch.host_ebpf;
+    Targets.Device.create ~id:"nic0" Targets.Arch.smartnic ]
+  @ List.init switches (fun i ->
+        Targets.Device.create
+          ~id:(Printf.sprintf "s%d" i)
+          (Targets.Arch.profile_of_kind arch))
+  @ [ Targets.Device.create ~id:"nic1" Targets.Arch.smartnic;
+      Targets.Device.create ~id:"h1" Targets.Arch.host_ebpf ]
+
+let exact_table ?(size = 1024) name =
+  table name
+    ~keys:[ exact (field "ipv4" "dst") ]
+    ~actions:[ action "a" [ set_meta "x" (const 1) ] ]
+    ~default:("a", []) ~size ()
+
+let lpm_table ?(size = 1024) name =
+  table name
+    ~keys:[ lpm (field "ipv4" "dst") ]
+    ~actions:[ action "a" [ set_meta "x" (const 1) ] ]
+    ~default:("a", []) ~size ()
+
+let h0_h1_packet ~h0 ~h1 ~born =
+  Netsim.Traffic.tcp_packet ~src:h0 ~dst:h1 ~sport:1234 ~dport:80 ~born ()
+
+(* A wired linear network (h0 - switches - h1) with devices of [arch];
+   returns (sim, topo, h0, h1, devices, wireds, received counter). *)
+let wired_linear ?(arch = Targets.Arch.Drmt) ?(switches = 3) () =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches () in
+  let topo = built.Netsim.Topology.topo in
+  let h0 = List.nth built.Netsim.Topology.host_list 0 in
+  let h1 = List.nth built.Netsim.Topology.host_list 1 in
+  let devs =
+    List.map
+      (fun sw ->
+        Targets.Device.create ~id:sw.Netsim.Node.name
+          (Targets.Arch.profile_of_kind arch))
+      built.Netsim.Topology.switch_list
+  in
+  let wireds =
+    List.map2
+      (fun sw d -> Runtime.Wiring.attach topo sw d)
+      built.Netsim.Topology.switch_list devs
+  in
+  let received = ref 0 in
+  Netsim.Node.set_handler h1 (fun _ ~in_port:_ _ -> incr received);
+  (sim, topo, h0, h1, devs, wireds, received)

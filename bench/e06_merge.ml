@@ -1,0 +1,59 @@
+(* E6 — Table merging: latency vs memory cross-product (§3.3).
+
+   "Merging two match/action tables will lead to increased memory usage
+   due to a table cross-product, but it saves one table lookup time and
+   reduces latency for packet processing on certain architectures."
+
+   Chains of k tables (20 rules each) are merged left-to-right; we
+   report entries, memory, and per-packet latency on a dRMT profile. *)
+
+open Flexbpf.Builder
+
+let rules_per_table = 20
+
+let chain k =
+  List.init k (fun i ->
+      match Common.exact_table ~size:rules_per_table (Printf.sprintf "m%d" i) with
+      | Flexbpf.Ast.Table t -> t
+      | _ -> assert false)
+
+let latency_of_tables profile tables =
+  let prog = program "p" (List.map (fun t -> Flexbpf.Ast.Table t) tables) in
+  Targets.Arch.latency_ns profile ~cycles:(Flexbpf.Analysis.max_cycles prog)
+
+let run_case k =
+  let profile = Targets.Arch.drmt in
+  let tables = chain k in
+  let ctx = program "ctx" (List.map (fun t -> Flexbpf.Ast.Table t) tables) in
+  let merged = Compiler.Merge.merge_chain tables in
+  let bytes_split =
+    List.fold_left (fun acc t -> acc + Flexbpf.Analysis.table_bytes ctx t) 0 tables
+  in
+  let merged_ctx = program "mctx" [ Flexbpf.Ast.Table merged ] in
+  let bytes_merged = Flexbpf.Analysis.table_bytes merged_ctx merged in
+  let entries_split = k * rules_per_table in
+  let entries_merged =
+    int_of_float (float_of_int rules_per_table ** float_of_int k)
+  in
+  let lat_split = latency_of_tables profile tables in
+  let lat_merged = latency_of_tables profile [ merged ] in
+  [ Report.i k;
+    Report.i entries_split;
+    Report.i entries_merged;
+    Report.i bytes_split;
+    Report.i bytes_merged;
+    Report.f1 lat_split;
+    Report.f1 lat_merged;
+    Report.f1 (lat_split -. lat_merged) ]
+
+let run () =
+  let rows = List.map run_case [ 2; 3; 4; 5 ] in
+  Report.print ~id:"E6" ~title:"table merging: memory cross-product vs latency"
+    ~claim:
+      "each merge saves one lookup of latency but multiplies rule entries \
+       (cross product) and memory — a fungibility-enabled trade the compiler \
+       can choose when memory is plentiful"
+    ~header:
+      [ "chain-k"; "entries-split"; "entries-merged"; "bytes-split"; "bytes-merged";
+        "lat-split(ns)"; "lat-merged(ns)"; "lat-saved(ns)" ]
+    rows

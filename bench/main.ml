@@ -1,0 +1,48 @@
+(* FlexNet benchmark harness.
+
+   Usage:
+     dune exec bench/main.exe            # all experiments E1..E13 + F1 + A1 A2
+     dune exec bench/main.exe E5 E7      # selected experiments
+     dune exec bench/main.exe -- --micro # bechamel microbenchmarks
+
+   Each experiment regenerates one table for a claim of the paper; see
+   DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
+   recorded results. *)
+
+let experiments =
+  [ ("E1", E01_hitless.run);
+    ("E2", E02_reconfig_ops.run);
+    ("E3", E03_fungibility.run);
+    ("E4", E04_fungible_gc.run);
+    ("E5", E05_incremental.run);
+    ("E6", E06_merge.run);
+    ("E7", E07_migration.run);
+    ("E8", E08_elastic_defense.run);
+    ("E9", E09_tenant_churn.run);
+    ("E10", E10_energy.run);
+    ("E11", E11_drpc.run);
+    ("E12", E12_raft.run);
+    ("E13", E13_cc_workloads.run);
+    ("F1", F01_whole_stack.run);
+    ("A1", A01_adjacency.run);
+    ("A2", A02_consistency.run) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--micro" args then Micro.run ()
+  else begin
+    let selected =
+      match List.filter (fun a -> a <> "--micro") args with
+      | [] -> List.map fst experiments
+      | sel -> sel
+    in
+    print_endline "== FlexNet experiment harness ==";
+    print_endline
+      "(vision-paper reproduction: each table reifies a claim; see DESIGN.md)";
+    List.iter
+      (fun id ->
+        match List.assoc_opt id experiments with
+        | Some run -> run ()
+        | None -> Printf.printf "unknown experiment %s\n" id)
+      selected
+  end

@@ -1,0 +1,104 @@
+(* Bechamel microbenchmarks for the hot paths underneath the
+   experiments: per-packet interpretation, sketch updates, map
+   encodings, rule matching, event-queue churn, and placement. *)
+
+open Bechamel
+open Toolkit
+
+let mk_packet () =
+  Netsim.Packet.create
+    [ Netsim.Packet.ethernet ~src:1L ~dst:2L ();
+      Netsim.Packet.ipv4 ~src:1L ~dst:2L ();
+      Netsim.Packet.tcp ~sport:100L ~dport:200L () ]
+
+let test_interp_table =
+  let prog = Apps.L2l3.program () in
+  let env = Flexbpf.Interp.create_env prog in
+  Flexbpf.Interp.install_rule env "ipv4_lpm" (Apps.L2l3.route_rule ~host_id:2 ~port:1);
+  let pkt = mk_packet () in
+  Test.make ~name:"interp: l2l3 pipeline per packet" (Staged.stage (fun () ->
+      ignore (Flexbpf.Interp.run env prog pkt)))
+
+let test_sketch_update =
+  let cfg = { Apps.Cm_sketch.depth = 3; width = 1024; map_name = "cms" } in
+  let prog = Apps.Cm_sketch.program ~cfg () in
+  let env = Flexbpf.Interp.create_env prog in
+  let pkt = mk_packet () in
+  Test.make ~name:"interp: count-min update (3 rows)" (Staged.stage (fun () ->
+      ignore (Flexbpf.Interp.run env prog pkt)))
+
+let state_bench enc name =
+  let st = Flexbpf.State.create ~name:"m" ~size:4096 enc in
+  let i = ref 0L in
+  Test.make ~name (Staged.stage (fun () ->
+      i := Int64.rem (Int64.add !i 7L) 4096L;
+      ignore (Flexbpf.State.incr st [ !i ] 1L)))
+
+let test_state_registers = state_bench Flexbpf.State.Registers "state: registers incr"
+let test_state_flow = state_bench Flexbpf.State.Flow_state "state: flow_state incr"
+let test_state_stateful =
+  state_bench Flexbpf.State.Stateful_table "state: stateful_table incr"
+
+let test_event_queue =
+  Test.make ~name:"event queue: push+pop x64" (Staged.stage (fun () ->
+      let q = Netsim.Event_queue.create () in
+      for i = 0 to 63 do
+        Netsim.Event_queue.push q
+          { Netsim.Event_queue.time = float_of_int (i * 7919 mod 64); seq = i;
+            thunk = ignore }
+      done;
+      while Netsim.Event_queue.pop q <> None do () done))
+
+let test_placement =
+  Test.make ~name:"compiler: place 20-table program" (Staged.stage (fun () ->
+      let path = Common.mk_path ~switches:3 () in
+      let prog =
+        Flexbpf.Builder.program "p"
+          (List.init 20 (fun i -> Common.exact_table ~size:512 (Printf.sprintf "t%d" i)))
+      in
+      match Compiler.Placement.place ~path prog with
+      | Ok _ -> ()
+      | Error _ -> ()))
+
+let test_patch_apply =
+  let base = Apps.L2l3.program () in
+  let patch =
+    Flexbpf.Patch.v "p"
+      [ Flexbpf.Patch.Replace_element
+          (Flexbpf.Patch.Sel_name "ttl_guard", Apps.L2l3.ttl_guard) ]
+  in
+  Test.make ~name:"patch: apply+typecheck" (Staged.stage (fun () ->
+      ignore (Flexbpf.Patch.apply patch base)))
+
+let benchmarks =
+  [ test_interp_table; test_sketch_update; test_state_registers;
+    test_state_flow; test_state_stateful; test_event_queue; test_placement;
+    test_patch_apply ]
+
+let run () =
+  print_endline "\n== microbenchmarks (bechamel) ==";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+  in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let results =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                       ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            Printf.printf "%-40s %12.1f ns/op\n"
+              (String.concat "" (String.split_on_char '/' name |> List.tl))
+              est
+          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+        results)
+    benchmarks;
+  flush stdout

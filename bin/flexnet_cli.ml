@@ -1,0 +1,406 @@
+(* flexnet — command-line front end.
+
+   Subcommands:
+     archs     print the architecture profiles (fungibility taxonomy)
+     apps      certify and summarize the built-in FlexBPF app programs
+     certify   parse, typecheck, and certify a .fbpf program file
+     demo      bring up a network, deploy, patch hitlessly under traffic
+     attack    run the elastic DDoS defense scenario
+     migrate   run the state-migration comparison
+
+   Examples:
+     dune exec bin/flexnet_cli.exe -- archs
+     dune exec bin/flexnet_cli.exe -- demo --arch rmt --switches 5
+     dune exec bin/flexnet_cli.exe -- attack --peak 30000 *)
+
+open Cmdliner
+
+let arch_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun k -> Targets.Arch.kind_to_string k = String.lowercase_ascii s)
+        Targets.Arch.all_kinds
+    with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown architecture %s (expected: %s)" s
+             (String.concat ", "
+                (List.map Targets.Arch.kind_to_string Targets.Arch.all_kinds))))
+  in
+  Arg.conv (parse, fun ppf k -> Fmt.string ppf (Targets.Arch.kind_to_string k))
+
+(* -- archs -------------------------------------------------------------- *)
+
+let archs_cmd =
+  let run () =
+    Printf.printf "%-14s %-9s %-10s %-10s %-12s %-11s %-8s\n" "architecture"
+      "hitless" "lat(ns)" "max-pps" "add-tbl(ms)" "reflash(s)" "watts";
+    List.iter
+      (fun kind ->
+        let p = Targets.Arch.profile_of_kind kind in
+        let r = p.Targets.Arch.reconfig in
+        Printf.printf "%-14s %-9s %-10.0f %-10.1e %-12.0f %-11.1f %-8.0f\n"
+          (Targets.Arch.kind_to_string kind)
+          (if r.Targets.Arch.hitless then "yes" else "no")
+          (Targets.Arch.latency_ns p ~cycles:50)
+          p.Targets.Arch.max_pps
+          (1000. *. r.Targets.Arch.t_add_table)
+          r.Targets.Arch.t_full_reflash p.Targets.Arch.static_watts)
+      Targets.Arch.all_kinds
+  in
+  Cmd.v (Cmd.info "archs" ~doc:"Print the simulated architecture profiles")
+    Term.(const run $ const ())
+
+(* -- apps --------------------------------------------------------------- *)
+
+let apps_cmd =
+  let run () =
+    let programs =
+      [ Apps.L2l3.program ();
+        Apps.Firewall.program ();
+        Apps.Cm_sketch.program ();
+        Apps.Heavy_hitter.program ();
+        Apps.Syn_defense.program ();
+        Apps.Scrubber.program ();
+        Apps.Load_balancer.program ();
+        Apps.Nat.program ~public:900 ~subnet_lo:10 ~subnet_hi:20 ();
+        Apps.Telemetry.program ();
+        Apps.Rate_limiter.program ~rate_pps:1000 ~burst:16 ();
+        Apps.Congestion.program
+          ~blocks:
+            [ Apps.Congestion.reno_block; Apps.Congestion.dctcp_block;
+              Apps.Congestion.timely_block () ]
+          () ]
+    in
+    Printf.printf "%-20s %-9s %-8s %-7s %-10s %-10s %-8s\n" "program" "elements"
+      "maps" "cycles" "sram(KB)" "tcam(KB)" "status";
+    List.iter
+      (fun (p : Flexbpf.Ast.program) ->
+        match Flexbpf.Analysis.certify p with
+        | Ok cert ->
+          let fp = cert.Flexbpf.Analysis.cert_footprint in
+          Printf.printf "%-20s %-9d %-8d %-7d %-10d %-10d %-8s\n"
+            p.Flexbpf.Ast.prog_name
+            (List.length p.Flexbpf.Ast.pipeline)
+            (List.length p.Flexbpf.Ast.maps)
+            cert.Flexbpf.Analysis.cert_cycles
+            (fp.Flexbpf.Analysis.sram_bytes / 1024)
+            (fp.Flexbpf.Analysis.tcam_bytes / 1024)
+            "certified"
+        | Error e ->
+          Printf.printf "%-20s rejected: %s\n" p.Flexbpf.Ast.prog_name
+            (Fmt.str "%a" Flexbpf.Analysis.pp_rejection e))
+      programs
+  in
+  Cmd.v
+    (Cmd.info "apps" ~doc:"Certify and summarize the built-in app programs")
+    Term.(const run $ const ())
+
+(* -- certify ------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"FlexBPF surface-syntax program file")
+
+let certify_cmd =
+  let run path =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    match Flexbpf.Syntax.load src with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+    | Ok p ->
+      (match Flexbpf.Analysis.certify p with
+       | Error e ->
+         Printf.printf "%s: REJECTED — %s\n" p.Flexbpf.Ast.prog_name
+           (Fmt.str "%a" Flexbpf.Analysis.pp_rejection e);
+         exit 1
+       | Ok cert ->
+         let fp = cert.Flexbpf.Analysis.cert_footprint in
+         Printf.printf "%s (owner %s): certified\n" p.Flexbpf.Ast.prog_name
+           p.Flexbpf.Ast.owner;
+         Printf.printf "  worst-case cycles : %d\n" cert.Flexbpf.Analysis.cert_cycles;
+         Printf.printf "  sram / tcam       : %d / %d bytes\n"
+           fp.Flexbpf.Analysis.sram_bytes fp.Flexbpf.Analysis.tcam_bytes;
+         Printf.printf "  elements / maps   : %d / %d\n"
+           (List.length p.Flexbpf.Ast.pipeline)
+           (List.length p.Flexbpf.Ast.maps);
+         (* where could it run? try a single device of each class *)
+         Printf.printf "  admissible on     : %s\n"
+           (String.concat ", "
+              (List.filter_map
+                 (fun kind ->
+                   let dev =
+                     Targets.Device.create (Targets.Arch.profile_of_kind kind)
+                   in
+                   let ok =
+                     List.for_all
+                       (fun el ->
+                         match
+                           Targets.Device.install dev ~ctx:p ~order:0 el
+                         with
+                         | Ok _ -> true
+                         | Error _ -> false)
+                       p.Flexbpf.Ast.pipeline
+                   in
+                   if ok then Some (Targets.Arch.kind_to_string kind) else None)
+                 Targets.Arch.all_kinds)))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Parse, typecheck, and certify a FlexBPF program file")
+    Term.(const run $ file_arg)
+
+(* -- inject -------------------------------------------------------------- *)
+
+let inject_cmd =
+  let run path =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    match Flexbpf.Syntax.load src with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1
+    | Ok ext ->
+      let net = Flexnet.create ~arch:Targets.Arch.Drmt ~switches:3 () in
+      (match Flexnet.deploy_infrastructure net with
+       | Ok _ -> ()
+       | Error e -> failwith e);
+      Printf.printf "network up; admitting tenant '%s' from %s...\n"
+        ext.Flexbpf.Ast.owner path;
+      (match Flexnet.add_tenant net ext with
+       | Error e ->
+         Printf.printf "rejected: %s\n"
+           (Fmt.str "%a" Control.Tenants.pp_admission_error e);
+         exit 1
+       | Ok (tenant, report) ->
+         Printf.printf "admitted: vlan %d, %d ops, %.0f ms, devices %s\n"
+           tenant.Control.Tenants.vlan
+           (Compiler.Plan.size report.Compiler.Incremental.plan)
+           (1000. *. report.Compiler.Incremental.duration)
+           (String.concat "," report.Compiler.Incremental.touched_devices);
+         List.iter
+           (fun name ->
+             let host =
+               List.find_opt
+                 (fun d -> List.mem name (Targets.Device.installed_names d))
+                 (Flexnet.path net)
+             in
+             Printf.printf "  %-30s -> %s\n" name
+               (match host with
+                | Some d -> Targets.Device.id d
+                | None -> "(not placed)"))
+           tenant.Control.Tenants.element_names;
+         let h0 = Flexnet.h0 net and h1 = Flexnet.h1 net in
+         for _ = 1 to 50 do
+           Flexnet.send_h0 net
+             (Netsim.Traffic.tcp_packet ~src:h0.Netsim.Node.id
+                ~dst:h1.Netsim.Node.id ~sport:1234 ~dport:80 ~born:0. ())
+         done;
+         Flexnet.run net ~until:1.0;
+         Printf.printf "untagged traffic delivered: %d/50\n"
+           (Flexnet.stats net).Flexnet.delivered_h1;
+         (match Flexnet.remove_tenant net tenant.Control.Tenants.tenant_name with
+          | Ok _ -> Printf.printf "tenant departed cleanly\n"
+          | Error e ->
+            Printf.printf "departure failed: %s\n"
+              (Fmt.str "%a" Control.Tenants.pp_departure_error e)))
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Admit a .fbpf tenant program into a live network (certify, \
+          isolate, place, verify, depart)")
+    Term.(const run $ file_arg)
+
+(* -- demo --------------------------------------------------------------- *)
+
+let arch_arg =
+  Arg.(value & opt arch_conv Targets.Arch.Drmt
+       & info [ "arch" ] ~docv:"ARCH" ~doc:"Switch architecture")
+
+let switches_arg =
+  Arg.(value & opt int 3 & info [ "switches" ] ~docv:"N" ~doc:"Switch count")
+
+let demo_cmd =
+  let run arch switches =
+    let net = Flexnet.create ~arch ~switches () in
+    (match Flexnet.deploy_infrastructure net with
+     | Ok dep ->
+       Printf.printf "deployed %d elements over %d devices\n"
+         (List.length dep.Compiler.Incremental.dep_placement.Compiler.Placement.where)
+         (List.length (Flexnet.path net))
+     | Error e -> failwith e);
+    let sim = Flexnet.sim net in
+    let h0 = Flexnet.h0 net and h1 = Flexnet.h1 net in
+    let sent = ref 0 in
+    let gen = Netsim.Traffic.create sim in
+    Netsim.Traffic.cbr gen ~rate_pps:1000. ~start:0. ~stop:2.0 ~send:(fun () ->
+        incr sent;
+        Flexnet.send_h0 net
+          (Netsim.Traffic.tcp_packet ~src:h0.Netsim.Node.id
+             ~dst:h1.Netsim.Node.id ~sport:1234 ~dport:80
+             ~born:(Netsim.Sim.now sim) ()));
+    let patch =
+      Flexbpf.Patch.v "add-telemetry"
+        [ Flexbpf.Patch.Add_map Apps.Telemetry.flow_bytes_map;
+          Flexbpf.Patch.Add_element
+            (Flexbpf.Patch.Before (Flexbpf.Patch.Sel_name "ipv4_lpm"),
+             Apps.Telemetry.flow_counter) ]
+    in
+    Netsim.Sim.at sim 1.0 (fun () ->
+        match
+          Flexnet.patch_hitless net patch ~on_done:(fun r ->
+              Printf.printf "t=%.3fs: hitless patch done (%.0f ms, devices %s)\n"
+                (Netsim.Sim.now sim)
+                (1000. *. r.Compiler.Incremental.duration)
+                (String.concat "," r.Compiler.Incremental.touched_devices))
+        with
+        | Ok _ -> ()
+        | Error e -> Fmt.epr "patch failed: %a@." Compiler.Incremental.pp_error e);
+    Flexnet.run net ~until:3.0;
+    let stats = Flexnet.stats net in
+    Printf.printf "sent %d, delivered %d, reconfig drops %d\n" !sent
+      stats.Flexnet.delivered_h1 stats.Flexnet.reconfig_drops;
+    Fmt.pr "%a" Control.Controller.pp_view (Flexnet.controller net)
+  in
+  Cmd.v
+    (Cmd.info "demo"
+       ~doc:"Deploy a network, run traffic, and apply a hitless runtime patch")
+    Term.(const run $ arch_arg $ switches_arg)
+
+(* -- attack ------------------------------------------------------------- *)
+
+let peak_arg =
+  Arg.(value & opt float 20_000.
+       & info [ "peak" ] ~docv:"PPS" ~doc:"Peak attack rate (packets/s)")
+
+let attack_cmd =
+  let run peak =
+    let net = Flexnet.create ~arch:Targets.Arch.Drmt ~switches:3 () in
+    (match Flexnet.deploy_infrastructure net with
+     | Ok _ -> ()
+     | Error e -> failwith e);
+    let sim = Flexnet.sim net in
+    let h0 = Flexnet.h0 net and h1 = Flexnet.h1 net in
+    let switches = Flexnet.switch_devices net in
+    let victim = ref 0 in
+    Netsim.Node.set_handler h1 (fun _ ~in_port:_ _ -> incr victim);
+    let attack = Netsim.Traffic.create ~seed:3 sim in
+    Netsim.Traffic.ramp attack ~peak_pps:peak ~start:0.5 ~ramp_up:1.0 ~hold:1.5
+      ~ramp_down:1.0 ~send:(fun () ->
+        Netsim.Node.send h0 ~port:0
+          (Netsim.Traffic.spoofed_syn attack ~dst:h1.Netsim.Node.id ~dport:80
+             ~born:(Netsim.Sim.now sim)));
+    let defense = Apps.Syn_defense.program ~threshold:100 () in
+    let replicas = ref 0 in
+    let scale_to n =
+      let n = min n (List.length switches) in
+      List.iteri
+        (fun i dev ->
+          if i >= !replicas && i < n then
+            List.iteri
+              (fun o el ->
+                ignore (Targets.Device.install dev ~ctx:defense ~order:(100 + o) el))
+              defense.Flexbpf.Ast.pipeline
+          else if i >= n && i < !replicas then
+            List.iter
+              (fun el ->
+                ignore (Targets.Device.uninstall dev (Flexbpf.Ast.element_name el)))
+              defense.Flexbpf.Ast.pipeline)
+        switches;
+      Printf.printf "t=%.2fs: replicas -> %d\n" (Netsim.Sim.now sim) n;
+      replicas := n
+    in
+    let last = ref 0 in
+    let sample () =
+      if !replicas > 0 then
+        Int64.to_float
+          (Apps.Syn_defense.syn_rate_of (List.hd switches)
+             ~dst:(Int64.of_int h1.Netsim.Node.id)
+             ~now_us:(Int64.of_float (Netsim.Sim.now sim *. 1e6)))
+        *. 10.
+      else begin
+        let d = !victim - !last in
+        last := !victim;
+        float_of_int d *. 10.
+      end
+    in
+    let _ =
+      Control.Elastic.create ~sim ~name:"defense" ~min_replicas:0
+        ~max_replicas:3 ~cooldown:0.3 ~period:0.1 ~sample
+        ~capacity_per_replica:8000. ~scale_to ()
+    in
+    Flexnet.run net ~until:5.0;
+    Printf.printf "victim received %d packets; final replicas %d\n" !victim
+      !replicas
+  in
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run the elastic DDoS defense scenario")
+    Term.(const run $ peak_arg)
+
+(* -- migrate ------------------------------------------------------------ *)
+
+let migrate_cmd =
+  let run () =
+    let cfg = { Apps.Cm_sketch.depth = 3; width = 512; map_name = "cms" } in
+    let mk id =
+      let dev = Targets.Device.create ~id Targets.Arch.drmt in
+      let prog = Apps.Cm_sketch.program ~cfg () in
+      List.iteri
+        (fun i el -> ignore (Targets.Device.install dev ~ctx:prog ~order:i el))
+        prog.Flexbpf.Ast.pipeline;
+      dev
+    in
+    List.iter
+      (fun proto ->
+        let sim = Netsim.Sim.create () in
+        let src = mk "a" and dst = mk "b" in
+        let handle = Runtime.Migration.create src in
+        let rng = Random.State.make [| 1 |] in
+        let sent = ref 0 in
+        let gen = Netsim.Traffic.create sim in
+        Netsim.Traffic.cbr gen ~rate_pps:50_000. ~start:0. ~stop:1.0
+          ~send:(fun () ->
+            incr sent;
+            let s = Int64.of_int (Random.State.int rng 100) in
+            ignore
+              (Runtime.Migration.exec handle
+                 ~now_us:(Int64.of_float (Netsim.Sim.now sim *. 1e6))
+                 (Netsim.Packet.create
+                    [ Netsim.Packet.ethernet ~src:s ~dst:1L ();
+                      Netsim.Packet.ipv4 ~src:s ~dst:1L ();
+                      Netsim.Packet.tcp ~sport:1L ~dport:2L () ])));
+        Netsim.Sim.at sim 0.5 (fun () ->
+            match proto with
+            | `Freeze ->
+              Runtime.Migration.freeze_copy ~sim handle ~dst
+                ~map_names:[ "cms" ] ()
+            | `Swing ->
+              Runtime.Migration.swing ~sim handle ~dst ~map_names:[ "cms" ] ());
+        ignore (Netsim.Sim.run sim);
+        let expected = !sent * cfg.Apps.Cm_sketch.depth in
+        let present =
+          Int64.to_int
+            (Runtime.Migration.map_sum (Runtime.Migration.active handle) "cms")
+        in
+        Printf.printf "%-12s expected %d, present %d, lost %d\n"
+          (match proto with `Freeze -> "freeze-copy" | `Swing -> "swing")
+          expected present (expected - present))
+      [ `Freeze; `Swing ]
+  in
+  Cmd.v
+    (Cmd.info "migrate" ~doc:"Compare state-migration protocols")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "flexnet" ~version:"0.1.0"
+      ~doc:"Runtime programmable network (FlexNet) scenario runner"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; inject_cmd; demo_cmd; attack_cmd;
+          migrate_cmd ]))

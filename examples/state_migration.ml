@@ -1,0 +1,87 @@
+(* App migration (§3.4): move a stateful monitoring app (count-min
+   sketch) between switches while it is being updated on every packet.
+   Control-plane freeze-copy loses the updates applied during the copy
+   window; the data-plane swing protocol does not.
+
+   Run with: dune exec examples/state_migration.exe *)
+
+let pf fmt = Format.printf fmt
+
+let cfg = { Apps.Cm_sketch.depth = 3; width = 512; map_name = "cms" }
+
+let mk_device id =
+  let dev = Targets.Device.create ~id Targets.Arch.drmt in
+  let prog = Apps.Cm_sketch.program ~cfg () in
+  List.iteri
+    (fun i el -> ignore (Targets.Device.install dev ~ctx:prog ~order:i el))
+    prog.Flexbpf.Ast.pipeline;
+  dev
+
+let run protocol label =
+  let sim = Netsim.Sim.create () in
+  let src = mk_device "spine-a" in
+  let dst = mk_device "spine-b" in
+  let handle = Runtime.Migration.create src in
+  let rng = Random.State.make [| 17 |] in
+  let sent = ref 0 in
+  let gen = Netsim.Traffic.create sim in
+  Netsim.Traffic.cbr gen ~rate_pps:50_000. ~start:0. ~stop:1.0 ~send:(fun () ->
+      incr sent;
+      let s = Int64.of_int (Random.State.int rng 100) in
+      let pkt =
+        Netsim.Packet.create
+          [ Netsim.Packet.ethernet ~src:s ~dst:1L ();
+            Netsim.Packet.ipv4 ~src:s ~dst:1L ();
+            Netsim.Packet.tcp ~sport:5L ~dport:6L () ]
+      in
+      ignore
+        (Runtime.Migration.exec handle
+           ~now_us:(Int64.of_float (Netsim.Sim.now sim *. 1e6))
+           pkt));
+  let window = ref 0. in
+  Netsim.Sim.at sim 0.5 (fun () ->
+      pf "  t=0.5s: migrating sketch spine-a -> spine-b (%s)...@." label;
+      match protocol with
+      | `Freeze ->
+        Runtime.Migration.freeze_copy ~entries_per_second:2_000. ~sim handle
+          ~dst ~map_names:[ "cms" ]
+          ~on_done:(fun r ->
+            window := r.Runtime.Migration.window;
+            pf "  t=%.3fs: cutover after %.0f ms copy (%d entries)@."
+              (Netsim.Sim.now sim)
+              (1000. *. r.Runtime.Migration.window)
+              r.Runtime.Migration.entries_moved)
+          ()
+      | `Swing ->
+        Runtime.Migration.swing ~sim handle ~dst ~map_names:[ "cms" ]
+          ~on_done:(fun r ->
+            window := r.Runtime.Migration.window;
+            pf "  t=%.3fs: cutover after %.0f ms mirror window (%d entries)@."
+              (Netsim.Sim.now sim)
+              (1000. *. r.Runtime.Migration.window)
+              r.Runtime.Migration.entries_moved)
+          ());
+  ignore (Netsim.Sim.run sim);
+  let updates_expected = !sent * cfg.Apps.Cm_sketch.depth in
+  let updates_present =
+    Int64.to_int (Runtime.Migration.map_sum dst "cms")
+  in
+  (label, updates_expected, updates_present, !window)
+
+let () =
+  pf "== Stateful app migration ==@.@.";
+  pf "a count-min sketch updated at 50k pps migrates mid-trace:@.@.";
+  let freeze = run `Freeze "control-plane freeze-copy" in
+  pf "@.";
+  let swing = run `Swing "data-plane swing" in
+  pf "@.%-28s %-12s %-12s %-10s@." "protocol" "expected" "present" "lost";
+  List.iter
+    (fun (label, expected, present, _) ->
+      pf "%-28s %-12d %-12d %-10d@." label expected present (expected - present))
+    [ freeze; swing ];
+  let _, fe, fp, _ = freeze and _, se, sp, _ = swing in
+  assert (fp < fe); (* freeze-copy lost updates *)
+  assert (sp = se); (* swing lost nothing *)
+  pf "@.\"copying state via control plane software is impossible\" —@.";
+  pf "the data-plane protocol migrates per-packet-mutating state losslessly.@.";
+  pf "@.state migration OK@."

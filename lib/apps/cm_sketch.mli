@@ -1,0 +1,38 @@
+(** Count-min sketch in FlexBPF — the paper's canonical stateful app
+    (§3.4 uses it as the example whose state mutates per packet and so
+    cannot be migrated by control-plane software). [depth] rows of
+    [width] counters in one logical map keyed (row, column); updates
+    run as a bounded loop over rows, queries take the row minimum. *)
+
+type config = { depth : int; width : int; map_name : string }
+
+val default_config : config
+
+(** Column index of [row] for the current packet (hash of the flow). *)
+val column_expr : config -> Flexbpf.Ast.expr -> Flexbpf.Ast.expr
+
+val sketch_map : config -> Flexbpf.Ast.map_decl
+
+(** The per-packet update block. *)
+val update_block : ?name:string -> config -> Flexbpf.Ast.element
+
+val program : ?owner:string -> ?cfg:config -> unit -> Flexbpf.Ast.program
+
+(** Host-side column computation, mirroring [column_expr]'s layout. *)
+val column : config -> row:int -> src:int64 -> dst:int64 -> proto:int64 -> int64
+
+(** Point query: estimated count = min over rows. Never underestimates. *)
+val estimate :
+  config -> Flexbpf.State.t -> src:int64 -> dst:int64 -> proto:int64 -> int64
+
+val estimate_on_device :
+  config -> Targets.Device.t -> src:int64 -> dst:int64 -> proto:int64 -> int64
+
+(** Ground-truth exact counter for measuring sketch error in tests. *)
+module Exact : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> src:int64 -> dst:int64 -> proto:int64 -> unit
+  val count : t -> src:int64 -> dst:int64 -> proto:int64 -> int
+end

@@ -1,0 +1,90 @@
+(** Congestion-control algorithms as FlexBPF blocks (§1.1 "live
+    infrastructure customization": deploying new transport protocols /
+    CC algorithms across hosts and NICs at runtime).
+
+    Each algorithm is a real FlexBPF block operating on metadata in
+    fixed-point (cwnd scaled by 1000); [to_transport_cc] interprets the
+    block per ACK, so swapping the block on a host endpoint *is* a
+    runtime reprogramming of the transport. Inputs: meta.cwnd (x1000),
+    meta.ecn (0/1), meta.rtt_us. Output: meta.cwnd. *)
+
+open Flexbpf
+open Flexbpf.Builder
+
+let cwnd = meta "cwnd"
+let ecn = meta "ecn"
+let rtt_us = meta "rtt_us"
+
+let clamp_min = 1_000 (* one packet *)
+
+let clamp =
+  when_ (cwnd <: const clamp_min) [ set_meta "cwnd" (const clamp_min) ]
+
+(** Reno/NewReno-style AIMD: ECN treated as loss signal. *)
+let reno_block =
+  block "cc_reno"
+    [ if_ (ecn >: const 0)
+        [ set_meta "cwnd" (cwnd /: const 2) ]
+        [ set_meta "cwnd" (cwnd +: (const 1_000_000 /: cwnd)) ];
+      clamp ]
+
+(** DCTCP-style: maintain an EWMA of the ECN fraction (alpha, x1000)
+    and cut the window proportionally; additive increase otherwise.
+    g = 1/16. *)
+let dctcp_alpha_map = map_decl ~key_arity:1 ~size:4 "dctcp_alpha"
+
+let dctcp_block =
+  let alpha = map_get "dctcp_alpha" [ const 0 ] in
+  block "cc_dctcp"
+    [ (* alpha <- (15*alpha + 1000*ecn) / 16 *)
+      map_put "dctcp_alpha" [ const 0 ]
+        (((alpha *: const 15) +: (ecn *: const 1000)) /: const 16);
+      if_ (ecn >: const 0)
+        [ set_meta "cwnd" (cwnd -: (cwnd *: alpha /: const 2000)) ]
+        [ set_meta "cwnd" (cwnd +: (const 1_000_000 /: cwnd)) ];
+      clamp ]
+
+(** TIMELY-style delay-based control: compare RTT to a target band. *)
+let timely_block ?(t_low_us = 50) ?(t_high_us = 500) () =
+  block "cc_timely"
+    [ if_ (rtt_us >: const t_high_us)
+        [ set_meta "cwnd" (cwnd *: const 4 /: const 5) ]
+        [ when_ (rtt_us <: const t_low_us)
+            [ set_meta "cwnd" (cwnd +: const 2_000) ] ];
+      clamp ]
+
+let cc_maps = [ dctcp_alpha_map ]
+
+(** A host-stack program carrying the CC blocks (so they can be placed,
+    certified, and migrated like any other component). *)
+let program ?(owner = "infra") ?(blocks = [ reno_block ]) () =
+  Builder.program ~owner "congestion_control" ~maps:cc_maps blocks
+
+(* -- Interpreting a block as a transport CC policy ------------------- *)
+
+(** Turn a FlexBPF CC block into transport callbacks. The block runs in
+    its own environment (per-endpoint state, e.g. DCTCP's alpha). *)
+let to_transport_cc ?(init_cwnd = 10.) (blk : Ast.element) =
+  let b =
+    match blk with
+    | Ast.Block b -> b
+    | Ast.Table _ -> invalid_arg "Congestion.to_transport_cc: not a block"
+  in
+  let env =
+    Interp.create_env
+      { Ast.prog_name = "cc"; owner = "host"; headers = []; parser = [];
+        maps = cc_maps; pipeline = [] }
+  in
+  let run ~cwnd_pkts ~ecn ~rtt =
+    let pkt = Netsim.Packet.create [] in
+    Netsim.Packet.set_meta pkt "cwnd"
+      (Int64.of_float (cwnd_pkts *. 1000.));
+    Netsim.Packet.set_meta pkt "ecn" (if ecn then 1L else 0L);
+    Netsim.Packet.set_meta pkt "rtt_us" (Int64.of_float (rtt *. 1e6));
+    ignore (Interp.run_block env b pkt);
+    Int64.to_float (Netsim.Packet.meta_default pkt "cwnd" 1000L) /. 1000.
+  in
+  { Netsim.Transport.cc_name = b.Ast.blk_name;
+    init_cwnd;
+    on_ack = (fun ~cwnd ~ecn ~rtt -> run ~cwnd_pkts:cwnd ~ecn ~rtt);
+    on_loss = (fun ~cwnd -> Float.max 1. (cwnd /. 2.)) }

@@ -1,0 +1,30 @@
+(** Congestion-control algorithms as FlexBPF blocks (§1.1 "live
+    infrastructure customization"). Each algorithm is a real FlexBPF
+    block over metadata in fixed point (cwnd scaled by 1000);
+    [to_transport_cc] interprets it per ACK, so swapping the block is a
+    runtime reprogramming of the transport. Inputs: meta.cwnd, meta.ecn
+    (0/1), meta.rtt_us; output: meta.cwnd. *)
+
+(** Reno/NewReno-style AIMD; ECN treated as a loss signal. *)
+val reno_block : Flexbpf.Ast.element
+
+val dctcp_alpha_map : Flexbpf.Ast.map_decl
+
+(** DCTCP-style: EWMA of the ECN fraction drives proportional cuts. *)
+val dctcp_block : Flexbpf.Ast.element
+
+(** TIMELY-style delay-based control over an RTT target band. *)
+val timely_block : ?t_low_us:int -> ?t_high_us:int -> unit -> Flexbpf.Ast.element
+
+val cc_maps : Flexbpf.Ast.map_decl list
+
+(** A host-stack program carrying CC blocks, so they can be placed,
+    certified, and migrated like any other component. *)
+val program :
+  ?owner:string -> ?blocks:Flexbpf.Ast.element list -> unit ->
+  Flexbpf.Ast.program
+
+(** Turn a CC block into transport callbacks; the block runs in its own
+    environment (per-endpoint state, e.g. DCTCP's alpha).
+    @raise Invalid_argument if given a table. *)
+val to_transport_cc : ?init_cwnd:float -> Flexbpf.Ast.element -> Netsim.Transport.cc

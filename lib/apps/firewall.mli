@@ -1,0 +1,15 @@
+(** Stateful firewall: outbound traffic from the protected side opens a
+    flow entry; inbound is admitted only with matching state. A classic
+    tenant extension program. *)
+
+val conn_map : ?size:int -> unit -> Flexbpf.Ast.map_decl
+val denied_map : Flexbpf.Ast.map_decl
+
+(** [boundary]: sources below it are the protected ("inside") side. *)
+val block : ?name:string -> boundary:int -> unit -> Flexbpf.Ast.element
+
+val program : ?owner:string -> ?boundary:int -> unit -> Flexbpf.Ast.program
+
+(** Inbound packets denied so far (checks both plain and
+    tenant-namespaced map instances). *)
+val denied_count : Targets.Device.t -> int64

@@ -1,0 +1,30 @@
+(** Heavy-hitter detection on top of the count-min sketch: when a
+    flow's estimate crosses the threshold, the packet is punted to the
+    controller as a digest (once every [report_every] packets of that
+    flow, to bound the punt rate). *)
+
+open Flexbpf
+open Flexbpf.Builder
+
+let digest_name = "heavy_hitter"
+
+(** Sketch update + threshold check in one block. Uses the row-0
+    estimate as the trigger (a safe overestimate, like real designs). *)
+let block ?(name = "hh_detect") ?(threshold = 1000) ?(report_every = 256)
+    (cfg : Cm_sketch.config) =
+  let row0_col = Cm_sketch.column_expr cfg (const 0) in
+  let row0 = map_get cfg.Cm_sketch.map_name [ const 0; row0_col ] in
+  Flexbpf.Builder.block name
+    [ loop cfg.Cm_sketch.depth
+        [ map_incr cfg.Cm_sketch.map_name
+            [ meta "_loop_i"; Cm_sketch.column_expr cfg (meta "_loop_i") ] ];
+      when_
+        ((row0 >: const threshold)
+         &&: (Ast.Bin (Ast.Mod, row0, const report_every) =: const 0))
+        [ punt digest_name ] ]
+
+let program ?(owner = "infra") ?(cfg = Cm_sketch.default_config) ?threshold
+    ?report_every () =
+  Builder.program ~owner "heavy_hitter"
+    ~maps:[ Cm_sketch.sketch_map cfg ]
+    [ block ?threshold ?report_every cfg ]

@@ -1,0 +1,13 @@
+(** Heavy-hitter detection on the count-min sketch: when a flow's
+    estimate crosses the threshold, a digest is punted to the
+    controller (once every [report_every] packets of that flow). *)
+
+val digest_name : string
+
+val block :
+  ?name:string -> ?threshold:int -> ?report_every:int -> Cm_sketch.config ->
+  Flexbpf.Ast.element
+
+val program :
+  ?owner:string -> ?cfg:Cm_sketch.config -> ?threshold:int ->
+  ?report_every:int -> unit -> Flexbpf.Ast.program

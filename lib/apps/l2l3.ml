@@ -1,0 +1,88 @@
+(** The infrastructure program: basic L2/L3 forwarding plus utility
+    hooks. This is the operator-supplied trusted base every FlexNet
+    deployment starts from (§3); tenant extensions are composed on top
+    of it and runtime patches modify it in place. *)
+
+open Flexbpf
+open Flexbpf.Builder
+
+(** L2 exact-match switching on ethernet.dst. *)
+let l2_table =
+  table "l2_switching"
+    ~keys:[ exact (field "ethernet" "dst") ]
+    ~actions:
+      [ action "set_egress" ~params:[ "port" ] [ forward (param "port") ];
+        action "flood" [ punt "l2_miss" ] ]
+    ~default:("flood", []) ~size:4096 ()
+
+(** L3 longest-prefix-match routing on ipv4.dst. *)
+let ipv4_lpm =
+  table "ipv4_lpm"
+    ~keys:[ lpm (field "ipv4" "dst") ]
+    ~actions:
+      [ action "route" ~params:[ "port" ]
+          [ set_field "ipv4" "ttl" (field "ipv4" "ttl" -: const 1);
+            forward (param "port") ];
+        action "unroutable" [ drop ] ]
+    ~default:("unroutable", []) ~size:8192 ()
+
+(** Ternary ACL: operator drop/permit rules. *)
+let acl =
+  table "acl"
+    ~keys:
+      [ ternary (field "ipv4" "src"); ternary (field "ipv4" "dst");
+        ternary (field "ipv4" "proto") ]
+    ~actions:[ action "permit" [ Ast.Nop ]; action "deny" [ drop ] ]
+    ~default:("permit", []) ~size:1024 ()
+
+(** TTL hygiene: drop expired packets before routing. *)
+let ttl_guard =
+  block "ttl_guard" [ when_ (field "ipv4" "ttl" <=: const 0) [ drop ] ]
+
+(** Per-port byte/packet counters, the management utility the paper's
+    controller reads. *)
+let port_counters_map = map_decl ~key_arity:1 ~size:64 "port_counters"
+
+let port_counters =
+  block "port_counters" [ map_incr "port_counters" [ meta "in_port" ] ]
+
+let program ?(owner = "infra") () =
+  Builder.program ~owner "l2l3"
+    ~maps:[ port_counters_map ]
+    [ port_counters; ttl_guard; acl; ipv4_lpm; l2_table ]
+
+(** Routing rules for a concrete topology: one LPM (/32) rule per host
+    per switch, using shortest-path next hops. Installs into whichever
+    device ended up hosting [ipv4_lpm]; [where] maps element name to
+    its (device env, node id). *)
+let route_rule ~host_id ~port =
+  rule ~priority:1
+    ~matches:[ lpm_i host_id 32 ]
+    ~action:("route", [ port ])
+    ()
+
+(** Install destination routes on a device located at topology node
+    [node_id], covering all hosts. *)
+let install_routes env topo ~node_id =
+  List.iter
+    (fun host ->
+      let dst = host.Netsim.Node.id in
+      if dst <> node_id then
+        match
+          Netsim.Topology.next_hops topo ~src:node_id ~dst
+        with
+        | port :: _ ->
+          Interp.install_rule env "ipv4_lpm" (route_rule ~host_id:dst ~port)
+        | [] -> ())
+    (Netsim.Topology.hosts topo)
+
+(** Deliver-to-local-host rule: on the last switch the packet is sent
+    out of the port facing the host. Covered by [install_routes] since
+    next_hops returns the host-facing port there. *)
+
+let acl_deny_rule ~src ~dst =
+  rule ~priority:10
+    ~matches:
+      [ ternary_i src 0xFFFFFFFF; ternary_i dst 0xFFFFFFFF; Ast.P_any ]
+    ~action:("deny", [])
+    ()

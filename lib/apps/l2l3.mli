@@ -1,0 +1,36 @@
+(** The infrastructure program: L2/L3 forwarding plus utility hooks —
+    the operator-supplied trusted base every FlexNet deployment starts
+    from (§3). Tenant extensions are composed on top; runtime patches
+    modify it in place. *)
+
+(** Exact-match L2 switching on ethernet.dst
+    (actions: set_egress(port), flood). *)
+val l2_table : Flexbpf.Ast.element
+
+(** LPM routing on ipv4.dst (actions: route(port) — decrements TTL —
+    and unroutable/drop). *)
+val ipv4_lpm : Flexbpf.Ast.element
+
+(** Ternary ACL over (src, dst, proto) with permit/deny actions. *)
+val acl : Flexbpf.Ast.element
+
+(** Drops packets whose TTL has expired, before routing. *)
+val ttl_guard : Flexbpf.Ast.element
+
+val port_counters_map : Flexbpf.Ast.map_decl
+
+(** Per-ingress-port packet counters (reads meta.in_port). *)
+val port_counters : Flexbpf.Ast.element
+
+val program : ?owner:string -> unit -> Flexbpf.Ast.program
+
+(** /32 route toward [host_id] via [port]. *)
+val route_rule : host_id:int -> port:int -> Flexbpf.Ast.rule
+
+(** Install shortest-path routes for every host into the [ipv4_lpm]
+    rules of a device located at topology node [node_id]. *)
+val install_routes :
+  Flexbpf.Interp.env -> Netsim.Topology.t -> node_id:int -> unit
+
+(** Deny all traffic from [src] to [dst]. *)
+val acl_deny_rule : src:int -> dst:int -> Flexbpf.Ast.rule

@@ -1,0 +1,54 @@
+(** Flow-hash load balancer (HULA-lite): a range table over the flow
+    hash picks among next-hop ports; the controller rewrites the ranges
+    to shift load — a runtime-reconfigurable alternative to static
+    ECMP. *)
+
+open Flexbpf
+open Flexbpf.Builder
+
+let flow_hash_expr =
+  Ast.Bin
+    (Ast.Mod,
+     hash ~alg:Crc32
+       [ field "ipv4" "src"; field "ipv4" "dst"; field "ipv4" "proto" ],
+     const 1000)
+
+(** The table matches on meta.lb_bucket, computed by a small block so
+    that the hash is evaluated once. *)
+let bucket_block =
+  block "lb_bucket" [ set_meta "lb_bucket" flow_hash_expr ]
+
+let lb_table =
+  table "lb_select"
+    ~keys:[ range (meta "lb_bucket") ]
+    ~actions:
+      [ action "to_port" ~params:[ "port" ] [ forward (param "port") ];
+        action "no_lb" [ Ast.Nop ] ]
+    ~default:("no_lb", []) ~size:64 ()
+
+let elements = [ bucket_block; lb_table ]
+
+let program ?(owner = "infra") () = program ~owner "load_balancer" elements
+
+(** Weighted bucket split: [weights] is (port, weight) — ranges over
+    [0, 1000) proportional to weight. *)
+let weight_rules weights =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+  if total <= 0 then []
+  else begin
+    let scale w = w * 1000 / total in
+    let _, rules =
+      List.fold_left
+        (fun (start, acc) (port, w) ->
+          let stop = start + scale w in
+          let r =
+            rule ~priority:1
+              ~matches:[ range_i start (stop - 1) ]
+              ~action:("to_port", [ port ])
+              ()
+          in
+          (stop, r :: acc))
+        (0, []) weights
+    in
+    List.rev rules
+  end

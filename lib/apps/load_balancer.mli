@@ -1,0 +1,20 @@
+(** Flow-hash load balancer (HULA-lite): a range table over the flow
+    hash (buckets 0..999) picks among next-hop ports; the controller
+    rewrites ranges to shift load — runtime-reconfigurable traffic
+    engineering. *)
+
+(** Flow hash modulo 1000 (the bucket space). *)
+val flow_hash_expr : Flexbpf.Ast.expr
+
+(** Computes meta.lb_bucket once per packet. *)
+val bucket_block : Flexbpf.Ast.element
+
+(** Range-matches meta.lb_bucket; action to_port(port). *)
+val lb_table : Flexbpf.Ast.element
+
+val elements : Flexbpf.Ast.element list
+val program : ?owner:string -> unit -> Flexbpf.Ast.program
+
+(** Disjoint bucket ranges proportional to (port, weight); covers
+    [0, 1000) when total weight > 0. *)
+val weight_rules : (int * int) list -> Flexbpf.Ast.rule list

@@ -1,0 +1,33 @@
+(** Tenant NAT extension: rewrites source addresses of outbound tenant
+    traffic to the tenant's public address and restores them inbound.
+    Exercises header rewriting and per-tenant state as an injectable
+    extension program. *)
+
+open Flexbpf.Builder
+
+let nat_map = map_decl ~key_arity:2 ~size:4096 "nat_bindings"
+
+(** [public] is the tenant's public address; [subnet_lo]/[subnet_hi] the
+    private range being translated. *)
+let block ?(name = "nat_rewrite") ~public ~subnet_lo ~subnet_hi () =
+  let src = field "ipv4" "src" in
+  let dst = field "ipv4" "dst" in
+  let outbound = (src >=: const subnet_lo) &&: (src <=: const subnet_hi) in
+  let inbound = dst =: const public in
+  Flexbpf.Builder.block name
+    [ when_ outbound
+        [ (* remember original source keyed by (dst, sport) *)
+          map_put "nat_bindings" [ dst; field "tcp" "sport" ] src;
+          set_field "ipv4" "src" (const public) ];
+      when_ inbound
+        [ (* restore from binding keyed by (src, dport) *)
+          when_
+            (map_get "nat_bindings" [ field "ipv4" "src"; field "tcp" "dport" ]
+             >: const 0)
+            [ set_field "ipv4" "dst"
+                (map_get "nat_bindings"
+                   [ field "ipv4" "src"; field "tcp" "dport" ]) ] ] ]
+
+let program ?(owner = "tenant") ~public ~subnet_lo ~subnet_hi () =
+  program ~owner "nat" ~maps:[ nat_map ]
+    [ block ~public ~subnet_lo ~subnet_hi () ]

@@ -1,0 +1,13 @@
+(** Tenant NAT extension: rewrites outbound tenant sources to the
+    tenant's public address and restores them inbound — header
+    rewriting plus per-tenant state as an injectable extension. *)
+
+val nat_map : Flexbpf.Ast.map_decl
+
+val block :
+  ?name:string -> public:int -> subnet_lo:int -> subnet_hi:int -> unit ->
+  Flexbpf.Ast.element
+
+val program :
+  ?owner:string -> public:int -> subnet_lo:int -> subnet_hi:int -> unit ->
+  Flexbpf.Ast.program

@@ -1,0 +1,17 @@
+(** Token-bucket rate limiter in FlexBPF: per-source policing with
+    tokens accumulated by virtual time (milli-token fixed point). *)
+
+val tokens_map : Flexbpf.Ast.map_decl
+val last_map : Flexbpf.Ast.map_decl
+val policed_map : Flexbpf.Ast.map_decl
+val maps : Flexbpf.Ast.map_decl list
+
+(** [rate_pps] sustained packets/second, [burst] bucket depth in
+    packets. New sources start with a full bucket. *)
+val block :
+  ?name:string -> rate_pps:int -> burst:int -> unit -> Flexbpf.Ast.element
+
+val program :
+  ?owner:string -> rate_pps:int -> burst:int -> unit -> Flexbpf.Ast.program
+
+val policed_count : Targets.Device.t -> int64

@@ -1,0 +1,12 @@
+(** DDoS scrubber: a blocklist table populated by the controller from
+    heavy-hitter / SYN-alarm digests. Injected at attack ingress points
+    and removed afterwards — no persistent footprint (§3.4). *)
+
+val scrub_table : ?name:string -> ?size:int -> unit -> Flexbpf.Ast.element
+val scrubbed_map : Flexbpf.Ast.map_decl
+val program : ?owner:string -> unit -> Flexbpf.Ast.program
+
+(** Rule dropping a source address. *)
+val block_rule : src:int -> Flexbpf.Ast.rule
+
+val scrubbed_count : Targets.Device.t -> int64

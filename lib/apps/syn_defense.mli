@@ -1,0 +1,29 @@
+(** SYN-flood defense, summoned into the network at attack time and
+    retired when the attack subsides (§1.1). Per-destination SYN
+    counters over a 100 ms sliding window; under attack, SYNs from
+    sources without established state are dropped and an alarm digest
+    is punted so the controller can scale the defense. *)
+
+val alarm_digest : string
+
+val syn_rate_map : Flexbpf.Ast.map_decl
+val established_map : Flexbpf.Ast.map_decl
+val dropped_map : Flexbpf.Ast.map_decl
+val maps : Flexbpf.Ast.map_decl list
+
+(** Window length for the per-destination counters, microseconds. *)
+val window_us : int
+
+(** [threshold]: SYNs per destination per window before mitigation. *)
+val block : ?name:string -> ?threshold:int -> unit -> Flexbpf.Ast.element
+
+val program : ?owner:string -> ?threshold:int -> unit -> Flexbpf.Ast.program
+
+(** A uniquely-named replica of the defense block (one per switch). *)
+val replica : index:int -> ?threshold:int -> unit -> Flexbpf.Ast.element
+
+val dropped_count : Targets.Device.t -> int64
+
+(** Offered SYN load toward [dst]: max of the current and previous
+    window, so boundary reads don't see an empty window. *)
+val syn_rate_of : Targets.Device.t -> dst:int64 -> now_us:int64 -> int64

@@ -1,0 +1,15 @@
+(** In-band telemetry utilities: per-flow counters and per-hop stamps —
+    the "monitoring, execution tracking and diagnosis primitives"
+    (§3.4) injected for maintenance and removed afterwards. *)
+
+val flow_bytes_map : Flexbpf.Ast.map_decl
+
+(** Counts packets per (src, dst) pair. *)
+val flow_counter : Flexbpf.Ast.element
+
+(** Increments meta.hops and stamps meta.last_hop_us — a minimal INT. *)
+val path_stamp : Flexbpf.Ast.element
+
+val program : ?owner:string -> unit -> Flexbpf.Ast.program
+
+val flow_count : Targets.Device.t -> src:int64 -> dst:int64 -> int64

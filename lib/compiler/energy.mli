@@ -1,0 +1,25 @@
+(** Energy-aware consolidation (§3.3): at low load, program elements
+    consolidate onto as few devices as possible and emptied devices
+    power down; at high load they spread back out. *)
+
+type move = { moved_element : string; from_device : string; to_device : string }
+
+type consolidation = {
+  moves : move list;
+  powered_off : string list;
+  watts_before : float;
+  watts_after : float;
+}
+
+(** Static draw of the device set (2 W sleep power when off). *)
+val total_watts : Targets.Device.t list -> float
+
+(** Drain the least-utilized devices into the most-utilized ones
+    (carrying map state), power off devices that end up empty, and
+    update the placement map. Deliberately ignores the path-order
+    constraint — an energy/performance trade the operator opts into at
+    low load. *)
+val consolidate : Placement.t -> consolidation
+
+(** Power every device back on (load rose again). *)
+val expand : Targets.Device.t list -> unit

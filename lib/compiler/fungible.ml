@@ -1,0 +1,73 @@
+(** The fungible compilation loop (§3.3).
+
+    "If compiling a FlexNet datapath to its resource slice fails, the
+    compiler recursively invokes optimization primitives ... to perform
+    resource reallocation and garbage collection, before attempting
+    another round of compilation."
+
+    The two optimization primitives modeled here:
+    - garbage collection: uninstall elements the controller has marked
+      inactive (idle tenant apps, retired defenses);
+    - defragmentation: re-pack staged architectures first-fit so
+      stage-local free space coalesces (the "all pipeline resources
+      become fungible" point for RMT).
+
+    A one-shot bin-packing compiler (the non-fungible baseline of
+    existing work) is [place_once]. *)
+
+type outcome = {
+  placement : Placement.t option;
+  iterations : int; (* placement attempts *)
+  gc_removed : string list;
+  defrag_moves : int;
+  failure : Placement.failure option;
+}
+
+let place_once ~path prog =
+  match Placement.place ~path prog with
+  | Ok p ->
+    { placement = Some p; iterations = 1; gc_removed = []; defrag_moves = 0;
+      failure = None }
+  | Error f ->
+    { placement = None; iterations = 1; gc_removed = []; defrag_moves = 0;
+      failure = Some f }
+
+(** [removable dev] lists element names on [dev] that may be garbage-
+    collected (inactive apps). Each GC round removes one more batch. *)
+let place_with_gc ?(max_iterations = 4) ~path ~removable prog =
+  let gc_removed = ref [] in
+  let defrag_moves = ref 0 in
+  let rec attempt i =
+    match Placement.place ~path prog with
+    | Ok p ->
+      { placement = Some p; iterations = i; gc_removed = List.rev !gc_removed;
+        defrag_moves = !defrag_moves; failure = None }
+    | Error f ->
+      if i >= max_iterations then
+        { placement = None; iterations = i; gc_removed = List.rev !gc_removed;
+          defrag_moves = !defrag_moves; failure = Some f }
+      else begin
+        (* GC one batch of removable elements across the path. *)
+        let removed_this_round = ref false in
+        List.iter
+          (fun dev ->
+            List.iter
+              (fun name ->
+                if Targets.Device.uninstall dev name then begin
+                  gc_removed := name :: !gc_removed;
+                  removed_this_round := true
+                end)
+              (removable dev))
+          path;
+        (* Defragment staged architectures so freed space coalesces. *)
+        List.iter
+          (fun dev -> defrag_moves := !defrag_moves + Targets.Device.defragment dev)
+          path;
+        if !removed_this_round || !defrag_moves > 0 then attempt (i + 1)
+        else
+          { placement = None; iterations = i;
+            gc_removed = List.rev !gc_removed; defrag_moves = !defrag_moves;
+            failure = Some f }
+      end
+  in
+  attempt 1

@@ -1,0 +1,29 @@
+(** The fungible compilation loop (§3.3).
+
+    "If compiling a FlexNet datapath to its resource slice fails, the
+    compiler recursively invokes optimization primitives ... resource
+    reallocation and garbage collection, before attempting another
+    round of compilation." The two primitives modeled: garbage
+    collection of controller-marked removable elements, and
+    defragmentation of staged architectures. *)
+
+type outcome = {
+  placement : Placement.t option;
+  iterations : int; (* placement attempts *)
+  gc_removed : string list;
+  defrag_moves : int;
+  failure : Placement.failure option;
+}
+
+(** One-shot bin-packing — the non-fungible baseline of existing
+    compilers. *)
+val place_once :
+  path:Targets.Device.t list -> Flexbpf.Ast.program -> outcome
+
+(** The iterative loop: place; on failure GC one batch of [removable]
+    element names per device, defragment, retry (bounded by
+    [max_iterations], default 4). *)
+val place_with_gc :
+  ?max_iterations:int -> path:Targets.Device.t list ->
+  removable:(Targets.Device.t -> string list) -> Flexbpf.Ast.program ->
+  outcome

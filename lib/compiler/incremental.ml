@@ -1,0 +1,324 @@
+(** Incremental recompilation (§3.3).
+
+    Runtime changes are compiled "in a least-intrusive manner":
+    starting from a live deployment, a patch produces a reconfiguration
+    plan that touches only the changed elements and prefers *maximally
+    adjacent* placements — the same device an element already lives on,
+    or the devices hosting its pipeline neighbours — so resources are
+    not reshuffled across the network. [full_recompile] is the
+    compile-time baseline: drain, reflash every device, redeploy. *)
+
+open Flexbpf
+
+type deployment = {
+  mutable dep_prog : Ast.program;
+  mutable dep_placement : Placement.t;
+}
+
+type report = {
+  plan : Plan.t;
+  moved_elements : int; (* elements installed, removed, or relocated *)
+  touched_devices : string list;
+  duration : float; (* parallel wall-clock model *)
+  total_work : float; (* serial op time: intrusiveness *)
+}
+
+let times_of_path path dev_id =
+  match List.find_opt (fun d -> Targets.Device.id d = dev_id) path with
+  | Some d -> Targets.Device.reconfig_times d
+  | None -> (Targets.Arch.profile_of_kind Targets.Arch.Drmt).Targets.Arch.reconfig
+
+let report_of_plan ~path plan =
+  let times_of = times_of_path path in
+  { plan;
+    moved_elements =
+      List.length
+        (List.filter
+           (function
+             | Plan.Install _ | Plan.Remove _ | Plan.Move _ -> true
+             | _ -> false)
+           plan.Plan.ops);
+    touched_devices = List.sort_uniq compare (List.map Plan.op_device plan.Plan.ops);
+    duration = Plan.duration ~times_of plan;
+    total_work = Plan.total_work ~times_of plan }
+
+(** Deploy a program fresh onto a path. *)
+let deploy ~path prog =
+  Result.map
+    (fun placement -> { dep_prog = prog; dep_placement = placement })
+    (Placement.place ~path prog)
+
+type error =
+  | Patch_error of string
+  | Placement_error of Placement.failure
+
+let pp_error ppf = function
+  | Patch_error s -> Fmt.pf ppf "patch: %s" s
+  | Placement_error f -> Placement.pp_failure ppf f
+
+(* Window of admissible path positions for an element at pipeline index
+   [idx] of [prog], given current placements: bounded by the devices of
+   the nearest placed predecessor and successor. *)
+let adjacency_window dep prog idx =
+  let path = dep.dep_placement.Placement.path in
+  let pos_of name =
+    Option.map
+      (fun d -> Placement.device_position path d)
+      (Placement.where dep.dep_placement name)
+  in
+  let names = List.map Ast.element_name prog.Ast.pipeline in
+  let arr = Array.of_list names in
+  let n = Array.length arr in
+  let rec pred i = if i < 0 then None else
+      match pos_of arr.(i) with Some p -> Some p | None -> pred (i - 1)
+  in
+  let rec succ i = if i >= n then None else
+      match pos_of arr.(i) with Some p -> Some p | None -> succ (i + 1)
+  in
+  let lo = Option.value (pred (idx - 1)) ~default:0 in
+  let hi = Option.value (succ (idx + 1)) ~default:(List.length path - 1) in
+  (lo, max lo hi)
+
+(* Devices in the adjacency window ordered by distance from the window
+   edges (prev's device first, then next's, then between). With
+   [prefer_adjacent:false] (the ablation baseline) the interior is
+   preferred instead, spreading changes away from existing placements. *)
+let window_candidates ?(prefer_adjacent = true) dep (lo, hi) u =
+  let path = dep.dep_placement.Placement.path in
+  let in_window =
+    List.filteri (fun i _ -> i >= lo && i <= hi) path
+    |> List.filter (fun d ->
+           Lowering.class_allows u.Lowering.u_class (Targets.Device.kind d))
+  in
+  let scored =
+    List.map
+      (fun d ->
+        let p = Placement.device_position path d in
+        let edge_distance = min (p - lo) (hi - p) in
+        ((if prefer_adjacent then edge_distance else -edge_distance), d))
+      in_window
+  in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) scored)
+
+let snapshot_maps dev element =
+  Compose.element_maps element
+  |> List.sort_uniq compare
+  |> List.filter_map (fun name ->
+         Option.map
+           (fun st -> (name, Flexbpf.State.snapshot st))
+           (Targets.Device.map_state dev name))
+
+let restore_maps dev snaps =
+  List.iter
+    (fun (name, snap) -> ignore (Targets.Device.load_map_snapshot dev name snap))
+    snaps
+
+(* Install [element] of [prog] at [idx], trying window candidates.
+   Preserves map state via [carried] snapshots when provided. *)
+let install_in_window ?prefer_adjacent dep prog idx element ~carried =
+  let u_class, u_cycles = Lowering.classify element in
+  let u =
+    { Lowering.u_element = element; u_index = idx; u_ctx = prog; u_class;
+      u_cycles }
+  in
+  let window = adjacency_window dep prog idx in
+  let rec attempt tried = function
+    | [] -> Error { Placement.failed_unit = u; attempts = List.rev tried }
+    | dev :: rest ->
+      (match Targets.Device.install dev ~ctx:prog ~order:idx element with
+       | Ok _ ->
+         restore_maps dev carried;
+         dep.dep_placement.Placement.where <-
+           (Ast.element_name element, dev)
+           :: dep.dep_placement.Placement.where;
+         Ok dev
+       | Error reject ->
+         attempt ((Targets.Device.id dev, reject) :: tried) rest)
+  in
+  attempt [] (window_candidates ?prefer_adjacent dep window u)
+
+let forget dep name =
+  dep.dep_placement.Placement.where <-
+    List.filter (fun (n, _) -> n <> name) dep.dep_placement.Placement.where
+
+(* Parser diffs applied to every device hosting part of the program. *)
+let parser_ops dep ~(old_prog : Ast.program) ~(new_prog : Ast.program) =
+  let devices =
+    List.sort_uniq compare
+      (List.map snd dep.dep_placement.Placement.where)
+  in
+  let removed =
+    List.filter
+      (fun r ->
+        not
+          (List.exists (fun x -> x.Ast.pr_name = r.Ast.pr_name) new_prog.parser))
+      old_prog.parser
+  in
+  let added =
+    List.filter
+      (fun r ->
+        not
+          (List.exists (fun x -> x.Ast.pr_name = r.Ast.pr_name) old_prog.parser))
+      new_prog.parser
+  in
+  List.concat_map
+    (fun dev ->
+      List.map
+        (fun r ->
+          ignore (Targets.Device.remove_parser_rule dev r.Ast.pr_name);
+          Plan.Remove_parser
+            { device = Targets.Device.id dev; rule_name = r.Ast.pr_name })
+        removed
+      @ List.map
+          (fun r ->
+            (match Targets.Device.add_parser_rule dev r with
+             | Ok () | Error _ -> ());
+            Plan.Add_parser { device = Targets.Device.id dev; rule = r })
+          added)
+    devices
+
+(** Apply a patch to a live deployment. On success the devices have been
+    reconfigured and the report carries the plan and its cost model. *)
+let apply_patch ?prefer_adjacent dep patch =
+  match Patch.apply patch dep.dep_prog with
+  | Error (`Patch e) -> Error (Patch_error (Fmt.str "%a" Patch.pp_error e))
+  | Error (`Ill_typed es) ->
+    Error
+      (Patch_error
+         (Fmt.str "%a" Fmt.(list ~sep:(any "; ") Typecheck.pp_error) es))
+  | Ok (new_prog, diff) ->
+    let old_prog = dep.dep_prog in
+    let ops = ref [] in
+    let emit op = ops := op :: !ops in
+    let fail = ref None in
+    (* 1. removals *)
+    List.iter
+      (fun name ->
+        match Placement.where dep.dep_placement name with
+        | Some dev ->
+          ignore (Targets.Device.uninstall dev name);
+          forget dep name;
+          emit (Plan.Remove { device = Targets.Device.id dev; element_name = name })
+        | None -> ())
+      diff.Patch.removed;
+    (* 2. replacements: reinstall in place, carrying state *)
+    List.iter
+      (fun name ->
+        if !fail = None then
+          match Placement.where dep.dep_placement name with
+          | None -> ()
+          | Some dev ->
+            let element = Option.get (Ast.find_element new_prog name) in
+            let idx =
+              Option.get
+                (List.find_index
+                   (fun e -> Ast.element_name e = name)
+                   new_prog.Ast.pipeline)
+            in
+            let carried = snapshot_maps dev (Option.get (Ast.find_element old_prog name)) in
+            ignore (Targets.Device.uninstall dev name);
+            forget dep name;
+            (match
+               install_in_window ?prefer_adjacent dep new_prog idx element
+                 ~carried
+             with
+             | Ok new_dev ->
+               if Targets.Device.id new_dev = Targets.Device.id dev then
+                 emit
+                   (Plan.Install
+                      { device = Targets.Device.id new_dev; element;
+                        ctx = new_prog; order = idx })
+               else
+                 emit
+                   (Plan.Move
+                      { from_device = Targets.Device.id dev;
+                        to_device = Targets.Device.id new_dev; element;
+                        ctx = new_prog; order = idx })
+             | Error f -> fail := Some f))
+      diff.Patch.modified;
+    (* 3. additions, in pipeline order *)
+    List.iteri
+      (fun idx el ->
+        let name = Ast.element_name el in
+        if !fail = None && List.mem name diff.Patch.added then
+          match
+            install_in_window ?prefer_adjacent dep new_prog idx el ~carried:[]
+          with
+          | Ok dev ->
+            emit
+              (Plan.Install
+                 { device = Targets.Device.id dev; element = el; ctx = new_prog;
+                   order = idx })
+          | Error f -> fail := Some f)
+      new_prog.Ast.pipeline;
+    (match !fail with
+     | Some f -> Error (Placement_error f)
+     | None ->
+       (* 4. parser changes *)
+       let pops =
+         if diff.Patch.parser_changed then parser_ops dep ~old_prog ~new_prog
+         else []
+       in
+       List.iter emit pops;
+       dep.dep_prog <- new_prog;
+       let plan = Plan.v patch.Patch.patch_name (List.rev !ops) in
+       Ok (report_of_plan ~path:dep.dep_placement.Placement.path plan, diff))
+
+(** Compile-time baseline: tear everything down and redeploy the new
+    program from scratch. The duration model is drain + full reflash on
+    every touched device (this is what makes it a disruption, not just a
+    bigger plan). *)
+let full_recompile dep new_prog =
+  let path = dep.dep_placement.Placement.path in
+  let old_where = dep.dep_placement.Placement.where in
+  Placement.unplace dep.dep_placement;
+  match Placement.place ~path new_prog with
+  | Error f ->
+    (* restore the old deployment so the caller still has a live net *)
+    (match Placement.place ~path dep.dep_prog with
+     | Ok p -> dep.dep_placement <- p
+     | Error _ -> ());
+    Error (Placement_error f)
+  | Ok placement ->
+    dep.dep_placement <- placement;
+    dep.dep_prog <- new_prog;
+    let ops =
+      List.map
+        (fun (name, dev) ->
+          Plan.Remove { device = Targets.Device.id dev; element_name = name })
+        old_where
+      @ List.map
+          (fun (name, dev) ->
+            Plan.Install
+              { device = Targets.Device.id dev;
+                element = Option.get (Ast.find_element new_prog name);
+                ctx = new_prog;
+                order = 0 })
+          placement.Placement.where
+    in
+    let plan = Plan.v "full-recompile" ops in
+    let touched =
+      List.sort_uniq compare
+        (List.map (fun (_, d) -> Targets.Device.id d)
+           (old_where @ placement.Placement.where))
+    in
+    let reflash_time =
+      List.fold_left
+        (fun acc dev_id ->
+          let times = times_of_path path dev_id in
+          Float.max acc
+            (times.Targets.Arch.drain_time +. times.Targets.Arch.t_full_reflash))
+        0. touched
+    in
+    Ok
+      { plan;
+        moved_elements = List.length old_where + List.length placement.Placement.where;
+        touched_devices = touched;
+        duration = reflash_time;
+        total_work =
+          List.fold_left
+            (fun acc dev_id ->
+              let times = times_of_path path dev_id in
+              acc +. times.Targets.Arch.drain_time
+              +. times.Targets.Arch.t_full_reflash)
+            0. touched }

@@ -1,0 +1,46 @@
+(** Incremental recompilation (§3.3).
+
+    Runtime changes are compiled "in a least-intrusive manner": from a
+    live deployment, a patch produces a reconfiguration plan touching
+    only the changed elements and preferring {e maximally adjacent}
+    placements — the device an element already lives on, or the devices
+    hosting its pipeline neighbours. [full_recompile] is the
+    compile-time baseline: drain, reflash every device, redeploy. *)
+
+type deployment = {
+  mutable dep_prog : Flexbpf.Ast.program;
+  mutable dep_placement : Placement.t;
+}
+
+type report = {
+  plan : Plan.t;
+  moved_elements : int; (* installed, removed, or relocated *)
+  touched_devices : string list;
+  duration : float; (* parallel wall-clock model *)
+  total_work : float; (* serial op time: intrusiveness *)
+}
+
+(** Deploy a program fresh onto a path. *)
+val deploy :
+  path:Targets.Device.t list -> Flexbpf.Ast.program ->
+  (deployment, Placement.failure) result
+
+type error =
+  | Patch_error of string
+  | Placement_error of Placement.failure
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Apply a patch to a live deployment: on success the devices have
+    been reconfigured (replacements carry their map state) and the
+    report gives the plan and its cost model. [prefer_adjacent:false]
+    is the A1 ablation baseline, spreading changes away from existing
+    placements. *)
+val apply_patch :
+  ?prefer_adjacent:bool -> deployment -> Flexbpf.Patch.t ->
+  (report * Flexbpf.Patch.diff, error) result
+
+(** Tear everything down and redeploy the new program from scratch; the
+    duration model is drain + full reflash on every touched device. *)
+val full_recompile :
+  deployment -> Flexbpf.Ast.program -> (report, error) result

@@ -1,0 +1,67 @@
+(** Lowering FlexBPF programs into placeable units.
+
+    A unit is one pipeline element plus its context (the program it came
+    from, needed for headers/maps) and a vertical-placement class. The
+    classification implements the paper's vertical split: packet-
+    oriented match/action work can run on switching ASICs, while
+    eBPF-style offloads (big blocks, dRPC calls, deep loops) need
+    general-purpose targets — SmartNICs, FPGAs, or host stacks. *)
+
+open Flexbpf
+
+type vertical_class =
+  | Anywhere (* small block or table: any target *)
+  | Switch_preferred (* match/action table: cheapest on ASICs *)
+  | Offload_only (* must run on SmartNIC / FPGA / host *)
+
+let vertical_class_to_string = function
+  | Anywhere -> "anywhere"
+  | Switch_preferred -> "switch-preferred"
+  | Offload_only -> "offload-only"
+
+type unit_ = {
+  u_element : Ast.element;
+  u_index : int; (* position in the logical pipeline *)
+  u_ctx : Ast.program;
+  u_class : vertical_class;
+  u_cycles : int;
+}
+
+(** Largest block a switching ASIC can host (the smallest of the switch
+    profiles' [max_block_cycles]). *)
+let switch_block_limit =
+  List.fold_left
+    (fun acc kind ->
+      let p = Targets.Arch.profile_of_kind kind in
+      if Targets.Arch.is_switch kind then min acc p.Targets.Arch.max_block_cycles
+      else acc)
+    max_int Targets.Arch.all_kinds
+
+let rec stmt_has_call = function
+  | Ast.Call _ -> true
+  | Ast.If (_, th, el) ->
+    List.exists stmt_has_call th || List.exists stmt_has_call el
+  | Ast.Loop (_, body) -> List.exists stmt_has_call body
+  | _ -> false
+
+let classify element =
+  let cycles = Analysis.element_cost element in
+  match element with
+  | Ast.Table _ -> (Switch_preferred, cycles)
+  | Ast.Block b ->
+    if List.exists stmt_has_call b.Ast.blk_body then (Offload_only, cycles)
+    else if cycles > switch_block_limit then (Offload_only, cycles)
+    else (Anywhere, cycles)
+
+let units_of_program (prog : Ast.program) =
+  List.mapi
+    (fun i el ->
+      let u_class, u_cycles = classify el in
+      { u_element = el; u_index = i; u_ctx = prog; u_class; u_cycles })
+    prog.pipeline
+
+(** May a unit of this class run on a device of this kind at all? *)
+let class_allows u_class kind =
+  match u_class with
+  | Anywhere | Switch_preferred -> true
+  | Offload_only -> not (Targets.Arch.is_switch kind)

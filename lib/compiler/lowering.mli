@@ -1,0 +1,32 @@
+(** Lowering FlexBPF programs into placeable units.
+
+    A unit is one pipeline element plus its context program and a
+    vertical-placement class. The classification implements the paper's
+    vertical split: packet-oriented match/action work can run on
+    switching ASICs; eBPF-style offloads (big blocks, dRPC calls, deep
+    loops) need general-purpose targets. *)
+
+type vertical_class =
+  | Anywhere (* small block or table: any target *)
+  | Switch_preferred (* match/action table: cheapest on ASICs *)
+  | Offload_only (* must run on SmartNIC / FPGA / host *)
+
+val vertical_class_to_string : vertical_class -> string
+
+type unit_ = {
+  u_element : Flexbpf.Ast.element;
+  u_index : int; (* position in the logical pipeline *)
+  u_ctx : Flexbpf.Ast.program;
+  u_class : vertical_class;
+  u_cycles : int;
+}
+
+(** Largest block any switching ASIC profile can host. *)
+val switch_block_limit : int
+
+val classify : Flexbpf.Ast.element -> vertical_class * int
+
+val units_of_program : Flexbpf.Ast.program -> unit_ list
+
+(** May a unit of this class run on a device of this kind at all? *)
+val class_allows : vertical_class -> Targets.Arch.kind -> bool

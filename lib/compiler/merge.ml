@@ -1,0 +1,105 @@
+(** Table-merging optimization (§3.3).
+
+    "Merging two match/action tables will lead to increased memory usage
+    due to a table cross-product, but it saves one table lookup time and
+    reduces latency." The merged table matches on the union of both key
+    sets; its rule set is the cross product of the two rule sets with
+    action bodies concatenated. *)
+
+open Flexbpf
+
+type cost = {
+  entries_before : int; (* size t1 + size t2 *)
+  entries_after : int; (* size t1 * size t2 (cross product) *)
+  lookups_saved : int;
+  latency_saved_ns : float; (* on a given architecture *)
+  extra_bytes : int;
+}
+
+(** Merge table [b] into table [a] (a's actions run first). Actions are
+    paired: the merged action [a1&b1] executes a1's body then b1's. *)
+let merge_tables (a : Ast.table) (b : Ast.table) =
+  let merged_actions =
+    List.concat_map
+      (fun (aa : Ast.action) ->
+        List.map
+          (fun (ba : Ast.action) ->
+            (* disambiguate parameter names by side *)
+            let rename side p = side ^ "." ^ p in
+            let rec rename_expr side = function
+              | Ast.Param p -> Ast.Param (rename side p)
+              | Ast.Bin (op, x, y) -> Ast.Bin (op, rename_expr side x, rename_expr side y)
+              | Ast.Un (op, e) -> Ast.Un (op, rename_expr side e)
+              | Ast.Hash (alg, es) -> Ast.Hash (alg, List.map (rename_expr side) es)
+              | Ast.Map_get (m, ks) -> Ast.Map_get (m, List.map (rename_expr side) ks)
+              | e -> e
+            in
+            let rec rename_stmt side = function
+              | Ast.Set_field (h, f, e) -> Ast.Set_field (h, f, rename_expr side e)
+              | Ast.Set_meta (m, e) -> Ast.Set_meta (m, rename_expr side e)
+              | Ast.Map_put (m, ks, v) ->
+                Ast.Map_put (m, List.map (rename_expr side) ks, rename_expr side v)
+              | Ast.Map_incr (m, ks, v) ->
+                Ast.Map_incr (m, List.map (rename_expr side) ks, rename_expr side v)
+              | Ast.Map_del (m, ks) -> Ast.Map_del (m, List.map (rename_expr side) ks)
+              | Ast.If (c, th, el) ->
+                Ast.If (rename_expr side c, List.map (rename_stmt side) th,
+                        List.map (rename_stmt side) el)
+              | Ast.Loop (n, body) -> Ast.Loop (n, List.map (rename_stmt side) body)
+              | Ast.Forward e -> Ast.Forward (rename_expr side e)
+              | Ast.Call (svc, args) -> Ast.Call (svc, List.map (rename_expr side) args)
+              | s -> s
+            in
+            { Ast.act_name = aa.Ast.act_name ^ "&" ^ ba.Ast.act_name;
+              params =
+                List.map (rename "a") aa.Ast.params
+                @ List.map (rename "b") ba.Ast.params;
+              body =
+                List.map (rename_stmt "a") aa.Ast.body
+                @ List.map (rename_stmt "b") ba.Ast.body })
+          b.Ast.tbl_actions)
+      a.Ast.tbl_actions
+  in
+  let default =
+    let da, da_args = a.Ast.default_action and db, db_args = b.Ast.default_action in
+    (da ^ "&" ^ db, da_args @ db_args)
+  in
+  { Ast.tbl_name = a.Ast.tbl_name ^ "+" ^ b.Ast.tbl_name;
+    keys = a.Ast.keys @ b.Ast.keys;
+    tbl_actions = merged_actions;
+    default_action = default;
+    tbl_size = a.Ast.tbl_size * b.Ast.tbl_size }
+
+(** Cross product of installed rule sets. *)
+let merge_rules (rules_a : Ast.rule list) (rules_b : Ast.rule list) =
+  List.concat_map
+    (fun (ra : Ast.rule) ->
+      List.map
+        (fun (rb : Ast.rule) ->
+          { Ast.rule_priority = (ra.Ast.rule_priority * 1000) + rb.Ast.rule_priority;
+            matches = ra.Ast.matches @ rb.Ast.matches;
+            rule_action = ra.Ast.rule_action ^ "&" ^ rb.Ast.rule_action;
+            rule_args = ra.Ast.rule_args @ rb.Ast.rule_args })
+        rules_b)
+    rules_a
+
+(** Evaluate the tradeoff for merging [a] and [b] given [rules_a]/[rules_b]
+    installed entries, on architecture [profile]. *)
+let evaluate ~(profile : Targets.Arch.profile) ~ctx (a : Ast.table)
+    (b : Ast.table) ~rules_a ~rules_b =
+  let na = List.length rules_a and nb = List.length rules_b in
+  let merged = merge_tables a b in
+  let bytes t = Analysis.table_bytes ctx t in
+  { entries_before = na + nb;
+    entries_after = na * nb;
+    lookups_saved = 1;
+    latency_saved_ns =
+      profile.Targets.Arch.per_cycle_ns
+      *. float_of_int (1 + List.length b.Ast.keys);
+    extra_bytes = max 0 (bytes merged - bytes a - bytes b) }
+
+(** Merge a chain of [k] tables left-to-right (for the E6 sweep). *)
+let merge_chain tables =
+  match tables with
+  | [] -> invalid_arg "Merge.merge_chain: empty"
+  | t :: rest -> List.fold_left merge_tables t rest

@@ -1,0 +1,32 @@
+(** Table-merging optimization (§3.3).
+
+    "Merging two match/action tables will lead to increased memory
+    usage due to a table cross-product, but it saves one table lookup
+    time and reduces latency." *)
+
+type cost = {
+  entries_before : int; (* size t1 + size t2 *)
+  entries_after : int; (* size t1 * size t2 (cross product) *)
+  lookups_saved : int;
+  latency_saved_ns : float;
+  extra_bytes : int;
+}
+
+(** Merge table [b] into table [a] (a's actions run first): keys are
+    concatenated, actions paired with disambiguated parameters, size is
+    the cross product. *)
+val merge_tables : Flexbpf.Ast.table -> Flexbpf.Ast.table -> Flexbpf.Ast.table
+
+(** Cross product of installed rule sets, matching [merge_tables]. *)
+val merge_rules :
+  Flexbpf.Ast.rule list -> Flexbpf.Ast.rule list -> Flexbpf.Ast.rule list
+
+(** Evaluate the trade for merging [a] and [b] with the given installed
+    rules on an architecture profile. *)
+val evaluate :
+  profile:Targets.Arch.profile -> ctx:Flexbpf.Ast.program ->
+  Flexbpf.Ast.table -> Flexbpf.Ast.table -> rules_a:Flexbpf.Ast.rule list ->
+  rules_b:Flexbpf.Ast.rule list -> cost
+
+(** Merge a chain left-to-right. @raise Invalid_argument on []. *)
+val merge_chain : Flexbpf.Ast.table list -> Flexbpf.Ast.table

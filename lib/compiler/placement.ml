@@ -1,0 +1,122 @@
+(** Placement of lowered units onto a physical datapath.
+
+    The datapath is an ordered device path (host stack, NIC, switches,
+    ... — the "physical slice" a fungible datapath runs on). Placement
+    must respect pipeline order: unit i+1 may not land on a device
+    earlier in the path than unit i, so packets traverse components in
+    program order. Within that constraint we do first-fit with vertical
+    affinity: tables try switching ASICs first, offloads only consider
+    general-purpose targets.
+
+    Placement is transactional — on failure every element already
+    installed for this program is rolled back. *)
+
+open Flexbpf
+
+type t = {
+  path : Targets.Device.t list;
+  (* element name -> device, for this program *)
+  mutable where : (string * Targets.Device.t) list;
+  prog : Ast.program;
+}
+
+type failure = {
+  failed_unit : Lowering.unit_;
+  attempts : (string * Targets.Device.reject) list; (* device id -> why *)
+}
+
+let pp_failure ppf f =
+  Fmt.pf ppf "cannot place %s: %a"
+    (Ast.element_name f.failed_unit.Lowering.u_element)
+    Fmt.(
+      list ~sep:(any "; ")
+        (pair ~sep:(any ": ") string
+           (of_to_string Targets.Device.reject_to_string)))
+    f.attempts
+
+let device_position path dev =
+  let rec go i = function
+    | [] -> invalid_arg "device not on path"
+    | d :: rest -> if d == dev then i else go (i + 1) rest
+  in
+  go 0 path
+
+let where t name = List.assoc_opt name t.where
+
+let devices_used t =
+  List.sort_uniq compare (List.map (fun (_, d) -> Targets.Device.id d) t.where)
+
+(** Candidate devices for a unit, in preference order, from path
+    position [min_pos]: admissible classes only; switch-preferred units
+    see switches first. *)
+let candidates ~path ~min_pos (u : Lowering.unit_) =
+  let tail =
+    List.filteri (fun i _ -> i >= min_pos) path
+    |> List.filter (fun d ->
+           Lowering.class_allows u.Lowering.u_class (Targets.Device.kind d))
+  in
+  match u.Lowering.u_class with
+  | Lowering.Switch_preferred ->
+    let switches, others =
+      List.partition
+        (fun d -> Targets.Arch.is_switch (Targets.Device.kind d))
+        tail
+    in
+    switches @ others
+  | _ -> tail
+
+let rollback path prog =
+  List.iter
+    (fun el ->
+      List.iter
+        (fun d -> ignore (Targets.Device.uninstall d (Ast.element_name el)))
+        path)
+    prog.Ast.pipeline
+
+(** Place every unit of [prog] on [path]. On success returns the
+    placement; on failure rolls back and reports which unit failed and
+    why each candidate rejected it. *)
+let place ~path (prog : Ast.program) =
+  let units = Lowering.units_of_program prog in
+  let rec go min_pos placed = function
+    | [] -> Ok placed
+    | (u : Lowering.unit_) :: rest ->
+      let tried = ref [] in
+      let rec attempt = function
+        | [] ->
+          rollback path prog;
+          Error { failed_unit = u; attempts = List.rev !tried }
+        | dev :: more ->
+          (match
+             Targets.Device.install dev ~ctx:u.Lowering.u_ctx
+               ~order:u.Lowering.u_index u.Lowering.u_element
+           with
+           | Ok _slot ->
+             let pos = device_position path dev in
+             go (max min_pos pos)
+               ((Ast.element_name u.Lowering.u_element, dev) :: placed)
+               rest
+           | Error reject ->
+             tried := (Targets.Device.id dev, reject) :: !tried;
+             attempt more)
+      in
+      attempt (candidates ~path ~min_pos u)
+  in
+  match go 0 [] units with
+  | Ok placed -> Ok { path; where = List.rev placed; prog }
+  | Error f -> Error f
+
+(** Remove a placed program from its devices. *)
+let unplace t =
+  List.iter
+    (fun (name, dev) -> ignore (Targets.Device.uninstall dev name))
+    t.where;
+  t.where <- []
+
+(** Summed utilization over the path (for experiment reporting). *)
+let mean_utilization path =
+  match path with
+  | [] -> 0.
+  | _ ->
+    List.fold_left (fun acc d -> acc +. Targets.Device.utilization d) 0. path
+    /. float_of_int (List.length path)

@@ -1,0 +1,41 @@
+(** Placement of lowered units onto a physical datapath.
+
+    The datapath is an ordered device path (host stack, NIC, switches,
+    ... — the "physical slice" a fungible datapath runs on). Placement
+    respects pipeline order: unit i+1 may not land earlier in the path
+    than unit i. Within that constraint it is first-fit with vertical
+    affinity: tables try switching ASICs first, offloads only consider
+    general-purpose targets. Placement is transactional — on failure
+    every element already installed for the program is rolled back. *)
+
+type t = {
+  path : Targets.Device.t list;
+  mutable where : (string * Targets.Device.t) list; (* element -> device *)
+  prog : Flexbpf.Ast.program;
+}
+
+type failure = {
+  failed_unit : Lowering.unit_;
+  attempts : (string * Targets.Device.reject) list; (* device -> why *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** Index of a device on the path. @raise Invalid_argument if absent. *)
+val device_position : Targets.Device.t list -> Targets.Device.t -> int
+
+val where : t -> string -> Targets.Device.t option
+
+(** Sorted ids of devices hosting at least one element. *)
+val devices_used : t -> string list
+
+(** Place every unit of the program on the path (installs into the
+    devices); rolls back on failure. *)
+val place :
+  path:Targets.Device.t list -> Flexbpf.Ast.program -> (t, failure) result
+
+(** Remove a placed program from its devices. *)
+val unplace : t -> unit
+
+(** Mean device utilization over the path (experiment reporting). *)
+val mean_utilization : Targets.Device.t list -> float

@@ -1,0 +1,75 @@
+(** Reconfiguration plans: the interface between the compiler and the
+    runtime. A plan is an ordered list of device operations; the runtime
+    executes it hitlessly (or via drain, for the compile-time baseline).
+
+    Per-device operations serialize; operations on different devices run
+    in parallel ("synchronized reconfigurations across the network"), so
+    a plan's wall-clock duration is the maximum per-device serial time. *)
+
+open Flexbpf
+
+type op =
+  | Install of { device : string; element : Ast.element; ctx : Ast.program; order : int }
+  | Remove of { device : string; element_name : string }
+  | Move of {
+      from_device : string;
+      to_device : string;
+      element : Ast.element;
+      ctx : Ast.program;
+      order : int;
+    }
+  | Add_parser of { device : string; rule : Ast.parser_rule }
+  | Remove_parser of { device : string; rule_name : string }
+  | Migrate_state of { from_device : string; to_device : string; map_name : string }
+
+type t = { plan_name : string; ops : op list }
+
+let v name ops = { plan_name = name; ops }
+
+let op_device = function
+  | Install { device; _ } | Remove { device; _ } | Add_parser { device; _ }
+  | Remove_parser { device; _ } -> device
+  | Move { to_device; _ } -> to_device
+  | Migrate_state { to_device; _ } -> to_device
+
+let op_name = function
+  | Install { element; _ } -> "install " ^ Ast.element_name element
+  | Remove { element_name; _ } -> "remove " ^ element_name
+  | Move { element; from_device; to_device; _ } ->
+    Printf.sprintf "move %s %s->%s" (Ast.element_name element) from_device
+      to_device
+  | Add_parser { rule; _ } -> "add-parser " ^ rule.Ast.pr_name
+  | Remove_parser { rule_name; _ } -> "remove-parser " ^ rule_name
+  | Migrate_state { map_name; _ } -> "migrate-state " ^ map_name
+
+(** Modelled duration of one op on the device's reconfiguration path. *)
+let op_time (times : Targets.Arch.reconfig_times) = function
+  | Install _ -> times.t_add_table
+  | Remove _ -> times.t_remove_table
+  | Move _ -> times.t_move_element
+  | Add_parser _ | Remove_parser _ -> times.t_parser_change
+  | Migrate_state _ -> times.t_move_element
+
+(** Wall-clock duration: ops on the same device serialize, devices work
+    in parallel. [times_of] resolves a device id to its profile. *)
+let duration ~times_of t =
+  let per_device = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let d = op_device op in
+      let cur = Option.value (Hashtbl.find_opt per_device d) ~default:0. in
+      Hashtbl.replace per_device d (cur +. op_time (times_of d) op))
+    t.ops;
+  Hashtbl.fold (fun _ v acc -> Float.max v acc) per_device 0.
+
+(** Total serial work (sum of all op times) — the "intrusiveness" metric
+    used by the incremental-compilation experiments. *)
+let total_work ~times_of t =
+  List.fold_left (fun acc op -> acc +. op_time (times_of (op_device op)) op) 0. t.ops
+
+let size t = List.length t.ops
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v2>plan %s (%d ops):@ %a@]" t.plan_name (size t)
+    Fmt.(list ~sep:cut (of_to_string op_name))
+    t.ops

@@ -1,0 +1,48 @@
+(** Reconfiguration plans: the interface between the compiler and the
+    runtime. A plan is an ordered list of device operations; the
+    runtime executes it hitlessly (or via drain, for the compile-time
+    baseline). Per-device operations serialize; different devices work
+    in parallel, so a plan's wall-clock is the max per-device serial
+    time. *)
+
+type op =
+  | Install of {
+      device : string;
+      element : Flexbpf.Ast.element;
+      ctx : Flexbpf.Ast.program;
+      order : int;
+    }
+  | Remove of { device : string; element_name : string }
+  | Move of {
+      from_device : string;
+      to_device : string;
+      element : Flexbpf.Ast.element;
+      ctx : Flexbpf.Ast.program;
+      order : int;
+    }
+  | Add_parser of { device : string; rule : Flexbpf.Ast.parser_rule }
+  | Remove_parser of { device : string; rule_name : string }
+  | Migrate_state of { from_device : string; to_device : string; map_name : string }
+
+type t = { plan_name : string; ops : op list }
+
+val v : string -> op list -> t
+
+(** The device an op executes on (destination for moves/migrations). *)
+val op_device : op -> string
+
+val op_name : op -> string
+
+(** Modelled duration of one op given its device's timing profile. *)
+val op_time : Targets.Arch.reconfig_times -> op -> float
+
+(** Wall-clock duration: per-device serialization, cross-device
+    parallelism. [times_of] resolves a device id to its profile. *)
+val duration : times_of:(string -> Targets.Arch.reconfig_times) -> t -> float
+
+(** Total serial work — the "intrusiveness" metric of the incremental
+    compilation experiments. *)
+val total_work : times_of:(string -> Targets.Arch.reconfig_times) -> t -> float
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

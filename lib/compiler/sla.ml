@@ -1,0 +1,63 @@
+(** SLA estimation and re-certification (§3.3).
+
+    A fungible datapath is mapped to physical devices with different
+    performance envelopes, so every (re)placement must be checked
+    against the negotiated SLA: end-to-end added latency and the
+    throughput ceiling of the slowest device on the path. *)
+
+type sla = {
+  max_added_latency_ns : float;
+  min_throughput_pps : float;
+}
+
+type estimate = {
+  added_latency_ns : float; (* sum of per-device processing latencies *)
+  throughput_pps : float; (* min of device ceilings *)
+  bottleneck : string; (* device id of the throughput bottleneck *)
+}
+
+(** Estimate the performance of a placement: only devices that host at
+    least one element of the program add processing latency; every
+    device on the path bounds throughput. *)
+let estimate (placement : Placement.t) =
+  let used_devices =
+    List.sort_uniq
+      (fun a b -> compare (Targets.Device.id a) (Targets.Device.id b))
+      (List.map snd placement.Placement.where)
+  in
+  let added_latency_ns =
+    List.fold_left
+      (fun acc d -> acc +. Targets.Device.latency_ns d)
+      0. used_devices
+  in
+  let throughput_pps, bottleneck =
+    List.fold_left
+      (fun (best, who) d ->
+        let p = (Targets.Device.reconfig_times d, d) in
+        ignore p;
+        let pps =
+          (Targets.Arch.profile_of_kind (Targets.Device.kind d)).Targets.Arch.max_pps
+        in
+        if pps < best then (pps, Targets.Device.id d) else (best, who))
+      (infinity, "-") used_devices
+  in
+  { added_latency_ns; throughput_pps; bottleneck }
+
+type verdict = Meets | Violates of string list
+
+(** Re-certify a placement against an SLA (run after every
+    reconfiguration, per the paper's "re-certifying SLA objectives"). *)
+let certify sla placement =
+  let e = estimate placement in
+  let problems =
+    (if e.added_latency_ns > sla.max_added_latency_ns then
+       [ Printf.sprintf "latency %.0fns exceeds SLA %.0fns" e.added_latency_ns
+           sla.max_added_latency_ns ]
+     else [])
+    @
+    if e.throughput_pps < sla.min_throughput_pps then
+      [ Printf.sprintf "throughput %.3g pps below SLA %.3g (bottleneck %s)"
+          e.throughput_pps sla.min_throughput_pps e.bottleneck ]
+    else []
+  in
+  match problems with [] -> Meets | ps -> Violates ps

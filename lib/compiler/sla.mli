@@ -1,0 +1,24 @@
+(** SLA estimation and re-certification (§3.3). A fungible datapath is
+    mapped to devices with different performance envelopes, so every
+    (re)placement is checked against the negotiated SLA. *)
+
+type sla = {
+  max_added_latency_ns : float;
+  min_throughput_pps : float;
+}
+
+type estimate = {
+  added_latency_ns : float; (* sum of per-device processing latencies *)
+  throughput_pps : float; (* min of device ceilings *)
+  bottleneck : string; (* device id of the throughput bottleneck *)
+}
+
+(** Only devices hosting elements add latency; every used device bounds
+    throughput. *)
+val estimate : Placement.t -> estimate
+
+type verdict = Meets | Violates of string list
+
+(** Re-certify after every reconfiguration, per the paper's
+    "re-certifying SLA objectives". *)
+val certify : sla -> Placement.t -> verdict

@@ -1,0 +1,30 @@
+(** Consistent network-wide updates (§3.4): "functional updates to a
+    logical datapath need application-level, consistent packet
+    processing, which goes beyond controlling the order of rule
+    updates."
+
+    - [Ordered]: devices flip old→new in reverse path order (egress
+      first), one [step] apart.
+    - [Simultaneous]: all devices flip at one scheduled instant (the
+      two-version flip; exact in simulation). *)
+
+type discipline = Ordered | Simultaneous
+
+type update_report = {
+  flips : (string * float) list; (* device id, flip time *)
+  completed_at : float;
+}
+
+(** Freeze every device in [path_order], run [mutate] (the compiler-
+    side changes), then thaw per the discipline. Returns the completion
+    time. *)
+val update :
+  ?step:float -> ?on_done:(update_report -> unit) -> sim:Netsim.Sim.t ->
+  discipline:discipline -> path_order:Targets.Device.t list ->
+  (unit -> unit) -> float
+
+(** Check a packet's (device, version) trace for consistency: every
+    observation must be the device's old or new version. *)
+val trace_consistent :
+  old_versions:(string * int) list -> new_versions:(string * int) list ->
+  (string * int) list -> bool

@@ -1,0 +1,239 @@
+(** The central controller: the pilot of a runtime programmable network
+    (§3.4).
+
+    Maintains the global view (topology, devices, app locations),
+    exposes app-level management operations keyed by URI, dispatches
+    data-plane digests (punts) to subscribed handlers, and optionally
+    journals every management operation through a Raft cluster so a
+    controller-node failure never loses acknowledged operations. *)
+
+open Flexbpf
+
+type app_kind = Infrastructure | Tenant_extension | Utility
+
+type app = {
+  uri : Uri.t;
+  kind : app_kind;
+  mutable program : Ast.program;
+  mutable replicas : Targets.Device.t list; (* devices hosting it *)
+  mutable handle : Runtime.Migration.handle option;
+  registered_at : float;
+}
+
+type t = {
+  sim : Netsim.Sim.t;
+  topo : Netsim.Topology.t;
+  wireds : Runtime.Wiring.wired list;
+  apps : (string, app) Hashtbl.t; (* uri string -> app *)
+  apis : (string, Device_api.t) Hashtbl.t; (* device id -> api session *)
+  subscriptions : (string, string -> Netsim.Packet.t -> unit) Hashtbl.t;
+  mutable digests : (float * string * int) list; (* time, digest, pkt uid *)
+  mutable raft : Raft.t option;
+  mutable journal_fallbacks : int; (* ops executed with no live leader *)
+}
+
+let devices t = List.map (fun w -> w.Runtime.Wiring.device) t.wireds
+
+let create ~sim ~topo ~wireds =
+  let t =
+    { sim; topo; wireds; apps = Hashtbl.create 16; apis = Hashtbl.create 16;
+      subscriptions = Hashtbl.create 8; digests = []; raft = None;
+      journal_fallbacks = 0 }
+  in
+  (* digest bus: every wired device punts into the controller *)
+  List.iter
+    (fun w ->
+      w.Runtime.Wiring.on_punt <-
+        (fun digest pkt ->
+          t.digests <-
+            (Netsim.Sim.now sim, digest, pkt.Netsim.Packet.uid) :: t.digests;
+          match Hashtbl.find_opt t.subscriptions digest with
+          | Some f -> f digest pkt
+          | None -> ()))
+    wireds;
+  t
+
+(** Attach a Raft cluster: management operations are proposed to the
+    leader before execution (journaled command log). *)
+let enable_ha t raft = t.raft <- Some raft
+
+let journal t command =
+  match t.raft with
+  | None -> ()
+  | Some raft ->
+    if not (Raft.propose raft command) then
+      t.journal_fallbacks <- t.journal_fallbacks + 1
+
+(** Element-level API session for a device (cached). *)
+let api t dev =
+  let id = Targets.Device.id dev in
+  match Hashtbl.find_opt t.apis id with
+  | Some s -> s
+  | None ->
+    let s = Device_api.connect dev in
+    Hashtbl.replace t.apis id s;
+    s
+
+(* -- App registry ------------------------------------------------------ *)
+
+let register_app t ~uri ~kind ~program ~replicas =
+  let app =
+    { uri; kind; program; replicas; handle = None;
+      registered_at = Netsim.Sim.now t.sim }
+  in
+  Hashtbl.replace t.apps (Uri.to_string uri) app;
+  journal t ("register " ^ Uri.to_string uri);
+  app
+
+let lookup t uri = Hashtbl.find_opt t.apps (Uri.to_string uri)
+
+let unregister_app t uri =
+  journal t ("unregister " ^ Uri.to_string uri);
+  Hashtbl.remove t.apps (Uri.to_string uri)
+
+let app_locations t uri =
+  match lookup t uri with
+  | None -> []
+  | Some app -> List.map Targets.Device.id app.replicas
+
+let all_apps t =
+  Hashtbl.fold (fun _ app acc -> app :: acc) t.apps []
+  |> List.sort (fun a b -> compare (Uri.to_string a.uri) (Uri.to_string b.uri))
+
+(* -- App-level management operations ---------------------------------- *)
+
+type op_error = Unknown_app | Unknown_device | Operation_failed of string
+
+let pp_op_error ppf = function
+  | Unknown_app -> Fmt.string ppf "unknown app"
+  | Unknown_device -> Fmt.string ppf "unknown device"
+  | Operation_failed s -> Fmt.pf ppf "operation failed: %s" s
+
+let find_device t dev_id =
+  List.find_opt (fun d -> Targets.Device.id d = dev_id) (devices t)
+
+(** Inject an app's elements onto a specific device (defense summoning,
+    replica creation). *)
+let inject_on t uri ~device =
+  match lookup t uri with
+  | None -> Error Unknown_app
+  | Some app ->
+    let rec install_all order = function
+      | [] -> Ok ()
+      | el :: rest ->
+        (match Targets.Device.install device ~ctx:app.program ~order el with
+         | Ok _ -> install_all (order + 1) rest
+         | Error r ->
+           Error (Operation_failed (Targets.Device.reject_to_string r)))
+    in
+    (match install_all 1000 app.program.Ast.pipeline with
+     | Error _ as e -> e
+     | Ok () ->
+       app.replicas <- device :: app.replicas;
+       journal t
+         (Printf.sprintf "inject %s on %s" (Uri.to_string uri)
+            (Targets.Device.id device));
+       Ok ())
+
+(** Retire an app replica from a device (defense retirement, scale-in). *)
+let retire_from t uri ~device =
+  match lookup t uri with
+  | None -> Error Unknown_app
+  | Some app ->
+    List.iter
+      (fun el ->
+        ignore (Targets.Device.uninstall device (Ast.element_name el)))
+      app.program.Ast.pipeline;
+    app.replicas <-
+      List.filter
+        (fun d -> Targets.Device.id d <> Targets.Device.id device)
+        app.replicas;
+    journal t
+      (Printf.sprintf "retire %s from %s" (Uri.to_string uri)
+         (Targets.Device.id device));
+    Ok ()
+
+(** Migrate a stateful app between devices using the data-plane swing
+    protocol. The app must have a migration handle (set at deploy). *)
+let migrate t uri ~to_device ?(on_done = fun () -> ()) () =
+  match lookup t uri with
+  | None -> Error Unknown_app
+  | Some app ->
+    (match app.handle with
+     | None -> Error (Operation_failed "app has no migration handle")
+     | Some handle ->
+       let map_names =
+         List.map (fun (m : Ast.map_decl) -> m.map_name) app.program.Ast.maps
+       in
+       journal t
+         (Printf.sprintf "migrate %s to %s" (Uri.to_string uri)
+            (Targets.Device.id to_device));
+       Runtime.Migration.swing ~sim:t.sim handle ~dst:to_device ~map_names
+         ~on_done:(fun _ ->
+           app.replicas <- [ to_device ];
+           on_done ())
+         ();
+       Ok ())
+
+(** Expand a named resource of an app: grow a map's declared size and
+    reinstall (the "expand a certain resource type" URI operation). *)
+let expand_map t uri ~map_name ~factor =
+  match lookup t uri with
+  | None -> Error Unknown_app
+  | Some app ->
+    let changed = ref false in
+    let maps =
+      List.map
+        (fun (m : Ast.map_decl) ->
+          if m.map_name = map_name then begin
+            changed := true;
+            { m with map_size = m.map_size * factor }
+          end
+          else m)
+        app.program.Ast.maps
+    in
+    if not !changed then Error (Operation_failed ("no map " ^ map_name))
+    else begin
+      app.program <- { app.program with Ast.maps };
+      journal t
+        (Printf.sprintf "expand %s/%s x%d" (Uri.to_string uri) map_name factor);
+      Ok ()
+    end
+
+(* -- Digests ----------------------------------------------------------- *)
+
+let subscribe t ~digest f = Hashtbl.replace t.subscriptions digest f
+
+let digest_count t name =
+  List.length (List.filter (fun (_, d, _) -> d = name) t.digests)
+
+(* -- Global view -------------------------------------------------------- *)
+
+type device_summary = {
+  ds_id : string;
+  ds_kind : Targets.Arch.kind;
+  ds_elements : int;
+  ds_utilization : float;
+  ds_processed : int;
+}
+
+let view t =
+  List.map
+    (fun d ->
+      { ds_id = Targets.Device.id d;
+        ds_kind = Targets.Device.kind d;
+        ds_elements = List.length (Targets.Device.installed_names d);
+        ds_utilization = Targets.Device.utilization d;
+        ds_processed = Targets.Device.processed d })
+    (devices t)
+
+let pp_view ppf t =
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%-12s %-12s elements=%-3d util=%3.0f%% processed=%d@."
+        s.ds_id
+        (Targets.Arch.kind_to_string s.ds_kind)
+        s.ds_elements
+        (100. *. s.ds_utilization)
+        s.ds_processed)
+    (view t)

@@ -1,0 +1,57 @@
+(** Elastic scaling policies (§1.1): defenses and apps "dynamically
+    scale in and out based on attack traffic volume".
+
+    A policy samples a load metric periodically and drives replica
+    count toward ceil(load / capacity_per_replica), within bounds and a
+    cooldown. The actuator callbacks inject or remove replicas (via the
+    incremental compiler) — the policy itself is mechanism-agnostic. *)
+
+type t = {
+  sim : Netsim.Sim.t;
+  name : string;
+  sample : unit -> float; (* current load *)
+  capacity_per_replica : float;
+  min_replicas : int;
+  max_replicas : int;
+  cooldown : float;
+  scale_to : int -> unit; (* actuator: set replica count *)
+  mutable replicas : int;
+  mutable last_change : float;
+  mutable running : bool;
+  mutable events : (float * int) list; (* (time, new count), newest first *)
+}
+
+let desired t load =
+  let raw =
+    if load <= 0. then t.min_replicas
+    else int_of_float (ceil (load /. t.capacity_per_replica))
+  in
+  max t.min_replicas (min t.max_replicas raw)
+
+let step t =
+  let load = t.sample () in
+  let want = desired t load in
+  let now = Netsim.Sim.now t.sim in
+  if want <> t.replicas && now -. t.last_change >= t.cooldown then begin
+    t.replicas <- want;
+    t.last_change <- now;
+    t.events <- (now, want) :: t.events;
+    t.scale_to want
+  end
+
+let create ?(min_replicas = 0) ?(max_replicas = 8) ?(cooldown = 0.2)
+    ?(period = 0.1) ~sim ~name ~sample ~capacity_per_replica ~scale_to () =
+  let t =
+    { sim; name; sample; capacity_per_replica; min_replicas; max_replicas;
+      cooldown; scale_to; replicas = min_replicas; last_change = -1e9;
+      running = true; events = [] }
+  in
+  Netsim.Sim.every sim ~period (fun () ->
+      if t.running then step t;
+      t.running);
+  t
+
+let stop t = t.running <- false
+let replicas t = t.replicas
+let events t = List.rev t.events
+let name t = t.name

@@ -1,0 +1,21 @@
+(** Elastic scaling policies (§1.1): defenses and apps "dynamically
+    scale in and out based on attack traffic volume." A policy samples
+    a load metric periodically and drives the replica count toward
+    ceil(load / capacity_per_replica), within bounds and a cooldown;
+    the [scale_to] actuator injects or removes replicas. *)
+
+type t
+
+val create :
+  ?min_replicas:int -> ?max_replicas:int -> ?cooldown:float ->
+  ?period:float -> sim:Netsim.Sim.t -> name:string ->
+  sample:(unit -> float) -> capacity_per_replica:float ->
+  scale_to:(int -> unit) -> unit -> t
+
+val stop : t -> unit
+val replicas : t -> int
+
+(** (time, new replica count) decisions, oldest first. *)
+val events : t -> (float * int) list
+
+val name : t -> string

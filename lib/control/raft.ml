@@ -1,0 +1,337 @@
+(** Raft consensus for the physically distributed, logically centralized
+    controller (§3.4 "fault tolerance and consistency ... classic
+    distributed systems concerns on consensus and availability").
+
+    Self-contained implementation over the simulation clock: leader
+    election with randomized timeouts, heartbeats, log replication, and
+    majority commit. Controller commands (reconfiguration operations)
+    are proposed to the leader and applied on every node once committed,
+    so a controller-node failure never loses acknowledged operations. *)
+
+type role = Follower | Candidate | Leader
+
+let role_to_string = function
+  | Follower -> "follower"
+  | Candidate -> "candidate"
+  | Leader -> "leader"
+
+type entry = { term : int; command : string }
+
+type message =
+  | Request_vote of { term : int; candidate : int; last_log_index : int; last_log_term : int }
+  | Vote of { term : int; granted : bool; voter : int }
+  | Append_entries of {
+      term : int;
+      leader : int;
+      prev_index : int;
+      prev_term : int;
+      entries : entry list;
+      leader_commit : int;
+    }
+  | Append_reply of { term : int; from : int; success : bool; match_index : int }
+
+type node = {
+  id : int;
+  cluster : t;
+  mutable role : role;
+  mutable current_term : int;
+  mutable voted_for : int option;
+  mutable log : entry array; (* 1-based semantics; index 0 unused sentinel *)
+  mutable log_len : int;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  mutable votes : int;
+  mutable next_index : int array;
+  mutable match_index : int array;
+  mutable alive : bool;
+  mutable election_deadline : float;
+  mutable applied : string list; (* applied commands, newest first *)
+}
+
+and t = {
+  sim : Netsim.Sim.t;
+  rng : Random.State.t;
+  mutable nodes : node array;
+  n : int;
+  net_delay : float;
+  heartbeat : float;
+  election_timeout : float * float; (* min, max *)
+  mutable delivered : int;
+  mutable on_apply : int -> string -> unit; (* node id, command *)
+}
+
+let majority t = (t.n / 2) + 1
+
+let rand_timeout t =
+  let lo, hi = t.election_timeout in
+  lo +. Random.State.float t.rng (hi -. lo)
+
+let last_log_index node = node.log_len
+let last_log_term node = if node.log_len = 0 then 0 else node.log.(node.log_len - 1).term
+
+let log_entry node i =
+  (* 1-based *)
+  if i <= 0 || i > node.log_len then None else Some node.log.(i - 1)
+
+let append_log node e =
+  if node.log_len = Array.length node.log then begin
+    let bigger = Array.make (max 16 (2 * Array.length node.log)) e in
+    Array.blit node.log 0 bigger 0 node.log_len;
+    node.log <- bigger
+  end;
+  node.log.(node.log_len) <- e;
+  node.log_len <- node.log_len + 1
+
+let truncate_log node len = node.log_len <- max 0 len
+
+(* -- messaging -------------------------------------------------------- *)
+
+(* [handle] is defined after the helpers it uses; messages dispatch
+   through this forward reference. *)
+let recv_ref : (node -> message -> unit) ref = ref (fun _ _ -> ())
+
+let send t ~to_ msg =
+  if to_ >= 0 && to_ < t.n then begin
+    let dst = t.nodes.(to_) in
+    Netsim.Sim.after t.sim t.net_delay (fun () ->
+        if dst.alive then begin
+          t.delivered <- t.delivered + 1;
+          !recv_ref dst msg
+        end)
+  end
+
+let broadcast t ~from msg =
+  Array.iter (fun nd -> if nd.id <> from then send t ~to_:nd.id msg) t.nodes
+
+(* -- state transitions ------------------------------------------------ *)
+
+let become_follower node term =
+  node.role <- Follower;
+  node.current_term <- term;
+  node.voted_for <- None
+
+let apply_committed node =
+  while node.last_applied < node.commit_index do
+    node.last_applied <- node.last_applied + 1;
+    match log_entry node node.last_applied with
+    | Some e ->
+      node.applied <- e.command :: node.applied;
+      node.cluster.on_apply node.id e.command
+    | None -> ()
+  done
+
+let reset_election_deadline node =
+  node.election_deadline <-
+    Netsim.Sim.now node.cluster.sim +. rand_timeout node.cluster
+
+let send_heartbeats t leader =
+  Array.iter
+    (fun nd ->
+      if nd.id <> leader.id then begin
+        let ni = leader.next_index.(nd.id) in
+        let prev_index = ni - 1 in
+        let prev_term =
+          match log_entry leader prev_index with Some e -> e.term | None -> 0
+        in
+        let entries =
+          let rec collect i acc =
+            if i > leader.log_len then List.rev acc
+            else
+              match log_entry leader i with
+              | Some e -> collect (i + 1) (e :: acc)
+              | None -> List.rev acc
+          in
+          collect ni []
+        in
+        send t ~to_:nd.id
+          (Append_entries
+             { term = leader.current_term; leader = leader.id; prev_index;
+               prev_term; entries; leader_commit = leader.commit_index })
+      end)
+    t.nodes
+
+let become_leader node =
+  node.role <- Leader;
+  let t = node.cluster in
+  node.next_index <- Array.make t.n (node.log_len + 1);
+  node.match_index <- Array.make t.n 0;
+  send_heartbeats t node
+
+let start_election node =
+  let t = node.cluster in
+  node.role <- Candidate;
+  node.current_term <- node.current_term + 1;
+  node.voted_for <- Some node.id;
+  node.votes <- 1;
+  reset_election_deadline node;
+  broadcast t ~from:node.id
+    (Request_vote
+       { term = node.current_term; candidate = node.id;
+         last_log_index = last_log_index node;
+         last_log_term = last_log_term node })
+
+(* try to advance the leader's commit index *)
+let advance_commit leader =
+  let t = leader.cluster in
+  let candidate_index = ref leader.commit_index in
+  for i = leader.commit_index + 1 to leader.log_len do
+    let replicas =
+      1
+      + Array.fold_left ( + ) 0
+          (Array.mapi
+             (fun j m -> if j <> leader.id && m >= i then 1 else 0)
+             leader.match_index)
+    in
+    match log_entry leader i with
+    | Some e when e.term = leader.current_term && replicas >= majority t ->
+      candidate_index := i
+    | _ -> ()
+  done;
+  if !candidate_index > leader.commit_index then begin
+    leader.commit_index <- !candidate_index;
+    apply_committed leader
+  end
+
+let handle node msg =
+  let t = node.cluster in
+  match msg with
+  | Request_vote { term; candidate; last_log_index = lli; last_log_term = llt } ->
+    if term > node.current_term then become_follower node term;
+    let up_to_date =
+      llt > last_log_term node
+      || (llt = last_log_term node && lli >= last_log_index node)
+    in
+    let granted =
+      term = node.current_term
+      && up_to_date
+      && (node.voted_for = None || node.voted_for = Some candidate)
+    in
+    if granted then begin
+      node.voted_for <- Some candidate;
+      reset_election_deadline node
+    end;
+    send t ~to_:candidate
+      (Vote { term = node.current_term; granted; voter = node.id })
+  | Vote { term; granted; voter = _ } ->
+    if term > node.current_term then become_follower node term
+    else if node.role = Candidate && term = node.current_term && granted then begin
+      node.votes <- node.votes + 1;
+      if node.votes >= majority t then become_leader node
+    end
+  | Append_entries { term; leader; prev_index; prev_term; entries; leader_commit } ->
+    if term > node.current_term then become_follower node term;
+    if term < node.current_term then
+      send t ~to_:leader
+        (Append_reply
+           { term = node.current_term; from = node.id; success = false;
+             match_index = 0 })
+    else begin
+      if node.role <> Follower then node.role <- Follower;
+      reset_election_deadline node;
+      let prev_ok =
+        prev_index = 0
+        || (match log_entry node prev_index with
+            | Some e -> e.term = prev_term
+            | None -> false)
+      in
+      if not prev_ok then
+        send t ~to_:leader
+          (Append_reply
+             { term = node.current_term; from = node.id; success = false;
+               match_index = 0 })
+      else begin
+        (* overwrite conflicting suffix *)
+        truncate_log node prev_index;
+        List.iter (append_log node) entries;
+        if leader_commit > node.commit_index then begin
+          node.commit_index <- min leader_commit node.log_len;
+          apply_committed node
+        end;
+        send t ~to_:leader
+          (Append_reply
+             { term = node.current_term; from = node.id; success = true;
+               match_index = node.log_len })
+      end
+    end
+  | Append_reply { term; from; success; match_index } ->
+    if term > node.current_term then become_follower node term
+    else if node.role = Leader && term = node.current_term then begin
+      if success then begin
+        node.match_index.(from) <- max node.match_index.(from) match_index;
+        node.next_index.(from) <- node.match_index.(from) + 1;
+        advance_commit node
+      end
+      else
+        node.next_index.(from) <- max 1 (node.next_index.(from) - 1)
+    end
+
+let () = recv_ref := handle
+
+(* -- public API -------------------------------------------------------- *)
+
+let create ?(seed = 11) ?(net_delay = 0.002) ?(heartbeat = 0.05)
+    ?(election_timeout = (0.15, 0.3)) ~sim ~n () =
+  let t =
+    { sim; rng = Random.State.make [| seed |]; nodes = [||]; n; net_delay;
+      heartbeat; election_timeout; delivered = 0; on_apply = (fun _ _ -> ()) }
+  in
+  let mk id =
+    { id; cluster = t; role = Follower; current_term = 0; voted_for = None;
+      log = Array.make 16 { term = 0; command = "" }; log_len = 0;
+      commit_index = 0; last_applied = 0; votes = 0;
+      next_index = Array.make n 1; match_index = Array.make n 0; alive = true;
+      election_deadline = 0.; applied = [] }
+  in
+  t.nodes <- Array.init n mk;
+  Array.iter reset_election_deadline t.nodes;
+  (* periodic driver: election timeouts + leader heartbeats *)
+  let tick () =
+    let now = Netsim.Sim.now sim in
+    Array.iter
+      (fun node ->
+        if node.alive then begin
+          match node.role with
+          | Leader -> send_heartbeats t node
+          | Follower | Candidate ->
+            if now >= node.election_deadline then start_election node
+        end)
+      t.nodes;
+    true
+  in
+  Netsim.Sim.every sim ~period:(heartbeat /. 2.) (fun () -> tick ());
+  t
+
+let set_on_apply t f = t.on_apply <- f
+
+let node t i = t.nodes.(i)
+
+let leader t =
+  Array.fold_left
+    (fun acc nd -> if nd.alive && nd.role = Leader then Some nd else acc)
+    None t.nodes
+
+(** Propose a command to the current leader. Returns false when there is
+    no live leader (caller retries after re-election). *)
+let propose t command =
+  match leader t with
+  | None -> false
+  | Some l ->
+    append_log l { term = l.current_term; command };
+    send_heartbeats t l;
+    true
+
+let kill t i =
+  let nd = t.nodes.(i) in
+  nd.alive <- false;
+  nd.role <- Follower
+
+let revive t i =
+  let nd = t.nodes.(i) in
+  nd.alive <- true;
+  nd.voted_for <- None;
+  reset_election_deadline nd
+
+let committed_commands node = List.rev node.applied
+
+let alive_count t =
+  Array.fold_left (fun acc nd -> if nd.alive then acc + 1 else acc) 0 t.nodes

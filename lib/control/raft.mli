@@ -1,0 +1,62 @@
+(** Raft consensus for the physically distributed, logically
+    centralized controller (§3.4): leader election with randomized
+    timeouts, heartbeats, log replication, and majority commit, all
+    over the simulation clock. Controller commands (reconfiguration
+    operations) are proposed to the leader and applied on every node
+    once committed, so a controller-node failure never loses
+    acknowledged operations. *)
+
+type role = Follower | Candidate | Leader
+
+val role_to_string : role -> string
+
+type entry = { term : int; command : string }
+
+type node = {
+  id : int;
+  cluster : t;
+  mutable role : role;
+  mutable current_term : int;
+  mutable voted_for : int option;
+  mutable log : entry array;
+  mutable log_len : int;
+  mutable commit_index : int;
+  mutable last_applied : int;
+  mutable votes : int;
+  mutable next_index : int array;
+  mutable match_index : int array;
+  mutable alive : bool;
+  mutable election_deadline : float;
+  mutable applied : string list; (* applied commands, newest first *)
+}
+
+and t
+
+(** Create an [n]-node cluster driven by [sim]; elections and
+    heartbeats run on a periodic internal tick. *)
+val create :
+  ?seed:int -> ?net_delay:float -> ?heartbeat:float ->
+  ?election_timeout:float * float -> sim:Netsim.Sim.t -> n:int -> unit -> t
+
+(** Called on every node when a command commits (node id, command). *)
+val set_on_apply : t -> (int -> string -> unit) -> unit
+
+val node : t -> int -> node
+
+(** The live leader, if any. *)
+val leader : t -> node option
+
+(** Propose a command to the current leader; [false] when there is no
+    live leader (caller retries after re-election). *)
+val propose : t -> string -> bool
+
+(** Crash a node (stops processing messages and ticks). *)
+val kill : t -> int -> unit
+
+(** Revive a crashed node; it rejoins as a follower and catches up. *)
+val revive : t -> int -> unit
+
+(** Commands applied on this node, oldest first. *)
+val committed_commands : node -> string list
+
+val alive_count : t -> int

@@ -1,0 +1,85 @@
+(** State replication and failover (§3.4): "the FlexNet controller
+    replicates important network state in a logical datapath across
+    multiple physical devices."
+
+    A replication group keeps one primary map synchronized to backup
+    devices, either by periodic control-plane sync or per-call dRPC
+    replication. On primary failure, a backup is promoted; the loss
+    window is whatever changed since the last sync. *)
+
+type mode = Periodic_sync of float (* period seconds *) | Drpc_sync
+
+type t = {
+  sim : Netsim.Sim.t;
+  map_name : string;
+  mutable primary : Targets.Device.t;
+  mutable backups : Targets.Device.t list;
+  mode : mode;
+  mutable syncs : int;
+  mutable failovers : int;
+  mutable last_sync : float;
+  mutable running : bool;
+}
+
+let sync_once t =
+  t.syncs <- t.syncs + 1;
+  t.last_sync <- Netsim.Sim.now t.sim;
+  List.iter
+    (fun b ->
+      Runtime.Migration.transfer_snapshot ~src:t.primary ~dst:b [ t.map_name ])
+    t.backups
+
+let create ~sim ~map_name ~primary ~backups mode =
+  let t =
+    { sim; map_name; primary; backups; mode; syncs = 0; failovers = 0;
+      last_sync = 0.; running = true }
+  in
+  (match mode with
+   | Periodic_sync period ->
+     Netsim.Sim.every sim ~period (fun () ->
+         if t.running then sync_once t;
+         t.running)
+   | Drpc_sync -> ());
+  t
+
+let stop t = t.running <- false
+
+(** dRPC-mode hook: call after each primary update batch (cheap, in the
+    data plane). *)
+let replicate_now t = sync_once t
+
+(** Promote the freshest backup after a primary failure. Returns the
+    new primary, or [None] if no backups remain. *)
+let failover t =
+  match t.backups with
+  | [] -> None
+  | b :: rest ->
+    t.primary <- b;
+    t.backups <- rest;
+    t.failovers <- t.failovers + 1;
+    Some b
+
+(** Entries that existed on the primary but are missing/stale on a
+    backup — the loss window metric. *)
+let staleness t backup =
+  match
+    ( Targets.Device.map_state t.primary t.map_name,
+      Targets.Device.map_state backup t.map_name )
+  with
+  | Some p, Some b ->
+    let bsum =
+      List.fold_left (fun acc (_, v) -> Int64.add acc v) 0L
+        (Flexbpf.State.entries b)
+    in
+    let psum =
+      List.fold_left (fun acc (_, v) -> Int64.add acc v) 0L
+        (Flexbpf.State.entries p)
+    in
+    Int64.to_int (Int64.sub psum bsum)
+  | Some p, None ->
+    List.length (Flexbpf.State.entries p)
+  | None, _ -> 0
+
+let syncs t = t.syncs
+let failovers t = t.failovers
+let primary t = t.primary

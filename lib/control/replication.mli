@@ -1,0 +1,30 @@
+(** State replication and failover (§3.4): "the FlexNet controller
+    replicates important network state in a logical datapath across
+    multiple physical devices." A group keeps one primary map
+    synchronized to backups; on primary failure a backup is promoted,
+    the loss window being whatever changed since the last sync. *)
+
+type mode = Periodic_sync of float (* period, seconds *) | Drpc_sync
+
+type t
+
+val create :
+  sim:Netsim.Sim.t -> map_name:string -> primary:Targets.Device.t ->
+  backups:Targets.Device.t list -> mode -> t
+
+(** Stop periodic syncing. *)
+val stop : t -> unit
+
+(** dRPC-mode hook: sync now (cheap, in the data plane). *)
+val replicate_now : t -> unit
+
+(** Promote the next backup after a primary failure. *)
+val failover : t -> Targets.Device.t option
+
+(** Value-sum gap between the primary and a backup — the loss-window
+    metric. *)
+val staleness : t -> Targets.Device.t -> int
+
+val syncs : t -> int
+val failovers : t -> int
+val primary : t -> Targets.Device.t

@@ -1,0 +1,174 @@
+(** Tenant lifecycle management (§3's deployment scenario).
+
+    "Tenants provide extension programs that are dynamically injected
+    into and removed from the network. ... The extensions are admitted
+    by the network owner after access control validation. Extension
+    programs are isolated ... via VLAN-based isolation. Tenant arrivals
+    trigger the generation of new VLAN configurations from the control
+    plane, as well as infrastructure program changes to accommodate the
+    new extensions. Departures achieve opposite effects."
+
+    Admission pipeline: certify bounded execution → namespace →
+    access-control check → VLAN allocation and guarding → incremental
+    compilation of the injection patch onto the live deployment. *)
+
+open Flexbpf
+
+type tenant = {
+  tenant_name : string;
+  vlan : int;
+  arrived_at : float;
+  mutable element_names : string list;
+  mutable map_names : string list;
+}
+
+type t = {
+  sim : Netsim.Sim.t;
+  deployment : Compiler.Incremental.deployment;
+  exports : string list; (* infra maps tenants may read *)
+  mutable tenants : tenant list;
+  mutable next_vlan : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable departed : int;
+}
+
+let create ?(exports = []) ~sim deployment =
+  { sim; deployment; exports; tenants = []; next_vlan = 100; admitted = 0;
+    rejected = 0; departed = 0 }
+
+let find t name = List.find_opt (fun x -> x.tenant_name = name) t.tenants
+
+type admission_error =
+  | Already_present
+  | Certification of Analysis.rejection
+  | Access_control of Compose.violation list
+  | Compilation of Compiler.Incremental.error
+
+let pp_admission_error ppf = function
+  | Already_present -> Fmt.string ppf "tenant already present"
+  | Certification r -> Fmt.pf ppf "certification: %a" Analysis.pp_rejection r
+  | Access_control vs ->
+    Fmt.pf ppf "access control: %a"
+      Fmt.(list ~sep:(any "; ") Compose.pp_violation)
+      vs
+  | Compilation e -> Fmt.pf ppf "compilation: %a" Compiler.Incremental.pp_error e
+
+(** Build the injection patch for a namespaced, guarded extension. *)
+let injection_patch ~tenant_name ~base (ext : Ast.program) =
+  let ops =
+    List.filter_map
+      (fun (h : Ast.header_decl) ->
+        if List.exists (fun (b : Ast.header_decl) -> b.hdr_name = h.hdr_name)
+             base.Ast.headers
+        then None
+        else Some (Patch.Add_header h))
+      ext.Ast.headers
+    @ List.map (fun m -> Patch.Add_map m) ext.Ast.maps
+    @ List.filter_map
+        (fun (r : Ast.parser_rule) ->
+          (* skip rules the base parser already covers (same header
+             sequence), regardless of rule name *)
+          if
+            List.exists
+              (fun (b : Ast.parser_rule) ->
+                b.pr_name = r.pr_name || b.pr_headers = r.pr_headers)
+              base.Ast.parser
+          then None
+          else Some (Patch.Add_parser_rule r))
+        ext.Ast.parser
+    @ List.map (fun el -> Patch.Add_element (Patch.At_end, el)) ext.Ast.pipeline
+  in
+  Patch.v ~owner:tenant_name (tenant_name ^ "-arrival") ops
+
+(** Admit a tenant extension program. On success the network has been
+    live-patched and the tenant is registered. *)
+let admit t (ext : Ast.program) =
+  let tenant_name = ext.Ast.owner in
+  if find t tenant_name <> None then begin
+    t.rejected <- t.rejected + 1;
+    Error Already_present
+  end
+  else
+    match Analysis.certify ext with
+    | Error r ->
+      t.rejected <- t.rejected + 1;
+      Error (Certification r)
+    | Ok _cert ->
+      let namespaced = Compose.namespace ext in
+      (match Compose.check_access ~exports:t.exports namespaced with
+       | _ :: _ as violations ->
+         t.rejected <- t.rejected + 1;
+         Error (Access_control violations)
+       | [] ->
+         let vlan = t.next_vlan in
+         let guarded =
+           { namespaced with
+             Ast.pipeline =
+               List.map (Compose.guard_element ~vlan) namespaced.Ast.pipeline }
+         in
+         let patch =
+           injection_patch ~tenant_name
+             ~base:t.deployment.Compiler.Incremental.dep_prog guarded
+         in
+         (match Compiler.Incremental.apply_patch t.deployment patch with
+          | Error e ->
+            t.rejected <- t.rejected + 1;
+            Error (Compilation e)
+          | Ok (report, _diff) ->
+            t.next_vlan <- t.next_vlan + 1;
+            let tenant =
+              { tenant_name; vlan; arrived_at = Netsim.Sim.now t.sim;
+                element_names = List.map Ast.element_name guarded.Ast.pipeline;
+                map_names =
+                  List.map (fun (m : Ast.map_decl) -> m.map_name)
+                    guarded.Ast.maps }
+            in
+            t.tenants <- tenant :: t.tenants;
+            t.admitted <- t.admitted + 1;
+            Ok (tenant, report)))
+
+(** Tenant departure: remove every element, map, and parser rule the
+    tenant owns, releasing the resources. *)
+type departure_error = Unknown_tenant | Departure_failed of string
+
+let pp_departure_error ppf = function
+  | Unknown_tenant -> Fmt.string ppf "unknown tenant"
+  | Departure_failed s -> Fmt.pf ppf "departure failed: %s" s
+
+let depart t tenant_name =
+  match find t tenant_name with
+  | None -> Error Unknown_tenant
+  | Some tenant ->
+    let prefix = tenant_name ^ "/" in
+    let ops =
+      (if
+         List.exists
+           (fun el -> String.starts_with ~prefix (Ast.element_name el))
+           t.deployment.Compiler.Incremental.dep_prog.Ast.pipeline
+       then [ Patch.Remove_element (Patch.Sel_name (prefix ^ "*")) ]
+       else [])
+      @ List.filter_map
+          (fun m ->
+            if
+              List.exists
+                (fun (x : Ast.map_decl) -> x.map_name = m)
+                t.deployment.Compiler.Incremental.dep_prog.Ast.maps
+            then Some (Patch.Remove_map m)
+            else None)
+          tenant.map_names
+    in
+    let patch = Patch.v ~owner:tenant_name (tenant_name ^ "-departure") ops in
+    (match Compiler.Incremental.apply_patch t.deployment patch with
+     | Error e ->
+       Error (Departure_failed (Fmt.str "%a" Compiler.Incremental.pp_error e))
+     | Ok (report, _) ->
+       t.tenants <- List.filter (fun x -> x != tenant) t.tenants;
+       t.departed <- t.departed + 1;
+       Ok report)
+
+let active_count t = List.length t.tenants
+
+(** Cross-tenant sharable logic, surfaced as an optimization report. *)
+let sharable t =
+  Compose.sharable_elements t.deployment.Compiler.Incremental.dep_prog

@@ -1,0 +1,61 @@
+(** Tenant lifecycle management (§3's deployment scenario).
+
+    Tenants provide extension programs that are dynamically injected
+    into and removed from the network, admitted after access-control
+    validation and isolated via VLANs. Admission pipeline: certify
+    bounded execution → namespace → access-control check → VLAN
+    allocation and guarding → incremental compilation of the injection
+    patch onto the live deployment. *)
+
+type tenant = {
+  tenant_name : string;
+  vlan : int;
+  arrived_at : float;
+  mutable element_names : string list;
+  mutable map_names : string list;
+}
+
+type t = {
+  sim : Netsim.Sim.t;
+  deployment : Compiler.Incremental.deployment;
+  exports : string list; (* infra maps tenants may read *)
+  mutable tenants : tenant list;
+  mutable next_vlan : int;
+  mutable admitted : int;
+  mutable rejected : int;
+  mutable departed : int;
+}
+
+val create :
+  ?exports:string list -> sim:Netsim.Sim.t ->
+  Compiler.Incremental.deployment -> t
+
+val find : t -> string -> tenant option
+
+type admission_error =
+  | Already_present
+  | Certification of Flexbpf.Analysis.rejection
+  | Access_control of Flexbpf.Compose.violation list
+  | Compilation of Compiler.Incremental.error
+
+val pp_admission_error : Format.formatter -> admission_error -> unit
+
+(** Admit a tenant extension program (owner = the tenant name). On
+    success the network has been live-patched and the tenant is
+    registered. *)
+val admit :
+  t -> Flexbpf.Ast.program ->
+  (tenant * Compiler.Incremental.report, admission_error) result
+
+type departure_error = Unknown_tenant | Departure_failed of string
+
+val pp_departure_error : Format.formatter -> departure_error -> unit
+
+(** Remove every element, map, and parser rule the tenant owns. *)
+val depart :
+  t -> string -> (Compiler.Incremental.report, departure_error) result
+
+val active_count : t -> int
+
+(** Cross-tenant sharable logic (optimization report). *)
+val sharable : t -> (string * string) list

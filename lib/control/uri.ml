@@ -1,0 +1,40 @@
+(** Application URIs (§3.4): the controller names in-network apps by
+    URI rather than by device/address, and uses the URI as the handle
+    for management operations.
+
+    Syntax: [flexnet://<owner>/<app>[/<component>]] *)
+
+type t = {
+  owner : string;
+  app : string;
+  component : string option;
+}
+
+let scheme = "flexnet://"
+
+let v ?component ~owner app = { owner; app; component }
+
+let to_string t =
+  match t.component with
+  | None -> Printf.sprintf "%s%s/%s" scheme t.owner t.app
+  | Some c -> Printf.sprintf "%s%s/%s/%s" scheme t.owner t.app c
+
+let of_string s =
+  if not (String.starts_with ~prefix:scheme s) then
+    Error (Printf.sprintf "URI must start with %s" scheme)
+  else begin
+    let rest = String.sub s (String.length scheme) (String.length s - String.length scheme) in
+    match String.split_on_char '/' rest with
+    | [ owner; app ] when owner <> "" && app <> "" ->
+      Ok { owner; app; component = None }
+    | [ owner; app; component ] when owner <> "" && app <> "" && component <> "" ->
+      Ok { owner; app; component = Some component }
+    | _ -> Error "URI must be flexnet://owner/app[/component]"
+  end
+
+let equal a b = a = b
+
+(** The app-level URI without the component part. *)
+let app_of t = { t with component = None }
+
+let pp ppf t = Fmt.string ppf (to_string t)

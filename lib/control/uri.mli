@@ -1,0 +1,23 @@
+(** Application URIs (§3.4): the controller names in-network apps by
+    URI and uses it as the handle for management operations.
+
+    Syntax: [flexnet://<owner>/<app>[/<component>]]. *)
+
+type t = {
+  owner : string;
+  app : string;
+  component : string option;
+}
+
+val scheme : string
+
+val v : ?component:string -> owner:string -> string -> t
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val equal : t -> t -> bool
+
+(** The app-level URI without the component part. *)
+val app_of : t -> t
+
+val pp : Format.formatter -> t -> unit

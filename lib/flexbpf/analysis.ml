@@ -1,0 +1,168 @@
+(** Static analysis of FlexBPF programs (§3.1): bounded-execution
+    certification and resource footprint estimation.
+
+    FlexBPF has no recursion and only statically bounded loops, so the
+    worst-case instruction count is computable by a straightforward
+    syntax-directed walk. Targets use [max_cycles] in their performance
+    models; the compiler uses [footprint] for placement. *)
+
+open Ast
+
+(** Worst-case dynamic statement count of a statement list. *)
+let rec stmts_cost stmts = List.fold_left (fun acc s -> acc + stmt_cost s) 0 stmts
+
+and stmt_cost = function
+  | Nop -> 0
+  | Set_field _ | Set_meta _ | Forward _ | Drop | Punt _ | Push_header _
+  | Pop_header _ -> 1
+  | Map_put _ | Map_incr _ | Map_del _ -> 2 (* hash + write *)
+  | If (_, th, el) -> 1 + max (stmts_cost th) (stmts_cost el)
+  | Loop (n, body) -> 1 + (max 0 n * stmts_cost body)
+  | Call _ -> 4 (* marshalling + invocation *)
+
+let action_cost a = stmts_cost a.body
+
+let table_cost t =
+  let lookup = 1 + List.length t.keys in
+  let worst_action =
+    List.fold_left (fun acc a -> max acc (action_cost a)) 0 t.tbl_actions
+  in
+  lookup + worst_action
+
+let element_cost = function
+  | Table t -> table_cost t
+  | Block b -> stmts_cost b.blk_body
+
+(** Worst-case per-packet cost of the whole pipeline. *)
+let max_cycles prog =
+  List.fold_left (fun acc e -> acc + element_cost e) 0 prog.pipeline
+
+(* Resource footprint ------------------------------------------------ *)
+
+let field_width prog h f =
+  match find_header prog h with
+  | None -> 32
+  | Some hd -> Option.value (List.assoc_opt f hd.hdr_fields) ~default:32
+
+let rec expr_width prog = function
+  | Field (h, f) -> field_width prog h f
+  | Const _ | Meta _ | Param _ | Map_get _ | Time -> 32
+  | Bin (_, a, b) -> max (expr_width prog a) (expr_width prog b)
+  | Un (_, e) -> expr_width prog e
+  | Hash (Crc16, _) -> 16
+  | Hash _ -> 32
+
+(** Memory class a table needs: exact matches live in SRAM (hash), LPM
+    and ternary need TCAM, ranges expand into TCAM entries. *)
+let table_needs_tcam t =
+  List.exists
+    (fun (_, kind) -> match kind with Exact -> false | Lpm | Ternary | Range -> true)
+    t.keys
+
+let table_key_bits prog t =
+  List.fold_left (fun acc (e, _) -> acc + expr_width prog e) 0 t.keys
+
+(** Bytes of match memory a table consumes: entries x (key + action data
+    overhead). *)
+let table_bytes prog t =
+  let key_bytes = (table_key_bits prog t + 7) / 8 in
+  let action_data = 8 in
+  t.tbl_size * (key_bytes + action_data)
+
+let map_bytes (m : map_decl) = m.map_size * ((m.key_arity * 8) + 8)
+
+type footprint = {
+  sram_bytes : int; (* exact-match tables + maps *)
+  tcam_bytes : int; (* lpm/ternary/range tables *)
+  action_slots : int; (* distinct actions *)
+  parser_states : int;
+  instruction_count : int; (* static size of all blocks/actions *)
+  cycles : int; (* worst-case per-packet cost *)
+}
+
+let zero_footprint =
+  { sram_bytes = 0; tcam_bytes = 0; action_slots = 0; parser_states = 0;
+    instruction_count = 0; cycles = 0 }
+
+let add_footprints a b =
+  { sram_bytes = a.sram_bytes + b.sram_bytes;
+    tcam_bytes = a.tcam_bytes + b.tcam_bytes;
+    action_slots = a.action_slots + b.action_slots;
+    parser_states = a.parser_states + b.parser_states;
+    instruction_count = a.instruction_count + b.instruction_count;
+    cycles = a.cycles + b.cycles }
+
+let rec static_stmt_count stmts =
+  List.fold_left
+    (fun acc -> function
+      | If (_, th, el) -> acc + 1 + static_stmt_count th + static_stmt_count el
+      | Loop (_, body) -> acc + 1 + static_stmt_count body
+      | _ -> acc + 1)
+    0 stmts
+
+let element_footprint prog = function
+  | Table t ->
+    let bytes = table_bytes prog t in
+    let instrs =
+      List.fold_left (fun acc a -> acc + static_stmt_count a.body) 0
+        t.tbl_actions
+    in
+    { zero_footprint with
+      sram_bytes = (if table_needs_tcam t then 0 else bytes);
+      tcam_bytes = (if table_needs_tcam t then bytes else 0);
+      action_slots = List.length t.tbl_actions;
+      instruction_count = instrs;
+      cycles = table_cost t }
+  | Block b ->
+    { zero_footprint with
+      instruction_count = static_stmt_count b.blk_body;
+      cycles = stmts_cost b.blk_body }
+
+let map_footprint (m : map_decl) =
+  { zero_footprint with sram_bytes = map_bytes m }
+
+(** Whole-program footprint (elements + maps + parser). *)
+let footprint prog =
+  let elements =
+    List.fold_left
+      (fun acc e -> add_footprints acc (element_footprint prog e))
+      zero_footprint prog.pipeline
+  in
+  let maps =
+    List.fold_left
+      (fun acc m -> add_footprints acc (map_footprint m))
+      zero_footprint prog.maps
+  in
+  let base = add_footprints elements maps in
+  { base with parser_states = List.length prog.parser }
+
+(* Certification ------------------------------------------------------ *)
+
+type certificate = {
+  cert_program : string;
+  cert_cycles : int;
+  cert_footprint : footprint;
+}
+
+type rejection =
+  | Ill_typed of Typecheck.error list
+  | Cycles_exceed of int * int (* actual, budget *)
+
+let pp_rejection ppf = function
+  | Ill_typed errs ->
+    Fmt.pf ppf "ill-typed: %a" Fmt.(list ~sep:(any "; ") Typecheck.pp_error) errs
+  | Cycles_exceed (actual, budget) ->
+    Fmt.pf ppf "worst-case cycles %d exceed budget %d" actual budget
+
+(** Certify bounded execution: the program type-checks and its
+    worst-case cycle count fits [budget]. This is the gate every program
+    passes before it may be injected into the network. *)
+let certify ?(budget = 4096) prog =
+  match Typecheck.check_program prog with
+  | Error errs -> Error (Ill_typed errs)
+  | Ok () ->
+    let cycles = max_cycles prog in
+    if cycles > budget then Error (Cycles_exceed (cycles, budget))
+    else
+      Ok { cert_program = prog.prog_name; cert_cycles = cycles;
+           cert_footprint = footprint prog }

@@ -1,0 +1,61 @@
+(** Static analysis of FlexBPF programs (§3.1): bounded-execution
+    certification and resource footprint estimation.
+
+    FlexBPF has no recursion and only statically bounded loops, so the
+    worst-case instruction count is computable syntax-directed. Targets
+    use [max_cycles] in their performance models; the compiler uses
+    [footprint] for placement. *)
+
+(** Worst-case dynamic statement count of a statement list. *)
+val stmts_cost : Ast.stmt list -> int
+
+val table_cost : Ast.table -> int
+val element_cost : Ast.element -> int
+
+(** Worst-case per-packet cost of the whole pipeline. *)
+val max_cycles : Ast.program -> int
+
+(** Memory class: exact matches live in SRAM (hash), LPM/ternary/range
+    need TCAM. *)
+val table_needs_tcam : Ast.table -> bool
+
+val table_key_bits : Ast.program -> Ast.table -> int
+
+(** Bytes of match memory a table consumes (entries x key+action data). *)
+val table_bytes : Ast.program -> Ast.table -> int
+
+val map_bytes : Ast.map_decl -> int
+
+type footprint = {
+  sram_bytes : int; (* exact-match tables + maps *)
+  tcam_bytes : int; (* lpm/ternary/range tables *)
+  action_slots : int;
+  parser_states : int;
+  instruction_count : int; (* static size of all blocks/actions *)
+  cycles : int; (* worst-case per-packet cost *)
+}
+
+val zero_footprint : footprint
+val add_footprints : footprint -> footprint -> footprint
+val element_footprint : Ast.program -> Ast.element -> footprint
+val map_footprint : Ast.map_decl -> footprint
+
+(** Whole-program footprint (elements + maps + parser). *)
+val footprint : Ast.program -> footprint
+
+type certificate = {
+  cert_program : string;
+  cert_cycles : int;
+  cert_footprint : footprint;
+}
+
+type rejection =
+  | Ill_typed of Typecheck.error list
+  | Cycles_exceed of int * int (* actual, budget *)
+
+val pp_rejection : Format.formatter -> rejection -> unit
+
+(** Certify bounded execution: the program type-checks and its
+    worst-case cycle count fits [budget] (default 4096). Every program
+    passes this gate before injection into the network. *)
+val certify : ?budget:int -> Ast.program -> (certificate, rejection) result

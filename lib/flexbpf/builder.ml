@@ -1,0 +1,120 @@
+(** Combinators for building FlexBPF programs concisely.
+
+    The app library and tests build every program through these; they
+    keep the AST constructors out of client code. *)
+
+open Ast
+
+(* Expressions -------------------------------------------------------- *)
+
+let const v = Const (Int64.of_int v)
+let const64 v = Const v
+let field h f = Field (h, f)
+let meta m = Meta m
+let param p = Param p
+let map_get m keys = Map_get (m, keys)
+let hash ?(alg = Crc32) es = Hash (alg, es)
+let now = Time
+
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( /: ) a b = Bin (Div, a, b)
+let ( %: ) a b = Bin (Mod, a, b)
+let ( =: ) a b = Bin (Eq, a, b)
+let ( <>: ) a b = Bin (Neq, a, b)
+let ( <: ) a b = Bin (Lt, a, b)
+let ( <=: ) a b = Bin (Le, a, b)
+let ( >: ) a b = Bin (Gt, a, b)
+let ( >=: ) a b = Bin (Ge, a, b)
+let ( &&: ) a b = Bin (Land, a, b)
+let ( ||: ) a b = Bin (Lor, a, b)
+let band a b = Bin (Band, a, b)
+let bor a b = Bin (Bor, a, b)
+let shl a b = Bin (Shl, a, b)
+let shr a b = Bin (Shr, a, b)
+let not_ e = Un (Not, e)
+
+(* Statements --------------------------------------------------------- *)
+
+let set_field h f e = Set_field (h, f, e)
+let set_meta m e = Set_meta (m, e)
+let map_put m keys v = Map_put (m, keys, v)
+let map_incr ?(by = Const 1L) m keys = Map_incr (m, keys, by)
+let map_del m keys = Map_del (m, keys)
+let if_ c th el = If (c, th, el)
+let when_ c th = If (c, th, [])
+let loop n body = Loop (n, body)
+let forward e = Forward e
+let forward_port p = Forward (const p)
+let drop = Drop
+let punt d = Punt d
+let call svc args = Call (svc, args)
+
+(* Declarations ------------------------------------------------------- *)
+
+let action name ?(params = []) body = { act_name = name; params; body }
+
+let table name ~keys ~actions ?(default = ("nop", [])) ?(size = 1024) () =
+  let actions =
+    if List.exists (fun a -> a.act_name = "nop") actions then actions
+    else actions @ [ action "nop" [ Nop ] ]
+  in
+  Table { tbl_name = name; keys; tbl_actions = actions;
+          default_action = default; tbl_size = size }
+
+let block name body = Block { blk_name = name; blk_body = body }
+
+let exact e = (e, Exact)
+let lpm e = (e, Lpm)
+let ternary e = (e, Ternary)
+let range e = (e, Range)
+
+let map_decl ?(encoding = Enc_auto) ?(key_arity = 1) ~size name =
+  { map_name = name; key_arity; map_size = size; encoding }
+
+let header name fields = { hdr_name = name; hdr_fields = fields }
+
+let parser_rule name headers = { pr_name = name; pr_headers = headers }
+
+(* Standard header declarations matching Netsim.Packet constructors. *)
+
+let ethernet_header =
+  header "ethernet" [ ("src", 48); ("dst", 48); ("ethertype", 16) ]
+
+let vlan_header = header "vlan" [ ("vid", 12); ("ethertype", 16) ]
+
+let ipv4_header =
+  header "ipv4"
+    [ ("src", 32); ("dst", 32); ("proto", 8); ("ttl", 8); ("ecn", 2);
+      ("dscp", 6) ]
+
+let tcp_header =
+  header "tcp"
+    [ ("sport", 16); ("dport", 16); ("seq", 32); ("ack", 32); ("flags", 9) ]
+
+let udp_header = header "udp" [ ("sport", 16); ("dport", 16) ]
+
+let standard_headers =
+  [ ethernet_header; vlan_header; ipv4_header; tcp_header; udp_header ]
+
+let standard_parser =
+  [ parser_rule "parse_eth" [ "ethernet" ];
+    parser_rule "parse_ipv4" [ "ethernet"; "ipv4" ];
+    parser_rule "parse_vlan_ipv4" [ "ethernet"; "vlan"; "ipv4" ] ]
+
+let program ?(owner = "infra") ?(headers = standard_headers)
+    ?(parser = standard_parser) ?(maps = []) name pipeline =
+  { prog_name = name; owner; headers; parser; maps; pipeline }
+
+(* Rules -------------------------------------------------------------- *)
+
+let rule ?(priority = 0) ~matches ~action:(rule_action, rule_args) () =
+  { rule_priority = priority; matches;
+    rule_action; rule_args = List.map Int64.of_int rule_args }
+
+let exact_i v = P_exact (Int64.of_int v)
+let lpm_i v len = P_lpm (Int64.of_int v, len)
+let ternary_i v m = P_ternary (Int64.of_int v, Int64.of_int m)
+let range_i a b = P_range (Int64.of_int a, Int64.of_int b)
+let any = P_any

@@ -1,0 +1,101 @@
+(** Combinators for building FlexBPF programs concisely. The app
+    library and tests construct every program through these. *)
+
+open Ast
+
+(** {2 Expressions} *)
+
+val const : int -> expr
+val const64 : int64 -> expr
+val field : string -> string -> expr
+val meta : string -> expr
+val param : string -> expr
+val map_get : string -> expr list -> expr
+val hash : ?alg:hash_alg -> expr list -> expr
+
+(** Virtual time in microseconds. *)
+val now : expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val band : expr -> expr -> expr
+val bor : expr -> expr -> expr
+val shl : expr -> expr -> expr
+val shr : expr -> expr -> expr
+val not_ : expr -> expr
+
+(** {2 Statements} *)
+
+val set_field : string -> string -> expr -> stmt
+val set_meta : string -> expr -> stmt
+val map_put : string -> expr list -> expr -> stmt
+val map_incr : ?by:expr -> string -> expr list -> stmt
+val map_del : string -> expr list -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val loop : int -> stmt list -> stmt
+val forward : expr -> stmt
+val forward_port : int -> stmt
+val drop : stmt
+val punt : string -> stmt
+val call : string -> expr list -> stmt
+
+(** {2 Declarations} *)
+
+val action : string -> ?params:string list -> stmt list -> action
+
+(** Builds a table element; a "nop" action is appended when absent so
+    every table has a safe default. *)
+val table :
+  string -> keys:(expr * match_kind) list -> actions:action list ->
+  ?default:string * int64 list -> ?size:int -> unit -> element
+
+val block : string -> stmt list -> element
+
+val exact : expr -> expr * match_kind
+val lpm : expr -> expr * match_kind
+val ternary : expr -> expr * match_kind
+val range : expr -> expr * match_kind
+
+val map_decl : ?encoding:map_encoding -> ?key_arity:int -> size:int -> string -> map_decl
+val header : string -> (string * width) list -> header_decl
+val parser_rule : string -> string list -> parser_rule
+
+(** Standard header declarations matching [Netsim.Packet]'s
+    constructors (ethernet, vlan, ipv4, tcp, udp). *)
+val ethernet_header : header_decl
+val vlan_header : header_decl
+val ipv4_header : header_decl
+val tcp_header : header_decl
+val udp_header : header_decl
+val standard_headers : header_decl list
+
+(** Accepts ethernet, ethernet/ipv4, and ethernet/vlan/ipv4 stacks. *)
+val standard_parser : parser_rule list
+
+val program :
+  ?owner:string -> ?headers:header_decl list -> ?parser:parser_rule list ->
+  ?maps:map_decl list -> string -> element list -> program
+
+(** {2 Rules} *)
+
+val rule :
+  ?priority:int -> matches:pattern list -> action:string * int list -> unit ->
+  rule
+
+val exact_i : int -> pattern
+val lpm_i : int -> int -> pattern
+val ternary_i : int -> int -> pattern
+val range_i : int -> int -> pattern
+val any : pattern

@@ -1,0 +1,293 @@
+(** Reference interpreter for FlexBPF.
+
+    All simulated targets share these functional semantics — the paper's
+    architectures differ in resources, performance, and reconfiguration
+    behaviour, not in what a match/action program means. Division and
+    modulo by zero yield 0 (eBPF semantics), keeping every program total
+    so the bounded-execution certificate is honest. *)
+
+open Ast
+
+exception Eval_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
+
+(** Execution environment of one program instance on one device. *)
+type env = {
+  maps : (string, State.t) Hashtbl.t;
+  rules : (string, rule list) Hashtbl.t; (* table -> installed rules *)
+  mutable now_us : int64; (* virtual time, set by the device before exec *)
+  mutable punt : string -> Netsim.Packet.t -> unit;
+  mutable drpc : string -> int64 list -> int64;
+  mutable stats : Netsim.Stats.Counters.t;
+}
+
+let create_env ?(default_encoding = State.Stateful_table) (prog : program) =
+  let maps = Hashtbl.create 8 in
+  List.iter
+    (fun decl ->
+      Hashtbl.replace maps decl.map_name
+        (State.of_decl decl ~default:default_encoding ()))
+    prog.maps;
+  let rules = Hashtbl.create 8 in
+  List.iter
+    (function Table t -> Hashtbl.replace rules t.tbl_name [] | Block _ -> ())
+    prog.pipeline;
+  { maps; rules; now_us = 0L;
+    punt = (fun _ _ -> ());
+    drpc = (fun _ _ -> 0L);
+    stats = Netsim.Stats.Counters.create () }
+
+let env_map env name =
+  match Hashtbl.find_opt env.maps name with
+  | Some m -> m
+  | None -> error "no map %s" name
+
+let install_rule env table rule =
+  let existing = Option.value (Hashtbl.find_opt env.rules table) ~default:[] in
+  Hashtbl.replace env.rules table (rule :: existing)
+
+let remove_rules env table pred =
+  let existing = Option.value (Hashtbl.find_opt env.rules table) ~default:[] in
+  Hashtbl.replace env.rules table (List.filter (fun r -> not (pred r)) existing)
+
+let table_rules env table =
+  Option.value (Hashtbl.find_opt env.rules table) ~default:[]
+
+(** Outcome of running a pipeline on one packet. [Forward]/[Drop] do not
+    short-circuit (P4 semantics: later elements may override). *)
+type verdict = {
+  mutable egress : int option;
+  mutable dropped : bool;
+  mutable punts : string list;
+}
+
+let fresh_verdict () = { egress = None; dropped = false; punts = [] }
+
+let truthy v = v <> 0L
+let of_bool b = if b then 1L else 0L
+
+let crc16 data = Int64.of_int (Hashtbl.hash data land 0xFFFF)
+let crc32 data = Int64.of_int (Hashtbl.hash ("crc32", data) land 0x7FFFFFFF)
+
+let rec eval env ~params pkt = function
+  | Const v -> v
+  | Field (h, f) ->
+    (match Netsim.Packet.field pkt h f with
+     | Some v -> v
+     | None -> error "packet lacks %s.%s" h f)
+  | Meta m -> Netsim.Packet.meta_default pkt m 0L
+  | Param p ->
+    (match List.assoc_opt p params with
+     | Some v -> v
+     | None -> error "unbound parameter $%s" p)
+  | Map_get (m, keys) ->
+    State.get (env_map env m) (List.map (eval env ~params pkt) keys)
+  (* logical operators short-circuit, so a guard like
+     [has_vlan && vlan.vid == N] never evaluates fields of absent
+     headers *)
+  | Bin (Land, a, b) ->
+    if truthy (eval env ~params pkt a) then
+      of_bool (truthy (eval env ~params pkt b))
+    else 0L
+  | Bin (Lor, a, b) ->
+    if truthy (eval env ~params pkt a) then 1L
+    else of_bool (truthy (eval env ~params pkt b))
+  | Bin (op, a, b) ->
+    let x = eval env ~params pkt a in
+    let y = eval env ~params pkt b in
+    eval_binop op x y
+  | Un (op, e) ->
+    let x = eval env ~params pkt e in
+    (match op with
+     | Not -> of_bool (not (truthy x))
+     | Neg -> Int64.neg x
+     | Bnot -> Int64.lognot x)
+  | Hash (alg, es) ->
+    let data = List.map (eval env ~params pkt) es in
+    (match alg with
+     | Crc16 -> crc16 data
+     | Crc32 -> crc32 data
+     | Identity -> (match data with [ x ] -> x | _ -> crc32 data))
+  | Time -> env.now_us
+
+and eval_binop op x y =
+  match op with
+  | Add -> Int64.add x y
+  | Sub -> Int64.sub x y
+  | Mul -> Int64.mul x y
+  | Div -> if y = 0L then 0L else Int64.div x y
+  | Mod -> if y = 0L then 0L else Int64.rem x y
+  | Band -> Int64.logand x y
+  | Bor -> Int64.logor x y
+  | Bxor -> Int64.logxor x y
+  | Shl -> Int64.shift_left x (Int64.to_int y land 63)
+  | Shr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+  | Eq -> of_bool (x = y)
+  | Neq -> of_bool (x <> y)
+  | Lt -> of_bool (x < y)
+  | Le -> of_bool (x <= y)
+  | Gt -> of_bool (x > y)
+  | Ge -> of_bool (x >= y)
+  | Land -> of_bool (truthy x && truthy y)
+  | Lor -> of_bool (truthy x || truthy y)
+
+let rec exec_stmt env ~params pkt verdict = function
+  | Nop -> ()
+  | Set_field (h, f, e) ->
+    let v = eval env ~params pkt e in
+    (try Netsim.Packet.set_field pkt h f v
+     with Invalid_argument m -> error "%s" m)
+  | Set_meta (m, e) -> Netsim.Packet.set_meta pkt m (eval env ~params pkt e)
+  | Map_put (m, keys, e) ->
+    State.put (env_map env m)
+      (List.map (eval env ~params pkt) keys)
+      (eval env ~params pkt e)
+  | Map_incr (m, keys, e) ->
+    ignore
+      (State.incr (env_map env m)
+         (List.map (eval env ~params pkt) keys)
+         (eval env ~params pkt e))
+  | Map_del (m, keys) ->
+    State.del (env_map env m) (List.map (eval env ~params pkt) keys)
+  | If (c, th, el) ->
+    if truthy (eval env ~params pkt c) then exec_stmts env ~params pkt verdict th
+    else exec_stmts env ~params pkt verdict el
+  | Loop (n, body) ->
+    for i = 0 to n - 1 do
+      Netsim.Packet.set_meta pkt "_loop_i" (Int64.of_int i);
+      exec_stmts env ~params pkt verdict body
+    done
+  (* [Drop] is sticky: once a guard (ACL, firewall, TTL) has dropped
+     the packet, a later table's forward cannot resurrect it. *)
+  | Forward e ->
+    verdict.egress <- Some (Int64.to_int (eval env ~params pkt e))
+  | Drop -> verdict.dropped <- true
+  | Punt digest ->
+    verdict.punts <- digest :: verdict.punts;
+    env.punt digest pkt
+  | Push_header h ->
+    Netsim.Packet.push_header pkt { Netsim.Packet.hname = h; fields = [] }
+  | Pop_header h -> Netsim.Packet.pop_header pkt h
+  | Call (svc, args) ->
+    let result = env.drpc svc (List.map (eval env ~params pkt) args) in
+    Netsim.Packet.set_meta pkt ("drpc_" ^ svc) result
+
+and exec_stmts env ~params pkt verdict stmts =
+  List.iter (exec_stmt env ~params pkt verdict) stmts
+
+(* Rule matching ----------------------------------------------------- *)
+
+let match_pattern value = function
+  | P_any -> true
+  | P_exact v -> value = v
+  | P_lpm (v, len) ->
+    if len = 0 then true
+    else begin
+      let shift = 32 - len in
+      Int64.shift_right_logical value shift
+      = Int64.shift_right_logical v shift
+    end
+  | P_ternary (v, mask) -> Int64.logand value mask = Int64.logand v mask
+  | P_range (lo, hi) -> value >= lo && value <= hi
+
+(** LPM specificity contributes to rule ordering: longest prefix wins
+    within equal priorities. *)
+let rule_specificity r =
+  List.fold_left
+    (fun acc -> function P_lpm (_, len) -> acc + len | _ -> acc)
+    0 r.matches
+
+let select_rule env (t : table) ~params:_ pkt =
+  let key_values =
+    List.map (fun (e, _) -> eval env ~params:[] pkt e) t.keys
+  in
+  let candidates =
+    table_rules env t.tbl_name
+    |> List.filter (fun r ->
+           List.length r.matches = List.length key_values
+           && List.for_all2 match_pattern key_values r.matches)
+  in
+  match
+    List.sort
+      (fun a b ->
+        match compare b.rule_priority a.rule_priority with
+        | 0 -> compare (rule_specificity b) (rule_specificity a)
+        | c -> c)
+      candidates
+  with
+  | r :: _ -> Some r
+  | [] -> None
+
+let exec_table env pkt verdict (t : table) =
+  let action_name, args =
+    match select_rule env t ~params:[] pkt with
+    | Some r ->
+      Netsim.Stats.Counters.incr env.stats (t.tbl_name ^ ".hit");
+      (r.rule_action, r.rule_args)
+    | None ->
+      Netsim.Stats.Counters.incr env.stats (t.tbl_name ^ ".miss");
+      t.default_action
+  in
+  match find_action t action_name with
+  | None -> error "table %s: action %s missing" t.tbl_name action_name
+  | Some a ->
+    let params =
+      try List.combine a.params args
+      with Invalid_argument _ ->
+        error "table %s: action %s arity mismatch" t.tbl_name action_name
+    in
+    exec_stmts env ~params pkt verdict a.body
+
+(* Parser ------------------------------------------------------------ *)
+
+let rec list_prefix prefix l =
+  match prefix, l with
+  | [], _ -> true
+  | _, [] -> false
+  | p :: ps, x :: xs -> p = x && list_prefix ps xs
+
+let parse_accepts (prog : program) pkt =
+  let names = List.map (fun h -> h.Netsim.Packet.hname) pkt.Netsim.Packet.headers in
+  List.exists (fun r -> list_prefix r.pr_headers names) prog.parser
+
+(* Whole program ----------------------------------------------------- *)
+
+type result = {
+  verdict : verdict;
+  parse_ok : bool;
+  runtime_error : string option;
+}
+
+let run env (prog : program) pkt =
+  let verdict = fresh_verdict () in
+  if not (parse_accepts prog pkt) then begin
+    Netsim.Stats.Counters.incr env.stats "parser.reject";
+    verdict.dropped <- true;
+    { verdict; parse_ok = false; runtime_error = None }
+  end
+  else begin
+    Netsim.Stats.Counters.incr env.stats "parser.accept";
+    try
+      List.iter
+        (function
+          | Table t -> exec_table env pkt verdict t
+          | Block b -> exec_stmts env ~params:[] pkt verdict b.blk_body)
+        prog.pipeline;
+      { verdict; parse_ok = true; runtime_error = None }
+    with Eval_error msg ->
+      Netsim.Stats.Counters.incr env.stats "runtime.error";
+      verdict.dropped <- true;
+      { verdict; parse_ok = true; runtime_error = Some msg }
+  end
+
+(** Run a single block outside a pipeline — used for host-side offloads
+    such as interpreted congestion-control programs. *)
+let run_block env (b : block) pkt =
+  let verdict = fresh_verdict () in
+  try
+    exec_stmts env ~params:[] pkt verdict b.blk_body;
+    { verdict; parse_ok = true; runtime_error = None }
+  with Eval_error msg ->
+    verdict.dropped <- true;
+    { verdict; parse_ok = true; runtime_error = Some msg }

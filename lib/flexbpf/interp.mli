@@ -1,0 +1,72 @@
+(** Reference interpreter for FlexBPF.
+
+    All simulated targets share these functional semantics — the
+    paper's architectures differ in resources, performance, and
+    reconfiguration behaviour, not in what a match/action program
+    means. Division and modulo by zero yield 0 (eBPF semantics), so
+    every certified program is total. *)
+
+exception Eval_error of string
+
+(** Execution environment of one program instance on one device:
+    instantiated maps, installed rules, clock, and the punt/dRPC
+    callbacks wired by the runtime. *)
+type env = {
+  maps : (string, State.t) Hashtbl.t;
+  rules : (string, Ast.rule list) Hashtbl.t; (* table -> installed rules *)
+  mutable now_us : int64; (* virtual time, set by the device before exec *)
+  mutable punt : string -> Netsim.Packet.t -> unit;
+  mutable drpc : string -> int64 list -> int64;
+  mutable stats : Netsim.Stats.Counters.t;
+}
+
+(** Instantiate maps (resolving [Enc_auto] to [default_encoding]) and
+    empty rule sets for a program. *)
+val create_env : ?default_encoding:State.concrete -> Ast.program -> env
+
+(** @raise Eval_error when the map does not exist. *)
+val env_map : env -> string -> State.t
+
+val install_rule : env -> string -> Ast.rule -> unit
+val remove_rules : env -> string -> (Ast.rule -> bool) -> unit
+val table_rules : env -> string -> Ast.rule list
+
+(** Outcome of running a pipeline on one packet. [Drop] is sticky:
+    once set, later forwards cannot resurrect the packet. *)
+type verdict = {
+  mutable egress : int option;
+  mutable dropped : bool;
+  mutable punts : string list;
+}
+
+val fresh_verdict : unit -> verdict
+
+(** Total binary operator semantics (division by zero yields 0). *)
+val eval_binop : Ast.binop -> int64 -> int64 -> int64
+
+val crc16 : int64 list -> int64
+val crc32 : int64 list -> int64
+
+(** Does [value] satisfy the pattern? *)
+val match_pattern : int64 -> Ast.pattern -> bool
+
+(** Highest-priority (then longest-prefix) matching rule, if any. *)
+val select_rule :
+  env -> Ast.table -> params:(string * int64) list -> Netsim.Packet.t ->
+  Ast.rule option
+
+(** Does the program's parser accept this packet's header sequence? *)
+val parse_accepts : Ast.program -> Netsim.Packet.t -> bool
+
+type result = {
+  verdict : verdict;
+  parse_ok : bool;
+  runtime_error : string option; (* faulting packets are dropped *)
+}
+
+(** Run the full program: parser gate, then the pipeline in order. *)
+val run : env -> Ast.program -> Netsim.Packet.t -> result
+
+(** Run a single block outside a pipeline — used for host-side offloads
+    such as interpreted congestion-control programs. *)
+val run_block : env -> Ast.block -> Netsim.Packet.t -> result

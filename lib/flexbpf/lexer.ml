@@ -1,0 +1,207 @@
+(** Hand-rolled lexer for the FlexBPF surface syntax (see Syntax). *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | STRING of string
+  (* punctuation *)
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | COLON | SEMI | DOT | DOLLAR | ARROW | LT_ANGLE | GT_ANGLE
+  (* operators *)
+  | OP of string (* multi-char operators: == != <= >= << >> && || += etc. *)
+  | EOF
+
+type pos = { line : int; col : int }
+
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+  mutable peeked : (token * pos) option;
+}
+
+exception Lex_error of string * pos
+
+let create src = { src; off = 0; line = 1; bol = 0; peeked = None }
+
+let pos t = { line = t.line; col = t.off - t.bol + 1 }
+
+let error t fmt =
+  Printf.ksprintf (fun s -> raise (Lex_error (s, pos t))) fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '/'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char t =
+  if t.off < String.length t.src then Some t.src.[t.off] else None
+
+let advance t =
+  (match peek_char t with
+   | Some '\n' ->
+     t.line <- t.line + 1;
+     t.bol <- t.off + 1
+   | _ -> ());
+  t.off <- t.off + 1
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance t;
+    skip_ws t
+  | Some '#' ->
+    (* line comment *)
+    let rec to_eol () =
+      match peek_char t with
+      | Some '\n' | None -> ()
+      | Some _ -> advance t; to_eol ()
+    in
+    to_eol ();
+    skip_ws t
+  | _ -> ()
+
+let lex_ident t =
+  let start = t.off in
+  while (match peek_char t with Some c -> is_ident_char c | None -> false) do
+    advance t
+  done;
+  IDENT (String.sub t.src start (t.off - start))
+
+let lex_number t =
+  let start = t.off in
+  (* 0x... hex *)
+  if
+    peek_char t = Some '0'
+    && t.off + 1 < String.length t.src
+    && (t.src.[t.off + 1] = 'x' || t.src.[t.off + 1] = 'X')
+  then begin
+    advance t;
+    advance t;
+    while
+      match peek_char t with
+      | Some c ->
+        is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      | None -> false
+    do
+      advance t
+    done
+  end
+  else
+    while
+      match peek_char t with
+      | Some c -> is_digit c || c = '_'
+      | None -> false
+    do
+      advance t
+    done;
+  let text =
+    String.sub t.src start (t.off - start)
+    |> String.split_on_char '_' |> String.concat ""
+  in
+  match Int64.of_string_opt text with
+  | Some v -> INT v
+  | None -> error t "bad integer literal %s" text
+
+let lex_string t =
+  advance t; (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> error t "unterminated string"
+    | Some '"' -> advance t
+    | Some c ->
+      advance t;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let two_char_op t a rest =
+  match peek_char t with
+  | Some c when List.mem c rest ->
+    advance t;
+    OP (Printf.sprintf "%c%c" a c)
+  | _ -> OP (String.make 1 a)
+
+let next_token t =
+  skip_ws t;
+  let p = pos t in
+  let tok =
+    match peek_char t with
+    | None -> EOF
+    | Some c when is_ident_start c -> lex_ident t
+    | Some c when is_digit c -> lex_number t
+    | Some '"' -> lex_string t
+    | Some '{' -> advance t; LBRACE
+    | Some '}' -> advance t; RBRACE
+    | Some '(' -> advance t; LPAREN
+    | Some ')' -> advance t; RPAREN
+    | Some '[' -> advance t; LBRACKET
+    | Some ']' -> advance t; RBRACKET
+    | Some ',' -> advance t; COMMA
+    | Some ';' -> advance t; SEMI
+    | Some ':' -> advance t; COLON
+    | Some '.' -> advance t; DOT
+    | Some '$' -> advance t; DOLLAR
+    | Some '=' -> advance t; two_char_op t '=' [ '=' ]
+    | Some '!' -> advance t; two_char_op t '!' [ '=' ]
+    | Some '+' -> advance t; two_char_op t '+' [ '=' ]
+    | Some '-' ->
+      advance t;
+      (match peek_char t with
+       | Some '>' -> advance t; ARROW
+       | _ -> OP "-")
+    | Some '*' -> advance t; OP "*"
+    | Some '/' -> advance t; OP "/"
+    | Some '%' -> advance t; OP "%"
+    | Some '~' -> advance t; OP "~"
+    | Some '^' -> advance t; OP "^"
+    | Some '&' -> advance t; two_char_op t '&' [ '&' ]
+    | Some '|' -> advance t; two_char_op t '|' [ '|' ]
+    | Some '<' ->
+      advance t;
+      (match peek_char t with
+       | Some '=' -> advance t; OP "<="
+       | Some '<' -> advance t; OP "<<"
+       | _ -> LT_ANGLE)
+    | Some '>' ->
+      advance t;
+      (match peek_char t with
+       | Some '=' -> advance t; OP ">="
+       | Some '>' -> advance t; OP ">>"
+       | _ -> GT_ANGLE)
+    | Some c -> error t "unexpected character %c" c
+  in
+  (tok, p)
+
+let peek t =
+  match t.peeked with
+  | Some tp -> tp
+  | None ->
+    let tp = next_token t in
+    t.peeked <- Some tp;
+    tp
+
+let next t =
+  match t.peeked with
+  | Some tp ->
+    t.peeked <- None;
+    tp
+  | None -> next_token t
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | INT v -> Printf.sprintf "integer %Ld" v
+  | STRING s -> Printf.sprintf "string %S" s
+  | LBRACE -> "{" | RBRACE -> "}" | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]" | COMMA -> "," | COLON -> ":"
+  | SEMI -> ";" | DOT -> "." | DOLLAR -> "$" | ARROW -> "->"
+  | LT_ANGLE -> "<" | GT_ANGLE -> ">"
+  | OP s -> s
+  | EOF -> "end of input"

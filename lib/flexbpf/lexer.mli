@@ -1,0 +1,33 @@
+(** Hand-rolled lexer for the FlexBPF surface syntax ([Syntax]).
+
+    Identifiers may contain ['/'] so namespaced tenant names lex as one
+    token; consequently the division operator must be surrounded by
+    spaces. ['#'] starts a line comment. *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | STRING of string
+  | LBRACE | RBRACE | LPAREN | RPAREN | LBRACKET | RBRACKET
+  | COMMA | COLON | SEMI | DOT | DOLLAR | ARROW | LT_ANGLE | GT_ANGLE
+  | OP of string (* operators: + - * / % ~ ^ == != <= >= << >> && || += ! & | = *)
+  | EOF
+
+type pos = { line : int; col : int }
+
+type t
+
+exception Lex_error of string * pos
+
+val create : string -> t
+
+(** Position of the next token. *)
+val pos : t -> pos
+
+(** Look at the next token without consuming it. *)
+val peek : t -> token * pos
+
+(** Consume and return the next token. *)
+val next : t -> token * pos
+
+val token_to_string : token -> string

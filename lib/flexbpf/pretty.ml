@@ -1,0 +1,105 @@
+(** Pretty-printing of FlexBPF programs, used in error messages, logs,
+    and example output. *)
+
+open Ast
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+
+let unop_to_string = function Not -> "!" | Neg -> "-" | Bnot -> "~"
+
+let hash_to_string = function
+  | Crc16 -> "crc16" | Crc32 -> "crc32" | Identity -> "identity"
+
+let rec pp_expr ppf = function
+  | Const v -> Fmt.pf ppf "%Ld" v
+  | Field (h, f) -> Fmt.pf ppf "%s.%s" h f
+  | Meta m -> Fmt.pf ppf "meta.%s" m
+  | Param p -> Fmt.pf ppf "$%s" p
+  | Map_get (m, keys) ->
+    Fmt.pf ppf "%s[%a]" m Fmt.(list ~sep:comma pp_expr) keys
+  | Bin (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_to_string op) pp_expr b
+  | Un (op, e) -> Fmt.pf ppf "%s%a" (unop_to_string op) pp_expr e
+  | Hash (alg, es) ->
+    Fmt.pf ppf "%s(%a)" (hash_to_string alg) Fmt.(list ~sep:comma pp_expr) es
+  | Time -> Fmt.string ppf "now()"
+
+let rec pp_stmt ppf = function
+  | Nop -> Fmt.string ppf "nop"
+  | Set_field (h, f, e) -> Fmt.pf ppf "%s.%s = %a" h f pp_expr e
+  | Set_meta (m, e) -> Fmt.pf ppf "meta.%s = %a" m pp_expr e
+  | Map_put (m, keys, v) ->
+    Fmt.pf ppf "%s[%a] = %a" m Fmt.(list ~sep:comma pp_expr) keys pp_expr v
+  | Map_incr (m, keys, v) ->
+    Fmt.pf ppf "%s[%a] += %a" m Fmt.(list ~sep:comma pp_expr) keys pp_expr v
+  | Map_del (m, keys) ->
+    Fmt.pf ppf "delete %s[%a]" m Fmt.(list ~sep:comma pp_expr) keys
+  | If (c, th, []) ->
+    Fmt.pf ppf "if %a { %a }" pp_expr c pp_stmts th
+  | If (c, th, el) ->
+    Fmt.pf ppf "if %a { %a } else { %a }" pp_expr c pp_stmts th pp_stmts el
+  | Loop (n, body) -> Fmt.pf ppf "repeat %d { %a }" n pp_stmts body
+  | Forward e -> Fmt.pf ppf "forward(%a)" pp_expr e
+  | Drop -> Fmt.string ppf "drop"
+  | Punt d -> Fmt.pf ppf "punt(%s)" d
+  | Push_header h -> Fmt.pf ppf "push(%s)" h
+  | Pop_header h -> Fmt.pf ppf "pop(%s)" h
+  | Call (svc, args) ->
+    Fmt.pf ppf "drpc %s(%a)" svc Fmt.(list ~sep:comma pp_expr) args
+
+and pp_stmts ppf stmts = Fmt.(list ~sep:(any "; ") pp_stmt) ppf stmts
+
+let match_kind_to_string = function
+  | Exact -> "exact" | Lpm -> "lpm" | Ternary -> "ternary" | Range -> "range"
+
+let pp_action ppf a =
+  Fmt.pf ppf "action %s(%a) { %a }" a.act_name
+    Fmt.(list ~sep:comma string) a.params pp_stmts a.body
+
+let pp_table ppf t =
+  let pp_key ppf (e, k) = Fmt.pf ppf "%a:%s" pp_expr e (match_kind_to_string k) in
+  Fmt.pf ppf "@[<v2>table %s (size %d) {@ keys: %a@ %a@ default: %s@]@ }"
+    t.tbl_name t.tbl_size
+    Fmt.(list ~sep:comma pp_key) t.keys
+    Fmt.(list ~sep:cut pp_action) t.tbl_actions
+    (fst t.default_action)
+
+let pp_element ppf = function
+  | Table t -> pp_table ppf t
+  | Block b -> Fmt.pf ppf "@[<v2>block %s {@ %a@]@ }" b.blk_name pp_stmts b.blk_body
+
+let pp_map ppf (m : map_decl) =
+  let enc = match m.encoding with
+    | Enc_auto -> "auto" | Enc_registers -> "registers"
+    | Enc_flow_state -> "flow_state" | Enc_stateful_table -> "stateful_table"
+  in
+  Fmt.pf ppf "map %s<%d keys, %d entries, %s>" m.map_name m.key_arity
+    m.map_size enc
+
+let pp_parser_rule ppf r =
+  Fmt.pf ppf "parse %s: %a" r.pr_name Fmt.(list ~sep:(any "->") string) r.pr_headers
+
+let pp_program ppf p =
+  Fmt.pf ppf "@[<v2>program %s (owner %s) {@ %a@ %a@ %a@]@ }" p.prog_name
+    p.owner
+    Fmt.(list ~sep:cut pp_parser_rule) p.parser
+    Fmt.(list ~sep:cut pp_map) p.maps
+    Fmt.(list ~sep:cut pp_element) p.pipeline
+
+let pattern_to_string = function
+  | P_exact v -> Printf.sprintf "%Ld" v
+  | P_lpm (v, l) -> Printf.sprintf "%Ld/%d" v l
+  | P_ternary (v, m) -> Printf.sprintf "%Ld&%Ld" v m
+  | P_range (a, b) -> Printf.sprintf "[%Ld..%Ld]" a b
+  | P_any -> "*"
+
+let pp_rule ppf r =
+  Fmt.pf ppf "[%d] %a -> %s(%a)" r.rule_priority
+    Fmt.(list ~sep:comma (of_to_string pattern_to_string)) r.matches
+    r.rule_action Fmt.(list ~sep:comma int64) r.rule_args
+
+let program_to_string p = Fmt.str "%a" pp_program p

@@ -1,0 +1,21 @@
+(** Pretty-printing of FlexBPF programs for error messages, logs, and
+    example output (not parseable — see [Syntax] for that). *)
+
+val binop_to_string : Ast.binop -> string
+val unop_to_string : Ast.unop -> string
+val hash_to_string : Ast.hash_alg -> string
+val match_kind_to_string : Ast.match_kind -> string
+val pattern_to_string : Ast.pattern -> string
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_stmts : Format.formatter -> Ast.stmt list -> unit
+val pp_action : Format.formatter -> Ast.action -> unit
+val pp_table : Format.formatter -> Ast.table -> unit
+val pp_element : Format.formatter -> Ast.element -> unit
+val pp_map : Format.formatter -> Ast.map_decl -> unit
+val pp_parser_rule : Format.formatter -> Ast.parser_rule -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val pp_rule : Format.formatter -> Ast.rule -> unit
+
+val program_to_string : Ast.program -> string

@@ -1,0 +1,195 @@
+(** Physical encodings of the logical key/value map (§3.1).
+
+    The paper's point: individual devices implement network state in
+    drastically different ways — P4 "extern" registers, PoF flow-state
+    instruction sets, Mellanox stateful tables — and a program pinned to
+    one encoding cannot migrate. We model all three behind one
+    interface, plus a logical snapshot format that is the migration
+    representation ("program migration carries its state in this logical
+    representation").
+
+    Behavioral differences preserved:
+    - Registers: hash-indexed fixed array; distinct keys may alias
+      (collision overwrites), reads are always defined.
+    - Flow-state ISA: explicit insertion; once full, writes to unknown
+      keys are rejected (counted as overflow) — like PoF instruction
+      state blocks.
+    - Stateful table: keyed by flow key with data-plane auto-insert and
+      LRU eviction when full — like Spectrum flow caching. *)
+
+type key = int64 list
+
+type concrete = Registers | Flow_state | Stateful_table
+
+let concrete_of_encoding = function
+  | Ast.Enc_registers -> Some Registers
+  | Ast.Enc_flow_state -> Some Flow_state
+  | Ast.Enc_stateful_table -> Some Stateful_table
+  | Ast.Enc_auto -> None
+
+let concrete_to_string = function
+  | Registers -> "registers"
+  | Flow_state -> "flow_state"
+  | Stateful_table -> "stateful_table"
+
+type snapshot = {
+  snap_map : string;
+  snap_entries : (key * int64) list;
+}
+
+type fs_store = {
+  fs_tbl : (key, int64) Hashtbl.t;
+  fs_cap : int;
+  mutable overflow_count : int;
+}
+
+type st_store = {
+  st_tbl : (key, int64) Hashtbl.t;
+  lru : (key, int) Hashtbl.t; (* key -> last-touch tick *)
+  st_cap : int;
+  mutable tick : int;
+  mutable eviction_count : int;
+}
+
+type store =
+  | Reg of (key option * int64) array
+  | Fs of fs_store
+  | St of st_store
+
+type t = { name : string; store : store }
+
+let slot n key = Hashtbl.hash key mod n
+
+let create ~name ~size (enc : concrete) =
+  let size = max 1 size in
+  let store =
+    match enc with
+    | Registers -> Reg (Array.make size (None, 0L))
+    | Flow_state ->
+      Fs { fs_tbl = Hashtbl.create size; fs_cap = size; overflow_count = 0 }
+    | Stateful_table ->
+      St { st_tbl = Hashtbl.create size; lru = Hashtbl.create size;
+           st_cap = size; tick = 0; eviction_count = 0 }
+  in
+  { name; store }
+
+let of_decl (decl : Ast.map_decl) ?(default = Stateful_table) () =
+  let enc =
+    Option.value (concrete_of_encoding decl.encoding) ~default
+  in
+  create ~name:decl.map_name ~size:decl.map_size enc
+
+let encoding t =
+  match t.store with
+  | Reg _ -> Registers
+  | Fs _ -> Flow_state
+  | St _ -> Stateful_table
+
+let touch (st : store) key =
+  match st with
+  | St s ->
+    s.tick <- s.tick + 1;
+    Hashtbl.replace s.lru key s.tick
+  | _ -> ()
+
+let evict_lru s =
+  (* find least-recently used key *)
+  let victim =
+    Hashtbl.fold
+      (fun k tick acc ->
+        match acc with
+        | Some (_, best) when best <= tick -> acc
+        | _ -> Some (k, tick))
+      s.lru None
+  in
+  match victim with
+  | Some (k, _) ->
+    Hashtbl.remove s.st_tbl k;
+    Hashtbl.remove s.lru k;
+    s.eviction_count <- s.eviction_count + 1
+  | None -> ()
+
+let get t key =
+  match t.store with
+  | Reg arr -> snd arr.(slot (Array.length arr) key)
+  | Fs f -> Option.value (Hashtbl.find_opt f.fs_tbl key) ~default:0L
+  | St s ->
+    (match Hashtbl.find_opt s.st_tbl key with
+     | Some v -> touch t.store key; v
+     | None -> 0L)
+
+let mem t key =
+  match t.store with
+  | Reg arr -> fst arr.(slot (Array.length arr) key) = Some key
+  | Fs f -> Hashtbl.mem f.fs_tbl key
+  | St s -> Hashtbl.mem s.st_tbl key
+
+let put t key v =
+  match t.store with
+  | Reg arr -> arr.(slot (Array.length arr) key) <- (Some key, v)
+  | Fs f ->
+    if Hashtbl.mem f.fs_tbl key then Hashtbl.replace f.fs_tbl key v
+    else if Hashtbl.length f.fs_tbl < f.fs_cap then Hashtbl.replace f.fs_tbl key v
+    else f.overflow_count <- f.overflow_count + 1
+  | St s ->
+    if (not (Hashtbl.mem s.st_tbl key)) && Hashtbl.length s.st_tbl >= s.st_cap
+    then evict_lru s;
+    Hashtbl.replace s.st_tbl key v;
+    touch t.store key
+
+let incr t key delta =
+  let v = Int64.add (get t key) delta in
+  put t key v;
+  v
+
+let del t key =
+  match t.store with
+  | Reg arr ->
+    let i = slot (Array.length arr) key in
+    if fst arr.(i) = Some key then arr.(i) <- (None, 0L)
+  | Fs f -> Hashtbl.remove f.fs_tbl key
+  | St s ->
+    Hashtbl.remove s.st_tbl key;
+    Hashtbl.remove s.lru key
+
+let entries t =
+  match t.store with
+  | Reg arr ->
+    Array.to_list arr
+    |> List.filter_map (function Some k, v -> Some (k, v) | None, _ -> None)
+  | Fs f -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.fs_tbl []
+  | St s -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.st_tbl []
+
+let size t = List.length (entries t)
+
+let overflows t =
+  match t.store with Fs f -> f.overflow_count | _ -> 0
+
+let evictions t =
+  match t.store with St s -> s.eviction_count | _ -> 0
+
+(** Logical snapshot: the migration representation. Deterministically
+    ordered so snapshots are comparable in tests. *)
+let snapshot t =
+  { snap_map = t.name; snap_entries = List.sort compare (entries t) }
+
+(** Rebuild a map from a logical snapshot, possibly under a different
+    physical encoding — this is exactly the conversion the compiler
+    performs when a component migrates to a target with a different
+    state implementation. *)
+let restore ~name ~size enc snap =
+  let t = create ~name ~size enc in
+  List.iter (fun (k, v) -> put t k v) snap.snap_entries;
+  t
+
+let clear t =
+  match t.store with
+  | Reg arr -> Array.fill arr 0 (Array.length arr) (None, 0L)
+  | Fs f -> Hashtbl.reset f.fs_tbl
+  | St s -> Hashtbl.reset s.st_tbl; Hashtbl.reset s.lru
+
+(** Merge a snapshot into an existing map by summing values — used by
+    the data-plane migration protocol to fold in-flight updates into the
+    destination copy. *)
+let merge_add t snap =
+  List.iter (fun (k, v) -> ignore (incr t k v)) snap.snap_entries

@@ -1,0 +1,71 @@
+(** Physical encodings of the logical key/value map (§3.1).
+
+    Devices implement network state in drastically different ways — P4
+    "extern" registers, PoF flow-state instruction sets, Mellanox
+    stateful tables — and a program pinned to one encoding cannot
+    migrate. All three live behind this interface, plus a logical
+    snapshot format that is the migration representation.
+
+    Behavioral differences preserved:
+    - {b Registers}: hash-indexed fixed array; distinct keys may alias
+      (collision overwrites); reads always defined.
+    - {b Flow-state ISA}: explicit insertion; once full, writes to
+      unknown keys are rejected (counted as overflow).
+    - {b Stateful table}: data-plane auto-insert with LRU eviction when
+      full (Spectrum-style flow caching). *)
+
+type key = int64 list
+
+type concrete = Registers | Flow_state | Stateful_table
+
+val concrete_of_encoding : Ast.map_encoding -> concrete option
+val concrete_to_string : concrete -> string
+
+type snapshot = {
+  snap_map : string;
+  snap_entries : (key * int64) list; (* sorted, deterministic *)
+}
+
+type t
+
+val create : name:string -> size:int -> concrete -> t
+
+(** Instantiate a declared map; [default] resolves [Enc_auto]. *)
+val of_decl : Ast.map_decl -> ?default:concrete -> unit -> t
+
+val encoding : t -> concrete
+
+(** Reads of absent keys return 0 (total semantics). *)
+val get : t -> key -> int64
+
+val mem : t -> key -> bool
+val put : t -> key -> int64 -> unit
+
+(** Add [delta]; returns the new value. *)
+val incr : t -> key -> int64 -> int64
+
+val del : t -> key -> unit
+
+val entries : t -> (key * int64) list
+val size : t -> int
+
+(** Writes rejected by a full flow-state store. *)
+val overflows : t -> int
+
+(** LRU evictions performed by a stateful table. *)
+val evictions : t -> int
+
+(** Logical snapshot: the migration representation (deterministically
+    ordered). *)
+val snapshot : t -> snapshot
+
+(** Rebuild from a snapshot, possibly under a different physical
+    encoding — the conversion performed when a component migrates to a
+    target with a different state implementation. *)
+val restore : name:string -> size:int -> concrete -> snapshot -> t
+
+val clear : t -> unit
+
+(** Fold a snapshot in by summing values — used by the data-plane
+    migration protocol for in-flight updates. *)
+val merge_add : t -> snapshot -> unit

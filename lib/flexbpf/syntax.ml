@@ -1,0 +1,665 @@
+(** Concrete surface syntax for FlexBPF: parser and printer.
+
+    The paper proposes FlexBPF as a textual DSL; this module gives it a
+    concrete grammar so programs can live in files, be loaded by tools,
+    and round-trip through the printer ([parse_program (print p) = p]
+    for printable programs).
+
+    {v
+    # comment
+    program l2l3 owner infra {
+      header gre { proto:16 }
+      parse parse_gre: ethernet -> gre
+      map conn<2, 8192, stateful_table>
+
+      table acl(size 1024) {
+        keys: ipv4.src:ternary, ipv4.dst:ternary
+        action permit() { nop }
+        action deny() { drop }
+        default: permit()
+      }
+
+      block guard {
+        if (ipv4.ttl <= 0) { drop }
+        conn[ipv4.src, ipv4.dst] += 1
+        meta.mark = ipv4.src + 5
+        forward(3)
+      }
+    }
+    v}
+
+    Notes: identifiers may contain ['/'] (namespaced tenant names), so
+    the division operator must be surrounded by spaces. [meta.x] reads
+    packet metadata, [$p] an action parameter, [now()] the virtual
+    clock, and [crc16/crc32/identity(...)] the hash functions. *)
+
+open Ast
+
+exception Parse_error of string * Lexer.pos
+
+let error lx fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, snd (Lexer.peek lx)))) fmt
+
+let expect lx tok =
+  let got, _ = Lexer.next lx in
+  if got <> tok then
+    error lx "expected %s, found %s" (Lexer.token_to_string tok)
+      (Lexer.token_to_string got)
+
+let expect_ident lx =
+  match Lexer.next lx with
+  | Lexer.IDENT s, _ -> s
+  | got, _ -> error lx "expected identifier, found %s" (Lexer.token_to_string got)
+
+let expect_int lx =
+  match Lexer.next lx with
+  | Lexer.INT v, _ -> v
+  | got, _ -> error lx "expected integer, found %s" (Lexer.token_to_string got)
+
+let accept lx tok =
+  if fst (Lexer.peek lx) = tok then begin
+    ignore (Lexer.next lx);
+    true
+  end
+  else false
+
+(* -- Expressions -------------------------------------------------------- *)
+
+(* precedence climbing: levels from loosest to tightest *)
+let binop_of_string = function
+  | "||" -> Some Lor | "&&" -> Some Land
+  | "|" -> Some Bor | "^" -> Some Bxor | "&" -> Some Band
+  | "==" -> Some Eq | "!=" -> Some Neq
+  | "<" -> Some Lt | "<=" -> Some Le | ">" -> Some Gt | ">=" -> Some Ge
+  | "<<" -> Some Shl | ">>" -> Some Shr
+  | "+" -> Some Add | "-" -> Some Sub
+  | "*" -> Some Mul | "/" -> Some Div | "%" -> Some Mod
+  | _ -> None
+
+let level_of = function
+  | Lor -> 1 | Land -> 2 | Bor -> 3 | Bxor -> 4 | Band -> 5
+  | Eq | Neq -> 6
+  | Lt | Le | Gt | Ge -> 7
+  | Shl | Shr -> 8
+  | Add | Sub -> 9
+  | Mul | Div | Mod -> 10
+
+let peek_binop lx =
+  match fst (Lexer.peek lx) with
+  | Lexer.OP s -> binop_of_string s
+  | Lexer.LT_ANGLE -> Some Lt
+  | Lexer.GT_ANGLE -> Some Gt
+  | _ -> None
+
+let hash_alg_of_name = function
+  | "crc16" -> Some Crc16
+  | "crc32" -> Some Crc32
+  | "identity" -> Some Identity
+  | _ -> None
+
+let rec parse_expr ?(min_level = 1) lx =
+  let lhs = parse_unary lx in
+  parse_binop_rhs lx min_level lhs
+
+and parse_binop_rhs lx min_level lhs =
+  match peek_binop lx with
+  | Some op when level_of op >= min_level ->
+    ignore (Lexer.next lx);
+    let rhs = parse_expr ~min_level:(level_of op + 1) lx in
+    parse_binop_rhs lx min_level (Bin (op, lhs, rhs))
+  | _ -> lhs
+
+and parse_unary lx =
+  match fst (Lexer.peek lx) with
+  | Lexer.OP "!" ->
+    ignore (Lexer.next lx);
+    Un (Not, parse_unary lx)
+  | Lexer.OP "-" ->
+    ignore (Lexer.next lx);
+    Un (Neg, parse_unary lx)
+  | Lexer.OP "~" ->
+    ignore (Lexer.next lx);
+    Un (Bnot, parse_unary lx)
+  | _ -> parse_primary lx
+
+and parse_primary lx =
+  match Lexer.next lx with
+  | Lexer.INT v, _ -> Const v
+  | Lexer.DOLLAR, _ -> Param (expect_ident lx)
+  | Lexer.LPAREN, _ ->
+    let e = parse_expr lx in
+    expect lx Lexer.RPAREN;
+    e
+  | Lexer.IDENT "now", _ ->
+    expect lx Lexer.LPAREN;
+    expect lx Lexer.RPAREN;
+    Time
+  | Lexer.IDENT name, _ ->
+    (match hash_alg_of_name name with
+     | Some alg when fst (Lexer.peek lx) = Lexer.LPAREN ->
+       ignore (Lexer.next lx);
+       let args = parse_expr_list lx Lexer.RPAREN in
+       Hash (alg, args)
+     | _ ->
+       (match fst (Lexer.peek lx) with
+        | Lexer.DOT ->
+          ignore (Lexer.next lx);
+          let f = expect_ident lx in
+          if name = "meta" then Meta f else Field (name, f)
+        | Lexer.LBRACKET ->
+          ignore (Lexer.next lx);
+          let keys = parse_expr_list lx Lexer.RBRACKET in
+          Map_get (name, keys)
+        | _ -> error lx "expected '.' or '[' after identifier %s" name))
+  | got, _ -> error lx "expected expression, found %s" (Lexer.token_to_string got)
+
+and parse_expr_list lx closer =
+  if accept lx closer then []
+  else begin
+    let rec go acc =
+      let e = parse_expr lx in
+      if accept lx Lexer.COMMA then go (e :: acc)
+      else begin
+        expect lx closer;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* -- Statements ---------------------------------------------------------- *)
+
+let rec parse_stmts lx =
+  let rec go acc =
+    ignore (accept lx Lexer.SEMI);
+    if fst (Lexer.peek lx) = Lexer.RBRACE then List.rev acc
+    else go (parse_stmt lx :: acc)
+  in
+  go []
+
+and parse_block_body lx =
+  expect lx Lexer.LBRACE;
+  let stmts = parse_stmts lx in
+  expect lx Lexer.RBRACE;
+  stmts
+
+and parse_stmt lx =
+  match Lexer.next lx with
+  | Lexer.IDENT "if", _ ->
+    expect lx Lexer.LPAREN;
+    let c = parse_expr lx in
+    expect lx Lexer.RPAREN;
+    let th = parse_block_body lx in
+    let el =
+      if fst (Lexer.peek lx) = Lexer.IDENT "else" then begin
+        ignore (Lexer.next lx);
+        parse_block_body lx
+      end
+      else []
+    in
+    If (c, th, el)
+  | Lexer.IDENT "repeat", _ ->
+    let n = Int64.to_int (expect_int lx) in
+    Loop (n, parse_block_body lx)
+  | Lexer.IDENT "forward", _ ->
+    expect lx Lexer.LPAREN;
+    let e = parse_expr lx in
+    expect lx Lexer.RPAREN;
+    Forward e
+  | Lexer.IDENT "drop", _ -> Drop
+  | Lexer.IDENT "nop", _ -> Nop
+  | Lexer.IDENT "punt", _ ->
+    expect lx Lexer.LPAREN;
+    let d = expect_ident lx in
+    expect lx Lexer.RPAREN;
+    Punt d
+  | Lexer.IDENT "push", _ ->
+    expect lx Lexer.LPAREN;
+    let h = expect_ident lx in
+    expect lx Lexer.RPAREN;
+    Push_header h
+  | Lexer.IDENT "pop", _ ->
+    expect lx Lexer.LPAREN;
+    let h = expect_ident lx in
+    expect lx Lexer.RPAREN;
+    Pop_header h
+  | Lexer.IDENT "drpc", _ ->
+    let svc = expect_ident lx in
+    expect lx Lexer.LPAREN;
+    let args = parse_expr_list lx Lexer.RPAREN in
+    Call (svc, args)
+  | Lexer.IDENT "delete", _ ->
+    let m = expect_ident lx in
+    expect lx Lexer.LBRACKET;
+    let keys = parse_expr_list lx Lexer.RBRACKET in
+    Map_del (m, keys)
+  | Lexer.IDENT name, _ -> parse_assignment lx name
+  | got, _ -> error lx "expected statement, found %s" (Lexer.token_to_string got)
+
+(* lvalue "=" expr | lvalue "+=" expr, where lvalue is
+   meta.x | header.field | map[keys] *)
+and parse_assignment lx name =
+  match Lexer.next lx with
+  | Lexer.DOT, _ ->
+    let f = expect_ident lx in
+    let op, _ = Lexer.next lx in
+    let rhs = parse_expr lx in
+    (match op, name with
+     | Lexer.OP "=", "meta" -> Set_meta (f, rhs)
+     | Lexer.OP "=", _ -> Set_field (name, f, rhs)
+     | Lexer.OP "+=", "meta" -> Set_meta (f, Bin (Add, Meta f, rhs))
+     | Lexer.OP "+=", _ -> Set_field (name, f, Bin (Add, Field (name, f), rhs))
+     | got, _ -> error lx "expected = or +=, found %s" (Lexer.token_to_string got))
+  | Lexer.LBRACKET, _ ->
+    let keys = parse_expr_list lx Lexer.RBRACKET in
+    let op, _ = Lexer.next lx in
+    let rhs = parse_expr lx in
+    (match op with
+     | Lexer.OP "=" -> Map_put (name, keys, rhs)
+     | Lexer.OP "+=" -> Map_incr (name, keys, rhs)
+     | got -> error lx "expected = or +=, found %s" (Lexer.token_to_string got))
+  | got, _ ->
+    error lx "expected '.' or '[' after %s, found %s" name
+      (Lexer.token_to_string got)
+
+(* -- Declarations --------------------------------------------------------- *)
+
+let parse_header lx =
+  let hdr_name = expect_ident lx in
+  expect lx Lexer.LBRACE;
+  let rec fields acc =
+    let f = expect_ident lx in
+    expect lx Lexer.COLON;
+    let w = Int64.to_int (expect_int lx) in
+    if accept lx Lexer.COMMA then fields ((f, w) :: acc)
+    else begin
+      expect lx Lexer.RBRACE;
+      List.rev ((f, w) :: acc)
+    end
+  in
+  { hdr_name; hdr_fields = fields [] }
+
+let parse_parse_rule lx =
+  let pr_name = expect_ident lx in
+  expect lx Lexer.COLON;
+  let rec headers acc =
+    let h = expect_ident lx in
+    if accept lx Lexer.ARROW then headers (h :: acc) else List.rev (h :: acc)
+  in
+  { pr_name; pr_headers = headers [] }
+
+let encoding_of_name lx = function
+  | "auto" -> Enc_auto
+  | "registers" -> Enc_registers
+  | "flow_state" -> Enc_flow_state
+  | "stateful_table" -> Enc_stateful_table
+  | s -> error lx "unknown map encoding %s" s
+
+let parse_map lx =
+  let map_name = expect_ident lx in
+  expect lx Lexer.LT_ANGLE;
+  let key_arity = Int64.to_int (expect_int lx) in
+  expect lx Lexer.COMMA;
+  let map_size = Int64.to_int (expect_int lx) in
+  let encoding =
+    if accept lx Lexer.COMMA then encoding_of_name lx (expect_ident lx)
+    else Enc_auto
+  in
+  expect lx Lexer.GT_ANGLE;
+  { map_name; key_arity; map_size; encoding }
+
+let match_kind_of_name lx = function
+  | "exact" -> Exact
+  | "lpm" -> Lpm
+  | "ternary" -> Ternary
+  | "range" -> Range
+  | s -> error lx "unknown match kind %s" s
+
+let parse_table lx =
+  let tbl_name = expect_ident lx in
+  let tbl_size =
+    if accept lx Lexer.LPAREN then begin
+      (match Lexer.next lx with
+       | Lexer.IDENT "size", _ -> ()
+       | got, _ -> error lx "expected 'size', found %s" (Lexer.token_to_string got));
+      let n = Int64.to_int (expect_int lx) in
+      expect lx Lexer.RPAREN;
+      n
+    end
+    else 1024
+  in
+  expect lx Lexer.LBRACE;
+  (match Lexer.next lx with
+   | Lexer.IDENT "keys", _ -> ()
+   | got, _ -> error lx "expected 'keys', found %s" (Lexer.token_to_string got));
+  expect lx Lexer.COLON;
+  (* keys: expr:kind, ... — the expression must not consume the
+     ':kind' part, so we parse at a level above comparisons? No:
+     ':' is not an operator, so plain parse works. *)
+  let rec keys acc =
+    let e = parse_expr lx in
+    expect lx Lexer.COLON;
+    let k = match_kind_of_name lx (expect_ident lx) in
+    if accept lx Lexer.COMMA then keys ((e, k) :: acc)
+    else List.rev ((e, k) :: acc)
+  in
+  let keys = keys [] in
+  let actions = ref [] in
+  let default = ref None in
+  let rec items () =
+    match fst (Lexer.peek lx) with
+    | Lexer.IDENT "action" ->
+      ignore (Lexer.next lx);
+      let act_name = expect_ident lx in
+      expect lx Lexer.LPAREN;
+      let rec params acc =
+        match Lexer.next lx with
+        | Lexer.RPAREN, _ -> List.rev acc
+        | Lexer.IDENT p, _ ->
+          if accept lx Lexer.COMMA then params (p :: acc)
+          else begin
+            expect lx Lexer.RPAREN;
+            List.rev (p :: acc)
+          end
+        | got, _ ->
+          error lx "expected parameter, found %s" (Lexer.token_to_string got)
+      in
+      let params = params [] in
+      let body = parse_block_body lx in
+      actions := { act_name; params; body } :: !actions;
+      items ()
+    | Lexer.IDENT "default" ->
+      ignore (Lexer.next lx);
+      expect lx Lexer.COLON;
+      let name = expect_ident lx in
+      expect lx Lexer.LPAREN;
+      let rec args acc =
+        match Lexer.next lx with
+        | Lexer.RPAREN, _ -> List.rev acc
+        | Lexer.INT v, _ ->
+          if accept lx Lexer.COMMA then args (v :: acc)
+          else begin
+            expect lx Lexer.RPAREN;
+            List.rev (v :: acc)
+          end
+        | got, _ ->
+          error lx "expected integer argument, found %s"
+            (Lexer.token_to_string got)
+      in
+      default := Some (name, args []);
+      items ()
+    | Lexer.RBRACE ->
+      ignore (Lexer.next lx)
+    | got -> error lx "expected action/default/}, found %s" (Lexer.token_to_string got)
+  in
+  items ();
+  let tbl_actions = List.rev !actions in
+  let default_action =
+    match !default with
+    | Some d -> d
+    | None ->
+      (match tbl_actions with
+       | a :: _ -> (a.act_name, List.map (fun _ -> 0L) a.params)
+       | [] -> error lx "table %s has no actions" tbl_name)
+  in
+  { tbl_name; keys; tbl_actions; default_action; tbl_size }
+
+let parse_block lx =
+  let blk_name = expect_ident lx in
+  let blk_body = parse_block_body lx in
+  { blk_name; blk_body }
+
+(** Parse a whole program from source text. *)
+let parse_program src =
+  let lx = Lexer.create src in
+  (match Lexer.next lx with
+   | Lexer.IDENT "program", _ -> ()
+   | got, _ -> error lx "expected 'program', found %s" (Lexer.token_to_string got));
+  let prog_name = expect_ident lx in
+  let owner =
+    if fst (Lexer.peek lx) = Lexer.IDENT "owner" then begin
+      ignore (Lexer.next lx);
+      expect_ident lx
+    end
+    else "infra"
+  in
+  expect lx Lexer.LBRACE;
+  let headers = ref [] and parser_rules = ref [] in
+  let maps = ref [] and pipeline = ref [] in
+  let rec items () =
+    match Lexer.next lx with
+    | Lexer.IDENT "header", _ ->
+      headers := parse_header lx :: !headers;
+      items ()
+    | Lexer.IDENT "parse", _ ->
+      parser_rules := parse_parse_rule lx :: !parser_rules;
+      items ()
+    | Lexer.IDENT "map", _ ->
+      maps := parse_map lx :: !maps;
+      items ()
+    | Lexer.IDENT "table", _ ->
+      pipeline := Table (parse_table lx) :: !pipeline;
+      items ()
+    | Lexer.IDENT "block", _ ->
+      pipeline := Block (parse_block lx) :: !pipeline;
+      items ()
+    | Lexer.RBRACE, _ -> ()
+    | got, _ ->
+      error lx "expected header/parse/map/table/block/}, found %s"
+        (Lexer.token_to_string got)
+  in
+  items ();
+  (match Lexer.next lx with
+   | Lexer.EOF, _ -> ()
+   | got, _ ->
+     error lx "trailing input: %s" (Lexer.token_to_string got));
+  (* default headers/parser when the program declares none, mirroring
+     Builder.program's convention *)
+  let headers =
+    if !headers = [] then Builder.standard_headers
+    else Builder.standard_headers @ List.rev !headers
+  in
+  let parser_rules =
+    if !parser_rules = [] then Builder.standard_parser
+    else Builder.standard_parser @ List.rev !parser_rules
+  in
+  { prog_name; owner; headers; parser = parser_rules; maps = List.rev !maps;
+    pipeline = List.rev !pipeline }
+
+let parse_program_result src =
+  match parse_program src with
+  | p -> Ok p
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "line %d, column %d: %s" pos.Lexer.line pos.Lexer.col msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "line %d, column %d: %s" pos.Lexer.line pos.Lexer.col msg)
+
+(* -- Printer (emits parseable text) --------------------------------------- *)
+
+let binop_to_syntax = Pretty.binop_to_string
+
+let rec print_expr buf e =
+  let pe = print_expr buf in
+  match e with
+  | Const v -> Buffer.add_string buf (Int64.to_string v)
+  | Field (h, f) -> Buffer.add_string buf (h ^ "." ^ f)
+  | Meta m -> Buffer.add_string buf ("meta." ^ m)
+  | Param p -> Buffer.add_string buf ("$" ^ p)
+  | Map_get (m, keys) ->
+    Buffer.add_string buf m;
+    Buffer.add_char buf '[';
+    print_list buf keys;
+    Buffer.add_char buf ']'
+  | Bin (op, a, b) ->
+    Buffer.add_char buf '(';
+    pe a;
+    Buffer.add_string buf (" " ^ binop_to_syntax op ^ " ");
+    pe b;
+    Buffer.add_char buf ')'
+  | Un (op, e) ->
+    Buffer.add_string buf (Pretty.unop_to_string op);
+    Buffer.add_char buf '(';
+    pe e;
+    Buffer.add_char buf ')'
+  | Hash (alg, es) ->
+    Buffer.add_string buf (Pretty.hash_to_string alg);
+    Buffer.add_char buf '(';
+    print_list buf es;
+    Buffer.add_char buf ')'
+  | Time -> Buffer.add_string buf "now()"
+
+and print_list buf es =
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string buf ", ";
+      print_expr buf e)
+    es
+
+let rec print_stmt buf indent s =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf pad;
+  match s with
+  | Nop -> Buffer.add_string buf "nop\n"
+  | Drop -> Buffer.add_string buf "drop\n"
+  | Punt d -> Buffer.add_string buf (Printf.sprintf "punt(%s)\n" d)
+  | Push_header h -> Buffer.add_string buf (Printf.sprintf "push(%s)\n" h)
+  | Pop_header h -> Buffer.add_string buf (Printf.sprintf "pop(%s)\n" h)
+  | Forward e ->
+    Buffer.add_string buf "forward(";
+    print_expr buf e;
+    Buffer.add_string buf ")\n"
+  | Set_field (h, f, e) ->
+    Buffer.add_string buf (h ^ "." ^ f ^ " = ");
+    print_expr buf e;
+    Buffer.add_char buf '\n'
+  | Set_meta (m, e) ->
+    Buffer.add_string buf ("meta." ^ m ^ " = ");
+    print_expr buf e;
+    Buffer.add_char buf '\n'
+  | Map_put (m, keys, v) ->
+    Buffer.add_string buf m;
+    Buffer.add_char buf '[';
+    print_list buf keys;
+    Buffer.add_string buf "] = ";
+    print_expr buf v;
+    Buffer.add_char buf '\n'
+  | Map_incr (m, keys, v) ->
+    Buffer.add_string buf m;
+    Buffer.add_char buf '[';
+    print_list buf keys;
+    Buffer.add_string buf "] += ";
+    print_expr buf v;
+    Buffer.add_char buf '\n'
+  | Map_del (m, keys) ->
+    Buffer.add_string buf ("delete " ^ m ^ "[");
+    print_list buf keys;
+    Buffer.add_string buf "]\n"
+  | Call (svc, args) ->
+    Buffer.add_string buf ("drpc " ^ svc ^ "(");
+    print_list buf args;
+    Buffer.add_string buf ")\n"
+  | If (c, th, el) ->
+    Buffer.add_string buf "if (";
+    print_expr buf c;
+    Buffer.add_string buf ") {\n";
+    List.iter (print_stmt buf (indent + 2)) th;
+    Buffer.add_string buf (pad ^ "}");
+    if el <> [] then begin
+      Buffer.add_string buf " else {\n";
+      List.iter (print_stmt buf (indent + 2)) el;
+      Buffer.add_string buf (pad ^ "}")
+    end;
+    Buffer.add_char buf '\n'
+  | Loop (n, body) ->
+    Buffer.add_string buf (Printf.sprintf "repeat %d {\n" n);
+    List.iter (print_stmt buf (indent + 2)) body;
+    Buffer.add_string buf (pad ^ "}\n")
+
+let encoding_to_name = function
+  | Enc_auto -> "auto"
+  | Enc_registers -> "registers"
+  | Enc_flow_state -> "flow_state"
+  | Enc_stateful_table -> "stateful_table"
+
+let print_element buf = function
+  | Table t ->
+    Buffer.add_string buf
+      (Printf.sprintf "  table %s(size %d) {\n    keys: " t.tbl_name t.tbl_size);
+    List.iteri
+      (fun i (e, k) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        print_expr buf e;
+        Buffer.add_string buf (":" ^ Pretty.match_kind_to_string k))
+      t.keys;
+    Buffer.add_char buf '\n';
+    List.iter
+      (fun a ->
+        Buffer.add_string buf
+          (Printf.sprintf "    action %s(%s) {\n" a.act_name
+             (String.concat ", " a.params));
+        List.iter (print_stmt buf 6) a.body;
+        Buffer.add_string buf "    }\n")
+      t.tbl_actions;
+    let dname, dargs = t.default_action in
+    Buffer.add_string buf
+      (Printf.sprintf "    default: %s(%s)\n  }\n" dname
+         (String.concat ", " (List.map Int64.to_string dargs)))
+  | Block b ->
+    Buffer.add_string buf (Printf.sprintf "  block %s {\n" b.blk_name);
+    List.iter (print_stmt buf 4) b.blk_body;
+    Buffer.add_string buf "  }\n"
+
+(** Print a program in the surface syntax. Standard headers and parser
+    rules (the Builder defaults) are omitted on output and re-added on
+    parse, so Builder-constructed programs round-trip. *)
+let print (p : program) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "program %s owner %s {\n" p.prog_name p.owner);
+  List.iter
+    (fun h ->
+      if not (List.memq h Builder.standard_headers)
+         && not
+              (List.exists
+                 (fun (s : header_decl) -> s.hdr_name = h.hdr_name)
+                 Builder.standard_headers)
+      then begin
+        Buffer.add_string buf (Printf.sprintf "  header %s { " h.hdr_name);
+        List.iteri
+          (fun i (f, w) ->
+            if i > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "%s:%d" f w))
+          h.hdr_fields;
+        Buffer.add_string buf " }\n"
+      end)
+    p.headers;
+  List.iter
+    (fun r ->
+      if
+        not
+          (List.exists
+             (fun (s : parser_rule) -> s.pr_name = r.pr_name)
+             Builder.standard_parser)
+      then
+        Buffer.add_string buf
+          (Printf.sprintf "  parse %s: %s\n" r.pr_name
+             (String.concat " -> " r.pr_headers)))
+    p.parser;
+  List.iter
+    (fun (m : map_decl) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  map %s<%d, %d, %s>\n" m.map_name m.key_arity
+           m.map_size (encoding_to_name m.encoding)))
+    p.maps;
+  List.iter (print_element buf) p.pipeline;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+(** Parse, then typecheck; the convenience entry point for tools. *)
+let load src =
+  match parse_program_result src with
+  | Error _ as e -> e
+  | Ok p ->
+    (match Typecheck.check_program p with
+     | Ok () -> Ok p
+     | Error es ->
+       Error (Fmt.str "%a" Fmt.(list ~sep:(any "; ") Typecheck.pp_error) es))

@@ -1,0 +1,28 @@
+(** Concrete surface syntax for FlexBPF: parser and printer.
+
+    The paper proposes FlexBPF as a textual DSL; this module gives it a
+    concrete grammar so programs can live in files, be loaded by tools,
+    and round-trip through the printer ([parse_program (print p) = p]
+    for printable programs). See the implementation header for the
+    grammar and an example.
+
+    Identifiers may contain ['/'] (namespaced tenant names), so the
+    division operator must be surrounded by spaces. *)
+
+exception Parse_error of string * Lexer.pos
+
+(** @raise Parse_error / [Lexer.Lex_error] on malformed input.
+    Programs that declare no headers/parser rules get the [Builder]
+    standard ones, mirroring [Builder.program]. *)
+val parse_program : string -> Ast.program
+
+(** Exception-free wrapper; the error string carries line/column. *)
+val parse_program_result : string -> (Ast.program, string) result
+
+(** Print a program in the surface syntax. Standard headers and parser
+    rules are omitted on output and re-added on parse, so
+    [Builder]-constructed programs round-trip. *)
+val print : Ast.program -> string
+
+(** Parse then typecheck — the entry point for tools. *)
+val load : string -> (Ast.program, string) result

@@ -1,0 +1,23 @@
+(** Well-formedness checking for FlexBPF programs.
+
+    Every name must resolve (headers, fields, maps, actions), map
+    accesses must match the declared key arity, action parameters must
+    be declared, and loop bounds must be positive and below the
+    target-independent ceiling. Rules are checked separately against
+    their table at install time. *)
+
+type error = { where : string; what : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Upper bound on [Loop] counts. *)
+val max_loop_bound : int
+
+(** Check a whole program; returns every error rather than failing
+    fast. *)
+val check_program : Ast.program -> (unit, error list) result
+
+(** Validate a rule against its table at install time: pattern count
+    and kinds must match the keys, the action must exist with the right
+    arity. *)
+val check_rule : Ast.table -> Ast.rule -> (unit, error list) result

@@ -1,0 +1,65 @@
+(** Binary min-heap of timestamped events.
+
+    Ties on the timestamp are broken by insertion order so that the
+    simulation is deterministic: two events scheduled for the same instant
+    fire in the order they were scheduled. *)
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = { mutable heap : event array; mutable size : int }
+
+let dummy = { time = 0.; seq = 0; thunk = ignore }
+
+let create () = { heap = Array.make 64 dummy; size = 0 }
+
+let is_empty t = t.size = 0
+let length t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+    let p = (!i - 1) / 2 in
+    let tmp = t.heap.(p) in
+    t.heap.(p) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := p
+  done
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- dummy;
+    (* sift down *)
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = t.heap.(!smallest) in
+        t.heap.(!smallest) <- t.heap.(!i);
+        t.heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end

@@ -1,0 +1,24 @@
+(** Binary min-heap of timestamped events.
+
+    Ties on the timestamp break by insertion order ([seq]), making
+    simulations deterministic: two events scheduled for the same instant
+    fire in the order they were scheduled. *)
+
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t
+
+val create : unit -> t
+
+val is_empty : t -> bool
+
+(** Number of pending events. *)
+val length : t -> int
+
+val push : t -> event -> unit
+
+(** Earliest event without removing it. *)
+val peek : t -> event option
+
+(** Remove and return the earliest event. *)
+val pop : t -> event option

@@ -1,0 +1,77 @@
+(** Unidirectional links with a drop-tail queue, serialization delay,
+    propagation delay, and ECN marking.
+
+    The queue is modeled analytically: [busy_until] tracks when the
+    transmitter frees up, and the instantaneous queue depth is the number
+    of packets accepted but not yet serialized. This is exact for a
+    drop-tail FIFO and avoids per-byte events. *)
+
+type t = {
+  sim : Sim.t;
+  name : string;
+  bandwidth : float; (* bits per second *)
+  delay : float; (* propagation, seconds *)
+  queue_capacity : int; (* packets, excluding the one in service *)
+  ecn_threshold : int; (* mark when depth >= threshold; 0 disables *)
+  mutable deliver : Packet.t -> unit;
+  mutable busy_until : float;
+  mutable depth : int;
+  mutable up : bool;
+  (* statistics *)
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable drops : int;
+  mutable ecn_marks : int;
+  depth_series : Stats.Series.t;
+}
+
+let create ~sim ~name ?(bandwidth = 10e9) ?(delay = 1e-6) ?(queue_capacity = 256)
+    ?(ecn_threshold = 0) ?(deliver = fun _ -> ()) () =
+  { sim; name; bandwidth; delay; queue_capacity; ecn_threshold; deliver;
+    busy_until = 0.; depth = 0; up = true; tx_packets = 0; tx_bytes = 0;
+    drops = 0; ecn_marks = 0; depth_series = Stats.Series.create () }
+
+let set_deliver t f = t.deliver <- f
+let set_up t up = t.up <- up
+let depth t = t.depth
+let drops t = t.drops
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+let ecn_marks t = t.ecn_marks
+let depth_series t = t.depth_series
+
+let serialization_time t (pkt : Packet.t) =
+  float_of_int (pkt.Packet.size * 8) /. t.bandwidth
+
+(** Enqueue a packet for transmission. Returns [false] on drop (queue
+    full or link down). *)
+let transmit t pkt =
+  let now = Sim.now t.sim in
+  if not t.up then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else if t.depth >= t.queue_capacity then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    if t.ecn_threshold > 0 && t.depth >= t.ecn_threshold
+       && Packet.has_header pkt "ipv4"
+    then begin
+      Packet.set_field pkt "ipv4" "ecn" 1L;
+      t.ecn_marks <- t.ecn_marks + 1
+    end;
+    let start = Float.max now t.busy_until in
+    let departure = start +. serialization_time t pkt in
+    t.busy_until <- departure;
+    t.depth <- t.depth + 1;
+    Stats.Series.add t.depth_series ~time:now ~value:(float_of_int t.depth);
+    Sim.at t.sim departure (fun () ->
+        t.depth <- t.depth - 1;
+        t.tx_packets <- t.tx_packets + 1;
+        t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+        let arrival = departure +. t.delay in
+        Sim.at t.sim arrival (fun () -> if t.up then t.deliver pkt));
+    true
+  end

@@ -1,0 +1,38 @@
+(** Unidirectional links with a drop-tail queue, serialization delay,
+    propagation delay, and ECN marking.
+
+    The queue is modeled analytically: the instantaneous depth is the
+    number of packets accepted but not yet serialized, which is exact
+    for a drop-tail FIFO and avoids per-byte events. Packets whose
+    depth-at-enqueue reaches [ecn_threshold] get [ipv4.ecn] set. *)
+
+type t
+
+val create :
+  sim:Sim.t -> name:string -> ?bandwidth:float -> ?delay:float ->
+  ?queue_capacity:int -> ?ecn_threshold:int -> ?deliver:(Packet.t -> unit) ->
+  unit -> t
+
+(** Set the receive-side callback (wired by the topology). *)
+val set_deliver : t -> (Packet.t -> unit) -> unit
+
+(** Take the link up or down; a down link rejects transmissions and
+    discards in-flight deliveries. *)
+val set_up : t -> bool -> unit
+
+(** Current queue depth in packets. *)
+val depth : t -> int
+
+val drops : t -> int
+val tx_packets : t -> int
+val tx_bytes : t -> int
+val ecn_marks : t -> int
+
+(** Queue-depth samples taken at each enqueue. *)
+val depth_series : t -> Stats.Series.t
+
+val serialization_time : t -> Packet.t -> float
+
+(** Enqueue a packet for transmission; [false] on drop (queue full or
+    link down). Delivery is scheduled on the link's simulation. *)
+val transmit : t -> Packet.t -> bool

@@ -1,0 +1,55 @@
+(** Network nodes: hosts, NICs, and switches.
+
+    A node is deliberately thin — it owns ports (outgoing links) and a
+    packet handler. The handler is pluggable so that the same node type
+    can run a plain forwarding function, a programmable-device runtime, or
+    a host transport endpoint. *)
+
+type kind = Host | Nic | Switch
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable ports : Link.t option array;
+  mutable handler : t -> in_port:int -> Packet.t -> unit;
+  mutable rx_packets : int;
+  mutable dropped : int;
+}
+
+let kind_to_string = function Host -> "host" | Nic -> "nic" | Switch -> "switch"
+
+let create ~id ~name ~kind ?(num_ports = 8) () =
+  { id; name; kind; ports = Array.make num_ports None;
+    handler = (fun _ ~in_port:_ _ -> ()); rx_packets = 0; dropped = 0 }
+
+let set_handler t f = t.handler <- f
+
+let port_count t = Array.length t.ports
+
+let ensure_port t p =
+  if p >= Array.length t.ports then begin
+    let ports = Array.make (Stdlib.max (p + 1) (2 * Array.length t.ports)) None in
+    Array.blit t.ports 0 ports 0 (Array.length t.ports);
+    t.ports <- ports
+  end
+
+let attach t ~port link =
+  ensure_port t port;
+  t.ports.(port) <- Some link
+
+let link t ~port =
+  if port < Array.length t.ports then t.ports.(port) else None
+
+(** Send out of [port]; counts a drop if the port is unwired or the link
+    queue rejects the packet. *)
+let send t ~port pkt =
+  match link t ~port with
+  | Some l -> if not (Link.transmit l pkt) then t.dropped <- t.dropped + 1
+  | None -> t.dropped <- t.dropped + 1
+
+let receive t ~in_port pkt =
+  t.rx_packets <- t.rx_packets + 1;
+  t.handler t ~in_port pkt
+
+let pp ppf t = Fmt.pf ppf "%s(%s#%d)" t.name (kind_to_string t.kind) t.id

@@ -1,0 +1,40 @@
+(** Network nodes: hosts, NICs, and switches.
+
+    A node is deliberately thin — it owns ports (outgoing links) and a
+    packet handler. The handler is pluggable so the same node type can
+    run a plain forwarding function, a programmable-device runtime
+    (see [Runtime.Wiring]), or a host transport endpoint. *)
+
+type kind = Host | Nic | Switch
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  mutable ports : Link.t option array;
+  mutable handler : t -> in_port:int -> Packet.t -> unit;
+  mutable rx_packets : int;
+  mutable dropped : int;
+}
+
+val kind_to_string : kind -> string
+
+val create : id:int -> name:string -> kind:kind -> ?num_ports:int -> unit -> t
+
+val set_handler : t -> (t -> in_port:int -> Packet.t -> unit) -> unit
+
+val port_count : t -> int
+
+(** Wire an outgoing link to [port], growing the port array as needed. *)
+val attach : t -> port:int -> Link.t -> unit
+
+val link : t -> port:int -> Link.t option
+
+(** Send out of [port]; counts a drop if the port is unwired or the
+    link rejects the packet. *)
+val send : t -> port:int -> Packet.t -> unit
+
+(** Deliver an incoming packet to the node's handler. *)
+val receive : t -> in_port:int -> Packet.t -> unit
+
+val pp : Format.formatter -> t -> unit

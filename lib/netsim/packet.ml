@@ -1,0 +1,107 @@
+(** Packets with structured headers.
+
+    Headers are structured (name + field assoc) rather than raw bytes: the
+    FlexBPF parser model operates on declared header types, and structured
+    packets keep the whole stack inspectable in tests. Field values are
+    [int64] regardless of declared width; widths are enforced by the
+    FlexBPF type checker, not at the packet level. *)
+
+type header = { hname : string; mutable fields : (string * int64) list }
+
+type t = {
+  uid : int;
+  mutable headers : header list; (* outermost first *)
+  meta : (string, int64) Hashtbl.t;
+  size : int; (* bytes on the wire *)
+  born : float; (* injection time *)
+  mutable epoch : int; (* program version that processed this packet *)
+}
+
+let counter = ref 0
+
+let create ?(size = 1000) ?(born = 0.) headers =
+  incr counter;
+  { uid = !counter; headers; meta = Hashtbl.create 8; size; born; epoch = 0 }
+
+let reset_uid_counter () = counter := 0
+
+let header t name = List.find_opt (fun h -> h.hname = name) t.headers
+
+let has_header t name = Option.is_some (header t name)
+
+let field t hname fname =
+  match header t hname with
+  | None -> None
+  | Some h -> List.assoc_opt fname h.fields
+
+let field_exn t hname fname =
+  match field t hname fname with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "Packet.field_exn: no %s.%s" hname fname)
+
+let set_field t hname fname v =
+  match header t hname with
+  | None -> invalid_arg (Printf.sprintf "Packet.set_field: no header %s" hname)
+  | Some h ->
+    if List.mem_assoc fname h.fields then
+      h.fields <- (fname, v) :: List.remove_assoc fname h.fields
+    else invalid_arg (Printf.sprintf "Packet.set_field: no field %s.%s" hname fname)
+
+let push_header t h = t.headers <- h :: t.headers
+
+let pop_header t name =
+  t.headers <- List.filter (fun h -> h.hname <> name) t.headers
+
+let meta t key = Hashtbl.find_opt t.meta key
+let meta_default t key d = Option.value (meta t key) ~default:d
+let set_meta t key v = Hashtbl.replace t.meta key v
+
+(* Standard header constructors. Addresses are plain integers: the
+   simulator identifies hosts by small ints, which keeps routing tables
+   and match rules readable in tests. *)
+
+let ethernet ~src ~dst ?(ethertype = 0x0800L) () =
+  { hname = "ethernet";
+    fields = [ ("src", src); ("dst", dst); ("ethertype", ethertype) ] }
+
+let vlan ~vid ?(ethertype = 0x0800L) () =
+  { hname = "vlan"; fields = [ ("vid", vid); ("ethertype", ethertype) ] }
+
+let ipv4 ~src ~dst ?(proto = 6L) ?(ttl = 64L) ?(ecn = 0L) ?(dscp = 0L) () =
+  { hname = "ipv4";
+    fields =
+      [ ("src", src); ("dst", dst); ("proto", proto); ("ttl", ttl);
+        ("ecn", ecn); ("dscp", dscp) ] }
+
+let tcp ~sport ~dport ?(seqno = 0L) ?(ackno = 0L) ?(flags = 0L) () =
+  { hname = "tcp";
+    fields =
+      [ ("sport", sport); ("dport", dport); ("seq", seqno); ("ack", ackno);
+        ("flags", flags) ] }
+
+let udp ~sport ~dport () =
+  { hname = "udp"; fields = [ ("sport", sport); ("dport", dport) ] }
+
+let tcp_flag_syn = 0x02L
+let tcp_flag_ack = 0x10L
+let tcp_flag_fin = 0x01L
+
+(** Canonical five-tuple used for flow-state tables and ECMP hashing. *)
+let five_tuple t =
+  let f h k = Option.value (field t h k) ~default:0L in
+  let proto = f "ipv4" "proto" in
+  let l4 = if has_header t "tcp" then "tcp" else "udp" in
+  (f "ipv4" "src", f "ipv4" "dst", proto, f l4 "sport", f l4 "dport")
+
+let flow_hash t =
+  let a, b, c, d, e = five_tuple t in
+  let h = Hashtbl.hash (a, b, c, d, e) in
+  abs h
+
+let pp ppf t =
+  let pp_header ppf h =
+    Fmt.pf ppf "%s{%a}" h.hname
+      Fmt.(list ~sep:(any ",") (pair ~sep:(any "=") string int64))
+      h.fields
+  in
+  Fmt.pf ppf "#%d[%a]" t.uid Fmt.(list ~sep:(any "/") pp_header) t.headers

@@ -1,0 +1,60 @@
+(** Discrete-event simulation engine.
+
+    A simulation owns a virtual clock and an event queue. All model
+    components (links, traffic generators, device runtimes, controllers)
+    schedule callbacks against the same engine, which makes whole-network
+    experiments deterministic and single-threaded. *)
+
+type t = {
+  mutable now : float;
+  queue : Event_queue.t;
+  mutable seq : int;
+  mutable stopped : bool;
+}
+
+let create () = { now = 0.; queue = Event_queue.create (); seq = 0; stopped = false }
+
+let now t = t.now
+
+(** [at t time f] schedules [f] to run at absolute virtual [time].
+    Scheduling in the past raises [Invalid_argument]. *)
+let at t time thunk =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %.9f is before now %.9f" time t.now);
+  t.seq <- t.seq + 1;
+  Event_queue.push t.queue { Event_queue.time; seq = t.seq; thunk }
+
+(** [after t delay f] schedules [f] to run [delay] seconds from now. *)
+let after t delay thunk = at t (t.now +. delay) thunk
+
+let stop t = t.stopped <- true
+
+let pending t = Event_queue.length t.queue
+
+(** Run events until the queue drains, [until] is reached, or [stop] is
+    called. Returns the number of events executed. *)
+let run ?until t =
+  t.stopped <- false;
+  let executed = ref 0 in
+  let continue = ref true in
+  while !continue && not t.stopped do
+    match Event_queue.peek t.queue with
+    | None -> continue := false
+    | Some ev ->
+      (match until with
+       | Some horizon when ev.Event_queue.time > horizon ->
+         t.now <- horizon;
+         continue := false
+       | _ ->
+         ignore (Event_queue.pop t.queue);
+         t.now <- ev.Event_queue.time;
+         ev.Event_queue.thunk ();
+         incr executed)
+  done;
+  !executed
+
+(** Periodic task: re-schedules itself every [every] seconds until the
+    horizon (if any) or until the callback returns [false]. *)
+let rec every t ~period f =
+  after t period (fun () -> if f () then every t ~period f)

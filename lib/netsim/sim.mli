@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    A simulation owns a virtual clock and an event queue. All model
+    components (links, traffic generators, device runtimes, controllers)
+    schedule callbacks against the same engine, which makes whole-network
+    experiments deterministic and single-threaded. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time, seconds. *)
+val now : t -> float
+
+(** [at t time f] schedules [f] at absolute virtual [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** [after t delay f] schedules [f] to run [delay] seconds from now. *)
+val after : t -> float -> (unit -> unit) -> unit
+
+(** Stop the current [run] after the event in progress. *)
+val stop : t -> unit
+
+(** Number of pending events. *)
+val pending : t -> int
+
+(** Run events until the queue drains, [until] is reached, or [stop] is
+    called. Returns the number of events executed. When stopping at the
+    [until] horizon the clock is advanced to it. *)
+val run : ?until:float -> t -> int
+
+(** [every t ~period f] re-runs [f] every [period] seconds until it
+    returns [false]. *)
+val every : t -> period:float -> (unit -> bool) -> unit

@@ -1,0 +1,105 @@
+(** Measurement helpers shared by experiments and tests. *)
+
+(** Streaming summary: count / mean / min / max / variance (Welford). *)
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let min t = if t.n = 0 then 0. else t.min
+  let max t = if t.n = 0 then 0. else t.max
+
+  let stddev t =
+    if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+
+  let pp ppf t =
+    Fmt.pf ppf "n=%d mean=%.6g min=%.6g max=%.6g sd=%.6g" t.n (mean t)
+      (min t) (max t) (stddev t)
+end
+
+(** Fixed-capacity reservoir for percentile estimates. *)
+module Reservoir = struct
+  type t = {
+    samples : float array;
+    mutable n : int; (* total observed *)
+    rng : Random.State.t;
+  }
+
+  let create ?(capacity = 4096) ?(seed = 42) () =
+    { samples = Array.make capacity 0.; n = 0; rng = Random.State.make [| seed |] }
+
+  let add t x =
+    let cap = Array.length t.samples in
+    if t.n < cap then t.samples.(t.n) <- x
+    else begin
+      let j = Random.State.int t.rng (t.n + 1) in
+      if j < cap then t.samples.(j) <- x
+    end;
+    t.n <- t.n + 1
+
+  let count t = t.n
+
+  let percentile t p =
+    let m = Stdlib.min t.n (Array.length t.samples) in
+    if m = 0 then 0.
+    else begin
+      let a = Array.sub t.samples 0 m in
+      Array.sort compare a;
+      let idx = int_of_float (p /. 100. *. float_of_int (m - 1)) in
+      a.(Stdlib.max 0 (Stdlib.min (m - 1) idx))
+    end
+
+  let median t = percentile t 50.
+end
+
+(** Named monotone counters. *)
+module Counters = struct
+  type t = (string, int ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.replace t name (ref by)
+
+  let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let pp ppf t =
+    Fmt.pf ppf "%a" Fmt.(list ~sep:(any " ") (pair ~sep:(any "=") string int))
+      (to_list t)
+end
+
+(** Time series sampled by experiments (e.g. queue depth over time). *)
+module Series = struct
+  type t = { mutable points : (float * float) list }
+
+  let create () = { points = [] }
+  let add t ~time ~value = t.points <- (time, value) :: t.points
+  let to_list t = List.rev t.points
+
+  let max_value t =
+    List.fold_left (fun acc (_, v) -> Stdlib.max acc v) neg_infinity t.points
+
+  let last t = match t.points with [] -> None | (ti, v) :: _ -> Some (ti, v)
+end

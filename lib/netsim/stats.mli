@@ -1,0 +1,57 @@
+(** Measurement helpers shared by experiments and tests. *)
+
+(** Streaming summary: count / mean / min / max / stddev (Welford). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Fixed-capacity reservoir sample for percentile estimates. *)
+module Reservoir : sig
+  type t
+
+  val create : ?capacity:int -> ?seed:int -> unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  (** [percentile t p] for [p] in [0, 100]. *)
+  val percentile : t -> float -> float
+
+  val median : t -> float
+end
+
+(** Named monotone counters. *)
+module Counters : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> string -> unit
+  val get : t -> string -> int
+
+  (** Sorted by name. *)
+  val to_list : t -> (string * int) list
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Time series sampled by experiments (e.g. queue depth over time). *)
+module Series : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> time:float -> value:float -> unit
+
+  (** In insertion (time) order. *)
+  val to_list : t -> (float * float) list
+
+  val max_value : t -> float
+  val last : t -> (float * float) option
+end

@@ -1,0 +1,139 @@
+(** Workload generators.
+
+    All generators are driven by the simulation clock and a seeded RNG,
+    so experiments are reproducible. Generators emit packets through a
+    user-supplied [send] callback: examples wire it to a host port, tests
+    wire it to a sink. *)
+
+type t = {
+  sim : Sim.t;
+  rng : Random.State.t;
+  mutable active : bool;
+}
+
+let create ?(seed = 7) sim = { sim; rng = Random.State.make [| seed |]; active = true }
+
+let stop t = t.active <- false
+
+let exponential t ~mean = -.mean *. log (1. -. Random.State.float t.rng 1.)
+
+(** Bounded Pareto, the canonical heavy-tailed flow-size model. *)
+let pareto t ~alpha ~xmin ~xmax =
+  let u = Random.State.float t.rng 1. in
+  let ha = xmax ** alpha and la = xmin ** alpha in
+  let x = (-.((u *. ha) -. u *. la -. ha) /. (ha *. la)) ** (-1. /. alpha) in
+  Float.min xmax (Float.max xmin x)
+
+(** Constant bit rate: [rate_pps] packets per second in [start, stop). *)
+let cbr t ~rate_pps ~start ~stop ~send =
+  let interval = 1. /. rate_pps in
+  let rec tick time =
+    if t.active && time < stop then begin
+      Sim.at t.sim time (fun () ->
+          if t.active then begin
+            send ();
+            tick (time +. interval)
+          end)
+    end
+  in
+  tick start
+
+(** Poisson arrivals with rate [lambda] events/second in [start, stop). *)
+let poisson t ~lambda ~start ~stop ~send =
+  let rec tick time =
+    if t.active && time < stop then
+      Sim.at t.sim time (fun () ->
+          if t.active then begin
+            send ();
+            tick (time +. exponential t ~mean:(1. /. lambda))
+          end)
+  in
+  tick (start +. exponential t ~mean:(1. /. lambda))
+
+(** Markovian on/off source: CBR bursts at [rate_pps] with exponentially
+    distributed on and off periods. *)
+let onoff t ~rate_pps ~mean_on ~mean_off ~start ~stop ~send =
+  let interval = 1. /. rate_pps in
+  let rec on_phase time phase_end =
+    if t.active && time < stop then begin
+      if time < phase_end then
+        Sim.at t.sim time (fun () ->
+            if t.active then begin
+              send ();
+              on_phase (time +. interval) phase_end
+            end)
+      else off_phase time
+    end
+  and off_phase time =
+    let wake = time +. exponential t ~mean:mean_off in
+    if t.active && wake < stop then
+      Sim.at t.sim wake (fun () ->
+          if t.active then
+            on_phase wake (wake +. exponential t ~mean:mean_on))
+  in
+  Sim.at t.sim start (fun () ->
+      if t.active then on_phase start (start +. exponential t ~mean:mean_on))
+
+(** Poisson flow arrivals with bounded-Pareto sizes (packets per flow). *)
+let flow_arrivals t ~lambda ~alpha ~min_packets ~max_packets ~start ~stop
+    ~start_flow =
+  let rec tick time =
+    if t.active && time < stop then
+      Sim.at t.sim time (fun () ->
+          if t.active then begin
+            let size =
+              int_of_float
+                (pareto t ~alpha ~xmin:(float_of_int min_packets)
+                   ~xmax:(float_of_int max_packets))
+            in
+            start_flow ~packets:(Stdlib.max 1 size);
+            tick (time +. exponential t ~mean:(1. /. lambda))
+          end)
+  in
+  tick (start +. exponential t ~mean:(1. /. lambda))
+
+(** Attack ramp: rate grows linearly from 0 to [peak_pps] over
+    [ramp_up] seconds, holds for [hold], then decays to 0 over
+    [ramp_down]. Used by the DDoS experiments. *)
+let ramp t ~peak_pps ~start ~ramp_up ~hold ~ramp_down ~send =
+  let stop = start +. ramp_up +. hold +. ramp_down in
+  let rate time =
+    if time < start || time >= stop then 0.
+    else if time < start +. ramp_up then peak_pps *. ((time -. start) /. ramp_up)
+    else if time < start +. ramp_up +. hold then peak_pps
+    else peak_pps *. (1. -. ((time -. start -. ramp_up -. hold) /. ramp_down))
+  in
+  let rec tick time =
+    if t.active && time < stop then begin
+      let r = rate time in
+      let next = if r < 1. then time +. 0.01 else time +. (1. /. r) in
+      Sim.at t.sim time (fun () ->
+          if t.active then begin
+            if r >= 1. then send ();
+            tick next
+          end)
+    end
+  in
+  tick start
+
+(* Packet factories ------------------------------------------------- *)
+
+let tcp_packet ?(size = 1000) ?(flags = Packet.tcp_flag_ack) ~src ~dst ~sport
+    ~dport ~born () =
+  Packet.create ~size ~born
+    [ Packet.ethernet ~src:(Int64.of_int src) ~dst:(Int64.of_int dst) ();
+      Packet.ipv4 ~src:(Int64.of_int src) ~dst:(Int64.of_int dst) ~proto:6L ();
+      Packet.tcp ~sport:(Int64.of_int sport) ~dport:(Int64.of_int dport) ~flags
+        () ]
+
+let udp_packet ?(size = 1000) ~src ~dst ~sport ~dport ~born () =
+  Packet.create ~size ~born
+    [ Packet.ethernet ~src:(Int64.of_int src) ~dst:(Int64.of_int dst) ();
+      Packet.ipv4 ~src:(Int64.of_int src) ~dst:(Int64.of_int dst) ~proto:17L ();
+      Packet.udp ~sport:(Int64.of_int sport) ~dport:(Int64.of_int dport) () ]
+
+(** SYN packet with a spoofed random source, as emitted by flood attacks. *)
+let spoofed_syn t ~dst ~dport ~born =
+  let src = 100000 + Random.State.int t.rng 900000 in
+  let sport = 1024 + Random.State.int t.rng 60000 in
+  tcp_packet ~size:64 ~flags:Packet.tcp_flag_syn ~src ~dst ~sport ~dport ~born ()

@@ -1,0 +1,115 @@
+(** Data-plane RPC services (§3.4).
+
+    The infrastructure program exposes common utilities (state
+    replication, counter reads, migration chunks) as dRPC services that
+    tenant datapaths invoke without a controller round-trip. Service
+    discovery runs either through the controller or an in-network
+    registry; both are modeled.
+
+    Latency model: a dRPC invocation rides the data plane between
+    adjacent devices (microseconds); the control-plane alternative is a
+    controller round trip (milliseconds). *)
+
+type service = {
+  svc_name : string;
+  svc_owner : string; (* provider: "infra" or a tenant *)
+  handler : int64 list -> int64;
+  dataplane_latency : float; (* seconds per invocation *)
+}
+
+type t = {
+  sim : Netsim.Sim.t;
+  services : (string, service) Hashtbl.t;
+  controlplane_rtt : float;
+  mutable dp_invocations : int;
+  mutable cp_invocations : int;
+}
+
+let create ?(controlplane_rtt = 0.002) sim =
+  { sim; services = Hashtbl.create 16; controlplane_rtt; dp_invocations = 0;
+    cp_invocations = 0 }
+
+let register t ?(owner = "infra") ?(dataplane_latency = 5e-6) name handler =
+  Hashtbl.replace t.services name
+    { svc_name = name; svc_owner = owner; handler; dataplane_latency }
+
+let unregister t name = Hashtbl.remove t.services name
+
+(** In-network registry lookup by glob pattern. *)
+let discover t pattern =
+  Hashtbl.fold
+    (fun name _ acc ->
+      if Flexbpf.Patch.glob_matches pattern name then name :: acc else acc)
+    t.services []
+  |> List.sort compare
+
+(** Synchronous invocation from inside packet processing — this is what
+    a [Call] statement compiles to. Returns 0 for unknown services
+    (total semantics, like map reads). *)
+let invoke_inline t name args =
+  match Hashtbl.find_opt t.services name with
+  | None -> 0L
+  | Some svc ->
+    t.dp_invocations <- t.dp_invocations + 1;
+    svc.handler args
+
+(** Asynchronous data-plane invocation: the result callback fires after
+    the data-plane latency. *)
+let invoke_dataplane t name args ~k =
+  match Hashtbl.find_opt t.services name with
+  | None -> k None
+  | Some svc ->
+    t.dp_invocations <- t.dp_invocations + 1;
+    Netsim.Sim.after t.sim svc.dataplane_latency (fun () ->
+        k (Some (svc.handler args)))
+
+(** The same operation via the controller: one control-plane RTT per
+    invocation (the baseline for the E11 experiment). *)
+let invoke_controlplane t name args ~k =
+  match Hashtbl.find_opt t.services name with
+  | None -> k None
+  | Some svc ->
+    t.cp_invocations <- t.cp_invocations + 1;
+    Netsim.Sim.after t.sim t.controlplane_rtt (fun () ->
+        k (Some (svc.handler args)))
+
+(** Bind this registry as the dRPC backend of a device's interpreter
+    environment, so [Call] statements in installed programs reach it. *)
+let bind_device t device =
+  (Targets.Device.env device).Flexbpf.Interp.drpc <- invoke_inline t
+
+let dp_invocations t = t.dp_invocations
+let cp_invocations t = t.cp_invocations
+
+(* Stock infra services ------------------------------------------------ *)
+
+(** Register the standard utility services the infrastructure program
+    provides, backed by the devices in [fleet]:
+    - "replicate": copy map [arg0 = device index src] to dst (arg1),
+      map chosen by registration;
+    - "read_counter": sum of a map on a device;
+    - "heartbeat": returns the invocation count (liveness probe). *)
+let register_standard t ~fleet ~map_name =
+  let dev i =
+    if i >= 0 && i < List.length fleet then Some (List.nth fleet i) else None
+  in
+  let beat = ref 0L in
+  register t "heartbeat" (fun _ ->
+      beat := Int64.add !beat 1L;
+      !beat);
+  register t "read_counter" (fun args ->
+      match args with
+      | [ i ] ->
+        (match dev (Int64.to_int i) with
+         | Some d -> Migration.map_sum d map_name
+         | None -> 0L)
+      | _ -> 0L);
+  register t "replicate" ~dataplane_latency:20e-6 (fun args ->
+      match args with
+      | [ src; dst ] ->
+        (match dev (Int64.to_int src), dev (Int64.to_int dst) with
+         | Some s, Some d ->
+           Migration.transfer_snapshot ~src:s ~dst:d [ map_name ];
+           1L
+         | _ -> 0L)
+      | _ -> 0L)

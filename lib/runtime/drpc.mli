@@ -1,0 +1,48 @@
+(** Data-plane RPC services (§3.4).
+
+    The infrastructure program exposes common utilities (state
+    replication, counter reads) as dRPC services that tenant datapaths
+    invoke without a controller round trip; discovery runs through an
+    in-network registry. Latency model: a dRPC rides the data plane
+    (microseconds); the control-plane alternative costs a controller
+    RTT (milliseconds). *)
+
+type t
+
+val create : ?controlplane_rtt:float -> Netsim.Sim.t -> t
+
+val register :
+  t -> ?owner:string -> ?dataplane_latency:float -> string ->
+  (int64 list -> int64) -> unit
+
+val unregister : t -> string -> unit
+
+(** In-network registry lookup by glob pattern, sorted. *)
+val discover : t -> string -> string list
+
+(** Synchronous invocation from inside packet processing — what a
+    [Call] statement compiles to. Unknown services return 0. *)
+val invoke_inline : t -> string -> int64 list -> int64
+
+(** Asynchronous data-plane invocation; [k] fires after the service's
+    data-plane latency ([None] for unknown services). *)
+val invoke_dataplane :
+  t -> string -> int64 list -> k:(int64 option -> unit) -> unit
+
+(** The same operation via the controller: one control-plane RTT per
+    invocation (the E11 baseline). *)
+val invoke_controlplane :
+  t -> string -> int64 list -> k:(int64 option -> unit) -> unit
+
+(** Bind this registry as the dRPC backend of a device's interpreter
+    environment. *)
+val bind_device : t -> Targets.Device.t -> unit
+
+val dp_invocations : t -> int
+val cp_invocations : t -> int
+
+(** Register the standard infra utilities backed by [fleet]:
+    "heartbeat", "read_counter" (map sum by device index), and
+    "replicate" (snapshot copy between device indices, on [map_name]). *)
+val register_standard :
+  t -> fleet:Targets.Device.t list -> map_name:string -> unit

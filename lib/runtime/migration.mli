@@ -1,0 +1,52 @@
+(** Stateful app migration (§3.4).
+
+    "As the sketch state is updated for each packet, copying state via
+    control plane software is impossible." Both protocols are modeled:
+    [freeze_copy] (control-plane baseline, loses the updates applied
+    during its copy window) and [swing] (data-plane, Swing-State style:
+    the destination is mirrored into during a short window, losing
+    nothing). The [handle] is the routing indirection through which the
+    app's packets execute. *)
+
+type handle = {
+  mutable active : Targets.Device.t;
+  mutable mirror : Targets.Device.t option;
+  mutable migrations : int;
+}
+
+val create : Targets.Device.t -> handle
+
+val active : handle -> Targets.Device.t
+
+(** Process a packet on the active device, mirroring to the in-progress
+    destination if one is set. *)
+val exec :
+  handle -> now_us:int64 -> Netsim.Packet.t -> Flexbpf.Interp.result
+
+(** Copy the named maps' logical snapshots from [src] to [dst]. *)
+val transfer_snapshot :
+  src:Targets.Device.t -> dst:Targets.Device.t -> string list -> unit
+
+type report = {
+  protocol : string;
+  window : float; (* seconds the transfer took *)
+  entries_moved : int;
+}
+
+(** Control-plane migration: snapshot now, cut over after a copy window
+    sized by controller API throughput ([entries_per_second]). Updates
+    applied at the source during the window are lost. *)
+val freeze_copy :
+  ?entries_per_second:float -> ?on_done:(report -> unit) ->
+  sim:Netsim.Sim.t -> handle -> dst:Targets.Device.t ->
+  map_names:string list -> unit -> unit
+
+(** Data-plane migration: install the snapshot immediately, mirror
+    updates for [mirror_window] seconds, then flip. Lossless. *)
+val swing :
+  ?mirror_window:float -> ?on_done:(report -> unit) -> sim:Netsim.Sim.t ->
+  handle -> dst:Targets.Device.t -> map_names:string list -> unit -> unit
+
+(** Sum of all values in a map on a device — the update-loss metric
+    used by the migration experiments. *)
+val map_sum : Targets.Device.t -> string -> int64

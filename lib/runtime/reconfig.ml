@@ -1,0 +1,120 @@
+(** Reconfiguration execution over simulated time.
+
+    Two modes, matching §1's contrast:
+
+    - [Hitless] (runtime programmable): the touched devices keep
+      serving traffic with their old program while the change is
+      applied; the new program becomes visible atomically per device
+      when its op batch completes. Zero loss; "program changes complete
+      within a second".
+
+    - [Drain] (compile-time baseline): each touched device is isolated
+      by management operations (traffic drained — here: dropped, as the
+      path has no alternates), reflashed with the full program, then
+      redeployed. Loss is proportional to drain + reflash time.
+
+    The caller provides [apply], which performs the actual device
+    mutations (e.g. running the incremental compiler). Mutations happen
+    under freeze, so traffic observes old-program semantics until the
+    modelled completion time. *)
+
+type mode = Hitless | Drain
+
+type outcome = {
+  started_at : float;
+  finished_at : float;
+  mode : mode;
+  per_device_done : (string * float) list;
+}
+
+let wired_for wireds dev_id =
+  List.find_opt
+    (fun w -> Targets.Device.id w.Wiring.device = dev_id)
+    wireds
+
+(* Serial op time per device in the plan. *)
+let per_device_times plan wireds =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let d = Compiler.Plan.op_device op in
+      match wired_for wireds d with
+      | None -> ()
+      | Some w ->
+        let times = Targets.Device.reconfig_times w.Wiring.device in
+        let cur = Option.value (Hashtbl.find_opt tbl d) ~default:0. in
+        Hashtbl.replace tbl d (cur +. Compiler.Plan.op_time times op))
+    plan.Compiler.Plan.ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+(** Execute [plan] starting now. [apply] performs the compiler-side
+    mutations immediately (under freeze); visibility and loss follow the
+    mode's timing model. [on_done] fires when every device finished. *)
+let execute ?(on_done = fun (_ : outcome) -> ()) ~sim ~mode ~wireds ~plan apply
+    =
+  let start = Netsim.Sim.now sim in
+  let times = per_device_times plan wireds in
+  match mode with
+  | Hitless ->
+    (* freeze → mutate → thaw per device at its completion time *)
+    List.iter
+      (fun (d, _) ->
+        match wired_for wireds d with
+        | Some w -> Targets.Device.freeze w.Wiring.device
+        | None -> ())
+      times;
+    apply ();
+    let finish =
+      List.fold_left (fun acc (_, t) -> Float.max acc t) 0. times
+    in
+    List.iter
+      (fun (d, t) ->
+        Netsim.Sim.after sim t (fun () ->
+            match wired_for wireds d with
+            | Some w -> Targets.Device.thaw w.Wiring.device
+            | None -> ()))
+      times;
+    Netsim.Sim.after sim finish (fun () ->
+        on_done
+          { started_at = start; finished_at = start +. finish; mode;
+            per_device_done = List.map (fun (d, t) -> (d, start +. t)) times })
+  | Drain ->
+    (* take each touched device offline for drain + full reflash *)
+    let downtimes =
+      List.map
+        (fun (d, _) ->
+          let w = wired_for wireds d in
+          let down =
+            match w with
+            | Some w ->
+              let r = Targets.Device.reconfig_times w.Wiring.device in
+              r.Targets.Arch.drain_time +. r.Targets.Arch.t_full_reflash
+            | None -> 0.
+          in
+          (match w with Some w -> Wiring.set_online w false | None -> ());
+          (d, down))
+        times
+    in
+    apply ();
+    let finish =
+      List.fold_left (fun acc (_, t) -> Float.max acc t) 0. downtimes
+    in
+    List.iter
+      (fun (d, down) ->
+        Netsim.Sim.after sim down (fun () ->
+            match wired_for wireds d with
+            | Some w -> Wiring.set_online w true
+            | None -> ()))
+      downtimes;
+    Netsim.Sim.after sim finish (fun () ->
+        on_done
+          { started_at = start; finished_at = start +. finish; mode;
+            per_device_done =
+              List.map (fun (d, t) -> (d, start +. t)) downtimes })
+
+(** Modelled completion latency of a plan in hitless mode (no sim). *)
+let hitless_latency ~devices plan =
+  Compiler.Plan.duration plan ~times_of:(fun d ->
+      match List.find_opt (fun dev -> Targets.Device.id dev = d) devices with
+      | Some dev -> Targets.Device.reconfig_times dev
+      | None -> (Targets.Arch.profile_of_kind Targets.Arch.Drmt).Targets.Arch.reconfig)

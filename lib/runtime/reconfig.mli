@@ -1,0 +1,36 @@
+(** Reconfiguration execution over simulated time.
+
+    - [Hitless] (runtime programmable): touched devices keep serving
+      traffic with their old program; the new one becomes visible
+      atomically per device when its op batch completes. Zero loss,
+      "program changes complete within a second".
+    - [Drain] (compile-time baseline): each touched device is isolated,
+      reflashed with the full program, then redeployed; loss is
+      proportional to drain + reflash time.
+
+    The caller provides [apply], which performs the actual device
+    mutations (e.g. running the incremental compiler); mutations happen
+    under freeze, so traffic observes old-program semantics until the
+    modelled completion time. *)
+
+type mode = Hitless | Drain
+
+type outcome = {
+  started_at : float;
+  finished_at : float;
+  mode : mode;
+  per_device_done : (string * float) list;
+}
+
+(** Serial op time per device id in the plan. *)
+val per_device_times :
+  Compiler.Plan.t -> Wiring.wired list -> (string * float) list
+
+(** Execute [plan] starting now; [on_done] fires when every device has
+    finished. *)
+val execute :
+  ?on_done:(outcome -> unit) -> sim:Netsim.Sim.t -> mode:mode ->
+  wireds:Wiring.wired list -> plan:Compiler.Plan.t -> (unit -> unit) -> unit
+
+(** Modelled completion latency of a plan in hitless mode. *)
+val hitless_latency : devices:Targets.Device.t list -> Compiler.Plan.t -> float

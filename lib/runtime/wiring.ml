@@ -1,0 +1,67 @@
+(** Wiring programmable devices into simulated network nodes.
+
+    A wired device becomes the node's packet handler: each arriving
+    packet runs the device's installed FlexBPF program; the verdict
+    decides forwarding. If the program does not pick an egress port, the
+    packet falls back to destination-based ECMP routing — the
+    infrastructure program's L2/L3 tables normally do pick one. *)
+
+type wired = {
+  node : Netsim.Node.t;
+  device : Targets.Device.t;
+  topo : Netsim.Topology.t;
+  mutable online : bool; (* false while draining / reflashing *)
+  mutable reconfig_drops : int;
+  mutable punted : (string * Netsim.Packet.t) list;
+  mutable on_punt : string -> Netsim.Packet.t -> unit;
+}
+
+let now_us sim = Int64.of_float (Netsim.Sim.now sim *. 1e6)
+
+(** Attach [device] as the packet processor of [node]. *)
+let attach topo node device =
+  let sim = Netsim.Topology.sim topo in
+  let wired =
+    { node; device; topo; online = true; reconfig_drops = 0; punted = [];
+      on_punt = (fun _ _ -> ()) }
+  in
+  (Targets.Device.env device).Flexbpf.Interp.punt <-
+    (fun digest pkt ->
+      wired.punted <- (digest, pkt) :: wired.punted;
+      wired.on_punt digest pkt);
+  let fallback_route n pkt =
+    match Netsim.Packet.field pkt "ipv4" "dst" with
+    | None -> ()
+    | Some dst64 ->
+      let dst = Int64.to_int dst64 in
+      if dst <> n.Netsim.Node.id then
+        (match Netsim.Topology.ecmp_port topo ~src:n.Netsim.Node.id ~dst pkt with
+         | Some port -> Netsim.Node.send n ~port pkt
+         | None -> n.Netsim.Node.dropped <- n.Netsim.Node.dropped + 1)
+  in
+  Netsim.Node.set_handler node (fun n ~in_port pkt ->
+      if not wired.online then
+        wired.reconfig_drops <- wired.reconfig_drops + 1
+      else if (Targets.Device.active_program device).Flexbpf.Ast.pipeline = []
+      then
+        (* no program visible to traffic: plain forwarding element *)
+        fallback_route n pkt
+      else begin
+        Netsim.Packet.set_meta pkt "in_port" (Int64.of_int in_port);
+        Netsim.Packet.set_meta pkt "vlan_vid"
+          (Option.value (Netsim.Packet.field pkt "vlan" "vid") ~default:0L);
+        let result = Targets.Device.exec device ~now_us:(now_us sim) pkt in
+        let verdict = result.Flexbpf.Interp.verdict in
+        if verdict.Flexbpf.Interp.dropped then ()
+        else
+          match verdict.Flexbpf.Interp.egress with
+          | Some port -> Netsim.Node.send n ~port pkt
+          | None -> fallback_route n pkt
+      end);
+  wired
+
+let set_online w online = w.online <- online
+
+let drain_drops w = w.reconfig_drops
+
+let punted w = List.rev w.punted

@@ -1,0 +1,31 @@
+(** Wiring programmable devices into simulated network nodes.
+
+    A wired device becomes the node's packet handler: each arriving
+    packet runs the device's installed FlexBPF program, and the verdict
+    decides forwarding. If the program picks no egress port, the packet
+    falls back to destination-based ECMP routing; devices whose active
+    program is empty act as plain forwarders. *)
+
+type wired = {
+  node : Netsim.Node.t;
+  device : Targets.Device.t;
+  topo : Netsim.Topology.t;
+  mutable online : bool; (* false while draining / reflashing *)
+  mutable reconfig_drops : int;
+  mutable punted : (string * Netsim.Packet.t) list;
+  mutable on_punt : string -> Netsim.Packet.t -> unit; (* digest bus hook *)
+}
+
+(** Attach [device] as the packet processor of a node. Stamps
+    meta.in_port and meta.vlan_vid at ingress and wires the device's
+    punt callback into [on_punt]. *)
+val attach : Netsim.Topology.t -> Netsim.Node.t -> Targets.Device.t -> wired
+
+(** Take the device offline (drain baseline) or back online. *)
+val set_online : wired -> bool -> unit
+
+(** Packets dropped while offline. *)
+val drain_drops : wired -> int
+
+(** Punted digests in arrival order. *)
+val punted : wired -> (string * Netsim.Packet.t) list

@@ -1,0 +1,263 @@
+(** Architecture profiles for the paper's fungibility taxonomy (§3.3).
+
+    (i) RMT — fixed pipeline stages; resources fungible only within a
+    stage. (ii) dRMT — compute disaggregated from memory; memory and
+    action resources fully fungible. (iii) Tiles (Trident4) — typed
+    hash/index/TCAM tiles, fungible within the same tile type; Elastic
+    Pipe (Jericho2) — a standard pipeline extended by a Programmable
+    Elements Matrix (PEM). (iv) SmartNICs, FPGAs, hosts — essentially
+    fully fungible.
+
+    Timing and energy figures are parametric models, calibrated only to
+    preserve *ordering* between architecture classes (see DESIGN.md §5):
+    switch ASICs are fastest per packet but slowest/least flexible to
+    reconfigure; hosts are the reverse. The "within a second" runtime-
+    reconfiguration claim of §2 sets the scale for table/parser ops on
+    runtime-programmable switches. *)
+
+type kind =
+  | Rmt
+  | Drmt
+  | Tiles
+  | Elastic_pipe
+  | Smartnic
+  | Fpga
+  | Host_ebpf
+
+let kind_to_string = function
+  | Rmt -> "rmt"
+  | Drmt -> "drmt"
+  | Tiles -> "tiles"
+  | Elastic_pipe -> "elastic_pipe"
+  | Smartnic -> "smartnic"
+  | Fpga -> "fpga"
+  | Host_ebpf -> "host_ebpf"
+
+let is_switch = function
+  | Rmt | Drmt | Tiles | Elastic_pipe -> true
+  | Smartnic | Fpga | Host_ebpf -> false
+
+type tile_kind = Hash_tile | Index_tile | Tcam_tile
+
+let tile_kind_to_string = function
+  | Hash_tile -> "hash"
+  | Index_tile -> "index"
+  | Tcam_tile -> "tcam"
+
+type reconfig_times = {
+  t_add_table : float; (* seconds to add/populate a table live *)
+  t_remove_table : float;
+  t_parser_change : float;
+  t_move_element : float; (* live relocation within the device *)
+  t_full_reflash : float; (* compile-time path: full program reload *)
+  drain_time : float; (* traffic drain before a reflash (baseline) *)
+  hitless : bool; (* can the device reconfigure without loss? *)
+}
+
+type profile = {
+  kind : kind;
+  (* structural capacity *)
+  stages : int; (* RMT / Elastic_pipe *)
+  per_stage : Resource.t;
+  pool : Resource.t; (* dRMT / NIC / FPGA / host global pool *)
+  tiles : (tile_kind * int) list; (* tile kind -> count *)
+  tile_bytes : int; (* capacity of one tile *)
+  pem_slots : int; (* Elastic_pipe extension elements *)
+  max_block_cycles : int; (* largest eBPF-style block admissible *)
+  parser_capacity : int; (* max parser rules *)
+  (* performance model *)
+  base_latency_ns : float;
+  per_cycle_ns : float;
+  max_pps : float;
+  (* energy model *)
+  static_watts : float;
+  nj_per_packet : float;
+  (* reconfiguration *)
+  reconfig : reconfig_times;
+}
+
+(* -------------------------------------------------------------------- *)
+
+let mb n = n * 1024 * 1024
+let kb n = n * 1024
+
+(** Tofino/FlexPipe-class RMT switch: 12 stages, per-stage budgets,
+    runtime-reconfigurable stages (the paper's "by adding runtime
+    support to reconfigure individual stages ... all pipeline resources
+    would become fungible"). *)
+let rmt =
+  { kind = Rmt;
+    stages = 12;
+    per_stage =
+      Resource.v ~sram_bytes:(kb 1280) ~tcam_bytes:(kb 512) ~action_slots:16
+        ~instructions:224 ();
+    pool = Resource.zero;
+    tiles = []; tile_bytes = 0; pem_slots = 0;
+    max_block_cycles = 24;
+    parser_capacity = 24;
+    base_latency_ns = 400.;
+    per_cycle_ns = 1.;
+    max_pps = 1.0e9;
+    static_watts = 300.;
+    nj_per_packet = 12.;
+    reconfig =
+      { t_add_table = 0.080; t_remove_table = 0.040; t_parser_change = 0.200;
+        t_move_element = 0.150; t_full_reflash = 45.; drain_time = 10.;
+        hitless = false (* classic RMT must drain; runtime variant below *) } }
+
+(** RMT with runtime stage reconfiguration support. *)
+let rmt_runtime =
+  { rmt with
+    reconfig = { rmt.reconfig with hitless = true } }
+
+(** Spectrum-class dRMT: disaggregated match/action processors over a
+    shared memory pool; hitless runtime reconfiguration in P4 (§2). *)
+let drmt =
+  { kind = Drmt;
+    stages = 0;
+    per_stage = Resource.zero;
+    pool =
+      Resource.v ~sram_bytes:(mb 16) ~tcam_bytes:(mb 6) ~action_slots:256
+        ~instructions:4096 ();
+    tiles = []; tile_bytes = 0; pem_slots = 0;
+    max_block_cycles = 48;
+    parser_capacity = 32;
+    base_latency_ns = 450.;
+    per_cycle_ns = 1.2;
+    max_pps = 8.4e8;
+    static_watts = 320.;
+    nj_per_packet = 14.;
+    reconfig =
+      { t_add_table = 0.050; t_remove_table = 0.030; t_parser_change = 0.150;
+        t_move_element = 0.080; t_full_reflash = 40.; drain_time = 10.;
+        hitless = true } }
+
+(** Trident4-class tiled architecture: typed hash/index/TCAM tiles. *)
+let tiles =
+  { kind = Tiles;
+    stages = 0;
+    per_stage = Resource.zero;
+    pool = Resource.v ~action_slots:192 ~instructions:3072 ();
+    tiles = [ (Hash_tile, 16); (Index_tile, 8); (Tcam_tile, 8) ];
+    tile_bytes = kb 768;
+    pem_slots = 0;
+    max_block_cycles = 32;
+    parser_capacity = 24;
+    base_latency_ns = 500.;
+    per_cycle_ns = 1.1;
+    max_pps = 9.0e8;
+    static_watts = 350.;
+    nj_per_packet = 13.;
+    reconfig =
+      { t_add_table = 0.100; t_remove_table = 0.050; t_parser_change = 0.250;
+        t_move_element = 0.200; t_full_reflash = 50.; drain_time = 10.;
+        hitless = true } }
+
+(** Jericho2-class elastic pipe: fixed stages plus a PEM. *)
+let elastic_pipe =
+  { kind = Elastic_pipe;
+    stages = 8;
+    per_stage =
+      Resource.v ~sram_bytes:(kb 1024) ~tcam_bytes:(kb 384) ~action_slots:12
+        ~instructions:160 ();
+    pool = Resource.zero;
+    tiles = []; tile_bytes = 0;
+    pem_slots = 16;
+    max_block_cycles = 40;
+    parser_capacity = 24;
+    base_latency_ns = 550.;
+    per_cycle_ns = 1.3;
+    max_pps = 7.0e8;
+    static_watts = 380.;
+    nj_per_packet = 15.;
+    reconfig =
+      { t_add_table = 0.120; t_remove_table = 0.060; t_parser_change = 0.300;
+        t_move_element = 0.250; t_full_reflash = 55.; drain_time = 10.;
+        hitless = true } }
+
+(** SoC SmartNIC (BlueField/Agilio/Pensando class): general-purpose
+    cores, fully fungible, modest throughput. *)
+let smartnic =
+  { kind = Smartnic;
+    stages = 0;
+    per_stage = Resource.zero;
+    pool =
+      (* general-purpose cores: "TCAM" is software classification, so it
+         is as plentiful as SRAM — resources essentially fully fungible *)
+      Resource.v ~sram_bytes:(mb 64) ~tcam_bytes:(mb 32) ~action_slots:1024
+        ~instructions:65536 ();
+    tiles = []; tile_bytes = 0; pem_slots = 0;
+    max_block_cycles = 2048;
+    parser_capacity = 64;
+    base_latency_ns = 2500.;
+    per_cycle_ns = 4.;
+    max_pps = 3.0e7;
+    static_watts = 25.;
+    nj_per_packet = 60.;
+    reconfig =
+      { t_add_table = 0.010; t_remove_table = 0.005; t_parser_change = 0.020;
+        t_move_element = 0.020; t_full_reflash = 2.0; drain_time = 1.0;
+        hitless = true } }
+
+(** FPGA NIC/switch with live partial reconfiguration regions. *)
+let fpga =
+  { kind = Fpga;
+    stages = 0;
+    per_stage = Resource.zero;
+    pool =
+      Resource.v ~sram_bytes:(mb 32) ~tcam_bytes:(mb 16) ~action_slots:512
+        ~instructions:16384 ();
+    tiles = []; tile_bytes = 0; pem_slots = 0;
+    max_block_cycles = 512;
+    parser_capacity = 48;
+    base_latency_ns = 1000.;
+    per_cycle_ns = 2.;
+    max_pps = 1.0e8;
+    static_watts = 60.;
+    nj_per_packet = 30.;
+    reconfig =
+      { t_add_table = 0.100; t_remove_table = 0.050; t_parser_change = 0.100;
+        t_move_element = 0.120; t_full_reflash = 3.0; drain_time = 1.0;
+        hitless = true (* live partial reconfiguration *) } }
+
+(** Host kernel stack with eBPF: fully fungible, millisecond reloads,
+    lowest throughput and highest per-packet cost. *)
+let host_ebpf =
+  { kind = Host_ebpf;
+    stages = 0;
+    per_stage = Resource.zero;
+    pool =
+      Resource.v ~sram_bytes:(mb 512) ~tcam_bytes:(mb 256) ~action_slots:4096
+        ~instructions:1048576 ();
+    tiles = []; tile_bytes = 0; pem_slots = 0;
+    max_block_cycles = 65536;
+    parser_capacity = 128;
+    base_latency_ns = 10000.;
+    per_cycle_ns = 8.;
+    max_pps = 2.0e6;
+    static_watts = 90.;
+    nj_per_packet = 250.;
+    reconfig =
+      { t_add_table = 0.001; t_remove_table = 0.001; t_parser_change = 0.001;
+        t_move_element = 0.002; t_full_reflash = 0.010; drain_time = 0.;
+        hitless = true } }
+
+let profile_of_kind = function
+  | Rmt -> rmt
+  | Drmt -> drmt
+  | Tiles -> tiles
+  | Elastic_pipe -> elastic_pipe
+  | Smartnic -> smartnic
+  | Fpga -> fpga
+  | Host_ebpf -> host_ebpf
+
+let all_kinds = [ Rmt; Drmt; Tiles; Elastic_pipe; Smartnic; Fpga; Host_ebpf ]
+
+(** Per-packet processing latency for a program costing [cycles]. *)
+let latency_ns profile ~cycles =
+  profile.base_latency_ns +. (profile.per_cycle_ns *. float_of_int cycles)
+
+(** Energy drawn over [seconds] at [pps] offered load. *)
+let energy_joules profile ~seconds ~pps =
+  (profile.static_watts *. seconds)
+  +. (profile.nj_per_packet *. 1e-9 *. pps *. seconds)

@@ -1,0 +1,94 @@
+(** Architecture profiles for the paper's fungibility taxonomy (§3.3).
+
+    (i) RMT — fixed pipeline stages, resources fungible only within a
+    stage. (ii) dRMT — compute disaggregated from memory, fully
+    fungible pools. (iii) Tiles (Trident4) — typed hash/index/TCAM
+    tiles; Elastic Pipe (Jericho2) — stages plus a Programmable
+    Elements Matrix. (iv) SmartNICs, FPGAs, hosts — essentially fully
+    fungible.
+
+    Timing and energy figures are parametric models calibrated to
+    preserve {e ordering} between architecture classes (DESIGN.md §5);
+    the paper's "program changes complete within a second" sets the
+    scale for runtime ops on switches. *)
+
+type kind =
+  | Rmt
+  | Drmt
+  | Tiles
+  | Elastic_pipe
+  | Smartnic
+  | Fpga
+  | Host_ebpf
+
+val kind_to_string : kind -> string
+val is_switch : kind -> bool
+
+type tile_kind = Hash_tile | Index_tile | Tcam_tile
+
+val tile_kind_to_string : tile_kind -> string
+
+type reconfig_times = {
+  t_add_table : float; (* seconds to add/populate a table live *)
+  t_remove_table : float;
+  t_parser_change : float;
+  t_move_element : float; (* live relocation within the device *)
+  t_full_reflash : float; (* compile-time path: full program reload *)
+  drain_time : float; (* traffic drain before a reflash (baseline) *)
+  hitless : bool; (* can the device reconfigure without loss? *)
+}
+
+type profile = {
+  kind : kind;
+  (* structural capacity *)
+  stages : int; (* RMT / Elastic_pipe *)
+  per_stage : Resource.t;
+  pool : Resource.t; (* dRMT / NIC / FPGA / host global pool *)
+  tiles : (tile_kind * int) list; (* tile kind -> count *)
+  tile_bytes : int; (* capacity of one tile *)
+  pem_slots : int; (* Elastic_pipe extension elements *)
+  max_block_cycles : int; (* largest eBPF-style block admissible *)
+  parser_capacity : int; (* max parser rules *)
+  (* performance model *)
+  base_latency_ns : float;
+  per_cycle_ns : float;
+  max_pps : float;
+  (* energy model *)
+  static_watts : float;
+  nj_per_packet : float;
+  (* reconfiguration *)
+  reconfig : reconfig_times;
+}
+
+(** Tofino/FlexPipe-class RMT switch (drain-only reconfiguration). *)
+val rmt : profile
+
+(** RMT with runtime stage reconfiguration support (hitless). *)
+val rmt_runtime : profile
+
+(** Spectrum-class dRMT: hitless runtime reconfiguration in P4 (§2). *)
+val drmt : profile
+
+(** Trident4-class tiled architecture. *)
+val tiles : profile
+
+(** Jericho2-class elastic pipe (stages + PEM). *)
+val elastic_pipe : profile
+
+(** SoC SmartNIC (BlueField/Agilio/Pensando class). *)
+val smartnic : profile
+
+(** FPGA NIC/switch with live partial reconfiguration. *)
+val fpga : profile
+
+(** Host kernel stack with eBPF. *)
+val host_ebpf : profile
+
+val profile_of_kind : kind -> profile
+val all_kinds : kind list
+
+(** Per-packet processing latency for a program costing [cycles]. *)
+val latency_ns : profile -> cycles:int -> float
+
+(** Energy drawn over [seconds] at [pps] offered load. *)
+val energy_joules : profile -> seconds:float -> pps:float -> float

@@ -1,0 +1,554 @@
+(** A runtime-programmable device instance.
+
+    All architectures share FlexBPF's functional semantics (one
+    interpreter); they differ in *where* an element may be placed and
+    what it costs — which is exactly the paper's fungibility taxonomy.
+    The device performs its own internal slotting (stage / tile / pool /
+    PEM), mirroring how vendor backends hide physical layout behind the
+    device API; the global compiler only picks which device hosts which
+    element. *)
+
+open Flexbpf
+
+type slot =
+  | In_stage of int
+  | In_tiles of Arch.tile_kind * int (* tile kind, number of tiles *)
+  | In_pool
+  | In_pem
+
+let slot_to_string = function
+  | In_stage s -> Printf.sprintf "stage%d" s
+  | In_tiles (k, n) -> Printf.sprintf "%d %s tiles" n (Arch.tile_kind_to_string k)
+  | In_pool -> "pool"
+  | In_pem -> "pem"
+
+type installed = {
+  inst_element : Ast.element;
+  inst_owner : string;
+  demand : Resource.t;
+  maps_charged : (string * int) list; (* map name, bytes charged here *)
+  mutable slot : slot;
+  order : int;
+  mutable active : bool; (* controller-maintained "in use" bit *)
+}
+
+type reject =
+  | No_capacity of string
+  | Unsupported of string
+
+let reject_to_string = function
+  | No_capacity s -> "no capacity: " ^ s
+  | Unsupported s -> "unsupported: " ^ s
+
+type t = {
+  dev_id : string;
+  profile : Arch.profile;
+  stage_used : Resource.t array;
+  mutable pool_used : Resource.t;
+  tiles_used : (Arch.tile_kind, int) Hashtbl.t;
+  mutable pem_used : int;
+  mutable elements : installed list; (* kept sorted by order *)
+  mutable headers : Ast.header_decl list;
+  mutable parser : Ast.parser_rule list;
+  mutable map_decls : Ast.map_decl list;
+  map_refs : (string, int) Hashtbl.t;
+  env : Interp.env;
+  mutable cached_program : Ast.program option;
+  mutable powered_on : bool;
+  mutable processed : int;
+  mutable version : int; (* bumped on every reconfiguration *)
+  (* Two-version consistency (§2): while a reconfiguration is in flight
+     the device keeps executing the frozen old program; the new program
+     becomes visible atomically at thaw. Destructive cleanups performed
+     during the window are deferred so the old program stays runnable. *)
+  mutable frozen : (Ast.program * int) option; (* program, version *)
+  mutable deferred : (unit -> unit) list;
+}
+
+(** The compiler's state-encoding selection (§3.1): each architecture
+    class has a natural physical encoding for logical maps. *)
+let default_encoding_of_kind : Arch.kind -> State.concrete = function
+  | Arch.Rmt | Arch.Elastic_pipe -> State.Registers
+  | Arch.Drmt | Arch.Tiles -> State.Stateful_table
+  | Arch.Smartnic | Arch.Fpga | Arch.Host_ebpf -> State.Flow_state
+
+let create ?(id = "dev") (profile : Arch.profile) =
+  let empty_prog =
+    { Ast.prog_name = id; owner = "infra"; headers = []; parser = [];
+      maps = []; pipeline = [] }
+  in
+  { dev_id = id;
+    profile;
+    stage_used = Array.make (max 1 profile.stages) Resource.zero;
+    pool_used = Resource.zero;
+    tiles_used = Hashtbl.create 4;
+    pem_used = 0;
+    elements = [];
+    headers = [];
+    parser = [];
+    map_decls = [];
+    map_refs = Hashtbl.create 8;
+    env = Interp.create_env empty_prog;
+    cached_program = None;
+    powered_on = true;
+    processed = 0;
+    version = 0;
+    frozen = None;
+    deferred = [] }
+
+let id t = t.dev_id
+let kind t = t.profile.kind
+let version t = t.version
+let env t = t.env
+let processed t = t.processed
+let installed_names t = List.map (fun i -> Ast.element_name i.inst_element) t.elements
+
+let find_installed t name =
+  List.find_opt (fun i -> Ast.element_name i.inst_element = name) t.elements
+
+let tiles_in_use t kind =
+  Option.value (Hashtbl.find_opt t.tiles_used kind) ~default:0
+
+let tile_capacity t kind =
+  Option.value (List.assoc_opt kind t.profile.tiles) ~default:0
+
+(* -- Demand computation --------------------------------------------- *)
+
+(** Resource demand of an element within context program [ctx],
+    including the maps it references that are not yet present on this
+    device (first referencing element pays for the map). *)
+let element_demand t ~(ctx : Ast.program) element =
+  let fp = Analysis.element_footprint ctx element in
+  let new_maps =
+    Compose.element_maps element
+    |> List.sort_uniq compare
+    |> List.filter_map (fun name ->
+           if Hashtbl.mem t.map_refs name then None
+           else
+             Option.map
+               (fun decl -> (name, Analysis.map_bytes decl))
+               (Ast.find_map ctx name))
+  in
+  let map_bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 new_maps in
+  let demand =
+    Resource.add (Resource.of_footprint fp)
+      (Resource.v ~sram_bytes:map_bytes ())
+  in
+  (demand, new_maps)
+
+(* -- Admission ------------------------------------------------------- *)
+
+let stage_free t s = Resource.sub t.profile.per_stage t.stage_used.(s)
+
+(** Minimum admissible stage given pipeline-order dependencies: an
+    element must sit no earlier than every element that precedes it in
+    program order (RMT's defining constraint). *)
+let min_stage t ~order =
+  List.fold_left
+    (fun acc i ->
+      match i.slot with
+      | In_stage s when i.order < order -> max acc s
+      | _ -> acc)
+    0 t.elements
+
+let block_cycles element = Analysis.element_cost element
+
+let admit_slot t ~(ctx : Ast.program) ~order element demand =
+  let is_block = match element with Ast.Block _ -> true | Ast.Table _ -> false in
+  if is_block && block_cycles element > t.profile.max_block_cycles then
+    Error
+      (Unsupported
+         (Printf.sprintf "block of %d cycles exceeds target limit %d"
+            (block_cycles element) t.profile.max_block_cycles))
+  else
+    match t.profile.kind with
+    | Arch.Rmt ->
+      let rec try_stage s =
+        if s >= t.profile.stages then
+          Error (No_capacity "no stage fits the element")
+        else if Resource.fits demand (stage_free t s) then Ok (In_stage s)
+        else try_stage (s + 1)
+      in
+      try_stage (min_stage t ~order)
+    | Arch.Elastic_pipe ->
+      if is_block then begin
+        if t.pem_used < t.profile.pem_slots then Ok In_pem
+        else Error (No_capacity "PEM slots exhausted")
+      end
+      else begin
+        let rec try_stage s =
+          if s >= t.profile.stages then
+            Error (No_capacity "no stage fits the element")
+          else if Resource.fits demand (stage_free t s) then Ok (In_stage s)
+          else try_stage (s + 1)
+        in
+        try_stage (min_stage t ~order)
+      end
+    | Arch.Tiles ->
+      (match element with
+       | Ast.Block _ ->
+         (* block state (maps) lives in index tiles; compute/action
+            budget comes from the pool *)
+         let bytes = demand.Resource.sram_bytes + demand.Resource.tcam_bytes in
+         let pool_demand =
+           Resource.v ~action_slots:demand.Resource.action_slots
+             ~instructions:demand.Resource.instructions ()
+         in
+         let pool_free = Resource.sub t.profile.pool t.pool_used in
+         if not (Resource.fits pool_demand pool_free) then
+           Error (No_capacity "action/instruction pool exhausted")
+         else if bytes = 0 then Ok In_pool
+         else begin
+           let tiles_needed =
+             max 1 ((bytes + t.profile.tile_bytes - 1) / t.profile.tile_bytes)
+           in
+           let free_tiles =
+             tile_capacity t Arch.Index_tile - tiles_in_use t Arch.Index_tile
+           in
+           if tiles_needed > free_tiles then
+             Error
+               (No_capacity
+                  (Printf.sprintf "needs %d index tiles, %d free" tiles_needed
+                     free_tiles))
+           else Ok (In_tiles (Arch.Index_tile, tiles_needed))
+         end
+       | Ast.Table tbl ->
+         let tile_kind =
+           if Analysis.table_needs_tcam tbl then Arch.Tcam_tile
+           else Arch.Hash_tile
+         in
+         let bytes = demand.Resource.sram_bytes + demand.Resource.tcam_bytes in
+         let tiles_needed =
+           max 1 ((bytes + t.profile.tile_bytes - 1) / t.profile.tile_bytes)
+         in
+         let free_tiles = tile_capacity t tile_kind - tiles_in_use t tile_kind in
+         let pool_free = Resource.sub t.profile.pool t.pool_used in
+         let pool_demand =
+           Resource.v ~action_slots:demand.Resource.action_slots
+             ~instructions:demand.Resource.instructions ()
+         in
+         if tiles_needed > free_tiles then
+           Error
+             (No_capacity
+                (Printf.sprintf "needs %d %s tiles, %d free" tiles_needed
+                   (Arch.tile_kind_to_string tile_kind) free_tiles))
+         else if not (Resource.fits pool_demand pool_free) then
+           Error (No_capacity "action/instruction pool exhausted")
+         else Ok (In_tiles (tile_kind, tiles_needed)))
+    | Arch.Drmt | Arch.Smartnic | Arch.Fpga | Arch.Host_ebpf ->
+      let free = Resource.sub t.profile.pool t.pool_used in
+      if Resource.fits demand free then Ok In_pool
+      else Error (No_capacity "pool exhausted");
+  [@@warning "-27"]
+
+(* -- Occupancy bookkeeping ------------------------------------------- *)
+
+let charge t slot demand =
+  match slot with
+  | In_stage s -> t.stage_used.(s) <- Resource.add t.stage_used.(s) demand
+  | In_pool -> t.pool_used <- Resource.add t.pool_used demand
+  | In_pem -> t.pem_used <- t.pem_used + 1
+  | In_tiles (k, n) ->
+    Hashtbl.replace t.tiles_used k (tiles_in_use t k + n);
+    let pool_demand =
+      Resource.v ~action_slots:demand.Resource.action_slots
+        ~instructions:demand.Resource.instructions ()
+    in
+    t.pool_used <- Resource.add t.pool_used pool_demand
+
+let refund t slot demand =
+  match slot with
+  | In_stage s -> t.stage_used.(s) <- Resource.sub t.stage_used.(s) demand
+  | In_pool -> t.pool_used <- Resource.sub t.pool_used demand
+  | In_pem -> t.pem_used <- t.pem_used - 1
+  | In_tiles (k, n) ->
+    Hashtbl.replace t.tiles_used k (tiles_in_use t k - n);
+    let pool_demand =
+      Resource.v ~action_slots:demand.Resource.action_slots
+        ~instructions:demand.Resource.instructions ()
+    in
+    t.pool_used <- Resource.sub t.pool_used pool_demand
+
+(* -- Program assembly ------------------------------------------------ *)
+
+let rebuild_program t =
+  let pipeline =
+    t.elements
+    |> List.sort (fun a b -> compare a.order b.order)
+    |> List.map (fun i -> i.inst_element)
+  in
+  let prog =
+    { Ast.prog_name = t.dev_id; owner = "infra"; headers = t.headers;
+      parser = t.parser; maps = t.map_decls; pipeline }
+  in
+  t.cached_program <- Some prog;
+  t.version <- t.version + 1
+
+let program t =
+  match t.cached_program with
+  | Some p -> p
+  | None -> rebuild_program t; Option.get t.cached_program
+
+(* -- Install / uninstall ---------------------------------------------- *)
+
+let merge_headers t (ctx : Ast.program) =
+  List.iter
+    (fun h ->
+      if not (List.exists (fun x -> x.Ast.hdr_name = h.Ast.hdr_name) t.headers)
+      then t.headers <- t.headers @ [ h ])
+    ctx.headers
+
+(* Parser rules of the context program must be present for the device to
+   accept the program's traffic; merged on install, bounded by the
+   device's parser capacity. *)
+let merge_parser t (ctx : Ast.program) =
+  let missing =
+    List.filter
+      (fun r ->
+        not (List.exists (fun x -> x.Ast.pr_name = r.Ast.pr_name) t.parser))
+      ctx.parser
+  in
+  if List.length t.parser + List.length missing > t.profile.parser_capacity
+  then Error (No_capacity "parser state capacity reached")
+  else begin
+    t.parser <- t.parser @ missing;
+    Ok ()
+  end
+
+let instantiate_maps t (ctx : Ast.program) element =
+  Compose.element_maps element
+  |> List.sort_uniq compare
+  |> List.iter (fun name ->
+         match Hashtbl.find_opt t.map_refs name with
+         | Some n -> Hashtbl.replace t.map_refs name (n + 1)
+         | None ->
+           (match Ast.find_map ctx name with
+            | None -> ()
+            | Some decl ->
+              let enc =
+                Option.value
+                  (State.concrete_of_encoding decl.encoding)
+                  ~default:(default_encoding_of_kind t.profile.kind)
+              in
+              Hashtbl.replace t.env.Interp.maps name
+                (State.create ~name ~size:decl.map_size enc);
+              t.map_decls <- t.map_decls @ [ decl ];
+              Hashtbl.replace t.map_refs name 1))
+
+(** Install one element of [ctx] at pipeline position [order]. *)
+let install t ~(ctx : Ast.program) ~order element =
+  let name = Ast.element_name element in
+  if find_installed t name <> None then
+    Error (Unsupported (Printf.sprintf "element %s already installed" name))
+  else begin
+    let demand, new_maps = element_demand t ~ctx element in
+    match admit_slot t ~ctx ~order element demand with
+    | Error _ as e -> e
+    | Ok slot ->
+      (match merge_parser t ctx with
+       | Error e -> Error e
+       | Ok () ->
+      charge t slot demand;
+      merge_headers t ctx;
+      instantiate_maps t ctx element;
+      (match element with
+       | Ast.Table tbl ->
+         if not (Hashtbl.mem t.env.Interp.rules tbl.Ast.tbl_name) then
+           Hashtbl.replace t.env.Interp.rules tbl.Ast.tbl_name []
+       | Ast.Block _ -> ());
+      let inst =
+        { inst_element = element; inst_owner = ctx.owner; demand;
+          maps_charged = new_maps; slot; order; active = true }
+      in
+      t.elements <-
+        List.sort (fun a b -> compare a.order b.order) (inst :: t.elements);
+      rebuild_program t;
+      Ok slot)
+  end
+
+let defer t cleanup =
+  match t.frozen with
+  | Some _ -> t.deferred <- cleanup :: t.deferred
+  | None -> cleanup ()
+
+let release_maps t inst =
+  Compose.element_maps inst.inst_element
+  |> List.sort_uniq compare
+  |> List.iter (fun name ->
+         match Hashtbl.find_opt t.map_refs name with
+         | None -> ()
+         | Some 1 ->
+           Hashtbl.remove t.map_refs name;
+           Hashtbl.remove t.env.Interp.maps name;
+           t.map_decls <-
+             List.filter (fun (m : Ast.map_decl) -> m.map_name <> name)
+               t.map_decls
+         | Some n -> Hashtbl.replace t.map_refs name (n - 1))
+
+let uninstall t name =
+  match find_installed t name with
+  | None -> false
+  | Some inst ->
+    refund t inst.slot inst.demand;
+    defer t (fun () -> release_maps t inst);
+    t.elements <- List.filter (fun i -> i != inst) t.elements;
+    (match inst.inst_element with
+     | Ast.Table tbl ->
+       defer t (fun () -> Hashtbl.remove t.env.Interp.rules tbl.Ast.tbl_name)
+     | Ast.Block _ -> ());
+    rebuild_program t;
+    true
+
+(** Re-pack all staged elements first-fit in order — the fungibility
+    defragmentation pass. Returns how many elements moved. *)
+let defragment t =
+  match t.profile.kind with
+  | Arch.Rmt | Arch.Elastic_pipe ->
+    let staged, rest =
+      List.partition
+        (fun i -> match i.slot with In_stage _ -> true | _ -> false)
+        t.elements
+    in
+    let staged = List.sort (fun a b -> compare a.order b.order) staged in
+    Array.fill t.stage_used 0 (Array.length t.stage_used) Resource.zero;
+    let moved = ref 0 in
+    let current_min = ref 0 in
+    List.iter
+      (fun inst ->
+        let rec try_stage s =
+          if s >= t.profile.stages then s (* cannot happen: it fit before *)
+          else if Resource.fits inst.demand (stage_free t s) then s
+          else try_stage (s + 1)
+        in
+        let s = try_stage !current_min in
+        current_min := s;
+        (match inst.slot with
+         | In_stage old when old <> s -> incr moved
+         | _ -> ());
+        inst.slot <- In_stage s;
+        t.stage_used.(s) <- Resource.add t.stage_used.(s) inst.demand)
+      staged;
+    t.elements <-
+      List.sort (fun a b -> compare a.order b.order) (staged @ rest);
+    if !moved > 0 then rebuild_program t;
+    !moved
+  | _ -> 0
+
+(* -- State transfer ---------------------------------------------------- *)
+
+let map_state t name = Hashtbl.find_opt t.env.Interp.maps name
+
+(** Load a logical snapshot into map [name], converting to this device's
+    physical encoding — the state-representation conversion step of
+    program migration (§3.1). *)
+let load_map_snapshot t name snap =
+  match List.find_opt (fun (m : Ast.map_decl) -> m.map_name = name) t.map_decls with
+  | None -> false
+  | Some decl ->
+    let enc =
+      match map_state t name with
+      | Some existing -> State.encoding existing
+      | None ->
+        Option.value
+          (State.concrete_of_encoding decl.encoding)
+          ~default:(default_encoding_of_kind t.profile.kind)
+    in
+    Hashtbl.replace t.env.Interp.maps name
+      (State.restore ~name ~size:decl.map_size enc snap);
+    true
+
+(* -- Parser reconfiguration ------------------------------------------ *)
+
+let add_parser_rule t rule =
+  if List.length t.parser >= t.profile.parser_capacity then
+    Error (No_capacity "parser state capacity reached")
+  else if List.exists (fun r -> r.Ast.pr_name = rule.Ast.pr_name) t.parser then
+    Error (Unsupported ("duplicate parser rule " ^ rule.Ast.pr_name))
+  else begin
+    t.parser <- t.parser @ [ rule ];
+    rebuild_program t;
+    Ok ()
+  end
+
+let remove_parser_rule t name =
+  let before = List.length t.parser in
+  t.parser <- List.filter (fun r -> r.Ast.pr_name <> name) t.parser;
+  if List.length t.parser < before then begin
+    rebuild_program t;
+    true
+  end
+  else false
+
+(* -- Execution -------------------------------------------------------- *)
+
+(** Begin a reconfiguration window: traffic keeps seeing the current
+    program until [thaw]. Idempotent. *)
+let freeze t =
+  if t.frozen = None then t.frozen <- Some (program t, t.version)
+
+(** End the reconfiguration window: the new program becomes visible
+    atomically and deferred cleanups run. *)
+let thaw t =
+  match t.frozen with
+  | None -> ()
+  | Some _ ->
+    t.frozen <- None;
+    List.iter (fun f -> f ()) (List.rev t.deferred);
+    t.deferred <- []
+
+let is_frozen t = t.frozen <> None
+
+(** The program traffic currently observes: the frozen old program
+    during a reconfiguration window, the live one otherwise. *)
+let active_program t =
+  match t.frozen with Some (p, _) -> p | None -> program t
+
+let exec t ~now_us pkt =
+  t.processed <- t.processed + 1;
+  t.env.Interp.now_us <- now_us;
+  let prog, ver =
+    match t.frozen with
+    | Some (p, v) -> (p, v)
+    | None -> (program t, t.version)
+  in
+  pkt.Netsim.Packet.epoch <- ver;
+  Interp.run t.env prog pkt
+
+(** Per-packet processing latency of the currently installed program. *)
+let latency_ns t =
+  Arch.latency_ns t.profile ~cycles:(Analysis.max_cycles (program t))
+
+(* -- Utilization / energy --------------------------------------------- *)
+
+let utilization t =
+  match t.profile.kind with
+  | Arch.Rmt | Arch.Elastic_pipe ->
+    let total = Resource.scale t.profile.stages t.profile.per_stage in
+    let used = Array.fold_left Resource.add Resource.zero t.stage_used in
+    Resource.utilization ~used ~capacity:total
+  | Arch.Tiles ->
+    let tile_util =
+      List.fold_left
+        (fun acc (k, cap) ->
+          if cap = 0 then acc
+          else Float.max acc (float_of_int (tiles_in_use t k) /. float_of_int cap))
+        0. t.profile.tiles
+    in
+    Float.max tile_util
+      (Resource.utilization ~used:t.pool_used ~capacity:t.profile.pool)
+  | _ -> Resource.utilization ~used:t.pool_used ~capacity:t.profile.pool
+
+let set_power t on = t.powered_on <- on
+let powered_on t = t.powered_on
+
+let energy_joules t ~seconds ~pps =
+  if t.powered_on then Arch.energy_joules t.profile ~seconds ~pps
+  else 2. *. seconds (* sleep power *)
+
+let reconfig_times t = t.profile.reconfig
+
+let pp ppf t =
+  Fmt.pf ppf "%s(%s, %d elements, util %.0f%%)" t.dev_id
+    (Arch.kind_to_string t.profile.kind)
+    (List.length t.elements)
+    (100. *. utilization t)

@@ -1,0 +1,126 @@
+(** A runtime-programmable device instance.
+
+    All architectures share FlexBPF's functional semantics (one
+    interpreter); they differ in {e where} an element may be placed and
+    what it costs — the paper's fungibility taxonomy. The device
+    performs its own internal slotting (stage / tile / pool / PEM),
+    mirroring how vendor backends hide physical layout behind the
+    device API; the global compiler only picks which device hosts which
+    element.
+
+    Two-version consistency (§2): [freeze] keeps traffic on the current
+    program while mutations are applied; [thaw] makes the new program
+    visible atomically and runs deferred cleanups. *)
+
+type slot =
+  | In_stage of int
+  | In_tiles of Arch.tile_kind * int (* tile kind, number of tiles *)
+  | In_pool
+  | In_pem
+
+val slot_to_string : slot -> string
+
+type reject =
+  | No_capacity of string
+  | Unsupported of string
+
+val reject_to_string : reject -> string
+
+type t
+
+(** The compiler's state-encoding selection (§3.1): each architecture
+    class has a natural physical encoding for logical maps. *)
+val default_encoding_of_kind : Arch.kind -> Flexbpf.State.concrete
+
+val create : ?id:string -> Arch.profile -> t
+
+val id : t -> string
+val kind : t -> Arch.kind
+
+(** Bumped on every reconfiguration; stamped into packets as [epoch]. *)
+val version : t -> int
+
+(** The interpreter environment: rules and map state live here. *)
+val env : t -> Flexbpf.Interp.env
+
+val processed : t -> int
+val installed_names : t -> string list
+
+(** Resource demand of an element within context program [ctx],
+    including not-yet-present maps it references (the first referencing
+    element pays for a map). Returns (demand, newly charged maps). *)
+val element_demand :
+  t -> ctx:Flexbpf.Ast.program -> Flexbpf.Ast.element ->
+  Resource.t * (string * int) list
+
+(** Install one element of [ctx] at pipeline position [order].
+    Admission is architecture-specific: per-stage fit with monotonic
+    order on RMT/elastic, typed tiles on Tiles, pooled elsewhere;
+    blocks are bounded by [max_block_cycles]. The context's parser
+    rules and headers are merged in. *)
+val install :
+  t -> ctx:Flexbpf.Ast.program -> order:int -> Flexbpf.Ast.element ->
+  (slot, reject) result
+
+(** Remove an element, refunding its resources. Map/rule cleanup is
+    deferred while frozen so the old program stays runnable. *)
+val uninstall : t -> string -> bool
+
+(** Re-pack staged architectures first-fit in pipeline order so free
+    stage space coalesces; returns how many elements moved. No-op on
+    pooled architectures. *)
+val defragment : t -> int
+
+(** {2 State transfer} *)
+
+val map_state : t -> string -> Flexbpf.State.t option
+
+(** Load a logical snapshot into map [name], converting to this
+    device's physical encoding — the state-representation conversion of
+    program migration (§3.1). [false] if the map is not declared here. *)
+val load_map_snapshot : t -> string -> Flexbpf.State.snapshot -> bool
+
+(** {2 Parser reconfiguration} *)
+
+val add_parser_rule : t -> Flexbpf.Ast.parser_rule -> (unit, reject) result
+val remove_parser_rule : t -> string -> bool
+
+(** {2 Two-version consistency} *)
+
+(** Begin a reconfiguration window: traffic keeps seeing the current
+    program until [thaw]. Idempotent. *)
+val freeze : t -> unit
+
+(** End the window: the new program becomes visible atomically. *)
+val thaw : t -> unit
+
+val is_frozen : t -> bool
+
+(** The program traffic currently observes (frozen old program during a
+    window, the live one otherwise). *)
+val active_program : t -> Flexbpf.Ast.program
+
+(** The currently installed (live) program. *)
+val program : t -> Flexbpf.Ast.program
+
+(** {2 Execution} *)
+
+(** Run the active program on a packet, stamping its [epoch] with the
+    observed program version. *)
+val exec : t -> now_us:int64 -> Netsim.Packet.t -> Flexbpf.Interp.result
+
+(** Per-packet processing latency of the installed program. *)
+val latency_ns : t -> float
+
+(** {2 Utilization / energy} *)
+
+(** Most-loaded-dimension occupancy in [0, 1]. *)
+val utilization : t -> float
+
+val set_power : t -> bool -> unit
+val powered_on : t -> bool
+val energy_joules : t -> seconds:float -> pps:float -> float
+
+val reconfig_times : t -> Arch.reconfig_times
+
+val pp : Format.formatter -> t -> unit

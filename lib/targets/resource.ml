@@ -1,0 +1,61 @@
+(** Resource vectors used for placement accounting.
+
+    The same vector type describes a capacity (what a stage, tile pool,
+    or device offers) and a demand (what a program element needs). *)
+
+type t = {
+  sram_bytes : int;
+  tcam_bytes : int;
+  action_slots : int;
+  instructions : int; (* instruction store for blocks/actions *)
+}
+
+let zero = { sram_bytes = 0; tcam_bytes = 0; action_slots = 0; instructions = 0 }
+
+let v ?(sram_bytes = 0) ?(tcam_bytes = 0) ?(action_slots = 0)
+    ?(instructions = 0) () =
+  { sram_bytes; tcam_bytes; action_slots; instructions }
+
+let add a b =
+  { sram_bytes = a.sram_bytes + b.sram_bytes;
+    tcam_bytes = a.tcam_bytes + b.tcam_bytes;
+    action_slots = a.action_slots + b.action_slots;
+    instructions = a.instructions + b.instructions }
+
+let sub a b =
+  { sram_bytes = a.sram_bytes - b.sram_bytes;
+    tcam_bytes = a.tcam_bytes - b.tcam_bytes;
+    action_slots = a.action_slots - b.action_slots;
+    instructions = a.instructions - b.instructions }
+
+let scale k a =
+  { sram_bytes = k * a.sram_bytes;
+    tcam_bytes = k * a.tcam_bytes;
+    action_slots = k * a.action_slots;
+    instructions = k * a.instructions }
+
+(** [fits demand capacity]: does the demand fit wholly? *)
+let fits demand capacity =
+  demand.sram_bytes <= capacity.sram_bytes
+  && demand.tcam_bytes <= capacity.tcam_bytes
+  && demand.action_slots <= capacity.action_slots
+  && demand.instructions <= capacity.instructions
+
+(** Fraction of [capacity] consumed by [used], on the most-loaded
+    dimension; capacity dimensions of zero are ignored. *)
+let utilization ~used ~capacity =
+  let dim u c = if c = 0 then 0. else float_of_int u /. float_of_int c in
+  List.fold_left Float.max 0.
+    [ dim used.sram_bytes capacity.sram_bytes;
+      dim used.tcam_bytes capacity.tcam_bytes;
+      dim used.action_slots capacity.action_slots;
+      dim used.instructions capacity.instructions ]
+
+(** Demand of a program element, derived from the static analysis. *)
+let of_footprint (f : Flexbpf.Analysis.footprint) =
+  { sram_bytes = f.sram_bytes; tcam_bytes = f.tcam_bytes;
+    action_slots = f.action_slots; instructions = f.instruction_count }
+
+let pp ppf t =
+  Fmt.pf ppf "sram=%dB tcam=%dB actions=%d instrs=%d" t.sram_bytes
+    t.tcam_bytes t.action_slots t.instructions

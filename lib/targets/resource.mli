@@ -1,0 +1,32 @@
+(** Resource vectors used for placement accounting. The same vector
+    type describes a capacity (what a stage, tile pool, or device
+    offers) and a demand (what a program element needs). *)
+
+type t = {
+  sram_bytes : int;
+  tcam_bytes : int;
+  action_slots : int;
+  instructions : int; (* instruction store for blocks/actions *)
+}
+
+val zero : t
+
+val v :
+  ?sram_bytes:int -> ?tcam_bytes:int -> ?action_slots:int ->
+  ?instructions:int -> unit -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+
+(** [fits demand capacity]: does the demand fit wholly? *)
+val fits : t -> t -> bool
+
+(** Fraction of [capacity] consumed by [used] on the most-loaded
+    dimension; zero-capacity dimensions are ignored. *)
+val utilization : used:t -> capacity:t -> float
+
+(** Demand of a program element, from the static analysis. *)
+val of_footprint : Flexbpf.Analysis.footprint -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,441 @@
+(* Property-based tests (qcheck) on the core data structures and
+   invariants: event-queue ordering, state-encoding agreement and
+   snapshot roundtrips, pattern matching, expression totality, patch
+   reversibility, sketch soundness, placement conservation, and glob
+   semantics. *)
+
+open Flexbpf
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* -- Event queue: pops come out time-sorted ------------------------------- *)
+
+let prop_event_queue_sorted =
+  QCheck.Test.make ~name:"event queue pops sorted" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun times ->
+      let q = Netsim.Event_queue.create () in
+      List.iteri
+        (fun i time ->
+          Netsim.Event_queue.push q
+            { Netsim.Event_queue.time; seq = i; thunk = ignore })
+        times;
+      let rec drain acc =
+        match Netsim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some e -> drain (e.Netsim.Event_queue.time :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+(* -- State encodings -------------------------------------------------------- *)
+
+type map_op = Put of int * int | Incr of int * int | Del of int
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [ map2 (fun k v -> Put (k, v)) (int_bound 30) (int_bound 1000);
+        map2 (fun k v -> Incr (k, v)) (int_bound 30) (int_bound 100);
+        map (fun k -> Del k) (int_bound 30) ])
+
+let op_print = function
+  | Put (k, v) -> Printf.sprintf "put %d %d" k v
+  | Incr (k, v) -> Printf.sprintf "incr %d %d" k v
+  | Del k -> Printf.sprintf "del %d" k
+
+let ops_arb = QCheck.make ~print:(fun l -> String.concat ";" (List.map op_print l))
+    QCheck.Gen.(list_size (int_bound 60) op_gen)
+
+let apply_ops st ops =
+  List.iter
+    (fun op ->
+      match op with
+      | Put (k, v) -> State.put st [ Int64.of_int k ] (Int64.of_int v)
+      | Incr (k, v) -> ignore (State.incr st [ Int64.of_int k ] (Int64.of_int v))
+      | Del k -> State.del st [ Int64.of_int k ])
+    ops
+
+(* With capacity above the key range, flow-state and stateful-table
+   encodings are observationally identical. *)
+let prop_encodings_agree =
+  QCheck.Test.make ~name:"flow_state = stateful_table under capacity"
+    ~count:300 ops_arb (fun ops ->
+      let a = State.create ~name:"m" ~size:64 State.Flow_state in
+      let b = State.create ~name:"m" ~size:64 State.Stateful_table in
+      apply_ops a ops;
+      apply_ops b ops;
+      State.snapshot a = State.snapshot b)
+
+(* Snapshot/restore is the identity for exact encodings. *)
+let prop_snapshot_roundtrip =
+  QCheck.Test.make ~name:"snapshot/restore identity" ~count:300 ops_arb
+    (fun ops ->
+      let st = State.create ~name:"m" ~size:64 State.Stateful_table in
+      apply_ops st ops;
+      let snap = State.snapshot st in
+      let restored = State.restore ~name:"m" ~size:64 State.Flow_state snap in
+      State.snapshot restored = snap)
+
+(* Register aliasing can only merge entries, never invent keys. *)
+let prop_registers_subset =
+  QCheck.Test.make ~name:"register keys are a subset" ~count:300 ops_arb
+    (fun ops ->
+      let exact = State.create ~name:"m" ~size:64 State.Stateful_table in
+      let regs = State.create ~name:"m" ~size:8 State.Registers in
+      apply_ops exact ops;
+      apply_ops regs ops;
+      let exact_keys = List.map fst (State.entries exact) in
+      List.for_all
+        (fun (k, _) -> List.mem k exact_keys)
+        (State.entries regs))
+
+(* -- Pattern matching --------------------------------------------------------- *)
+
+let prop_lpm_matches_self =
+  QCheck.Test.make ~name:"lpm matches its own value" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFF) (int_bound 32))
+    (fun (v, len) ->
+      Interp.match_pattern (Int64.of_int v) (Ast.P_lpm (Int64.of_int v, len)))
+
+let prop_lpm_prefix_semantics =
+  QCheck.Test.make ~name:"lpm ignores low bits" ~count:500
+    QCheck.(triple (int_bound 0xFFFFFF) (int_range 1 31) (int_bound 0xFFFFFF))
+    (fun (v, len, other) ->
+      let mask = Int64.shift_left (-1L) (32 - len) in
+      let same_prefix =
+        Int64.logand (Int64.of_int v) mask = Int64.logand (Int64.of_int other) mask
+      in
+      Interp.match_pattern (Int64.of_int other) (Ast.P_lpm (Int64.of_int v, len))
+      = same_prefix)
+
+let prop_ternary_mask =
+  QCheck.Test.make ~name:"ternary masks out ignored bits" ~count:500
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xFFFF))
+    (fun (v, m, x) ->
+      let p = Ast.P_ternary (Int64.of_int v, Int64.of_int m) in
+      Interp.match_pattern (Int64.of_int x) p
+      = (x land m = v land m))
+
+let prop_range_inclusive =
+  QCheck.Test.make ~name:"range is inclusive" ~count:500
+    QCheck.(triple small_nat small_nat small_nat)
+    (fun (a, b, x) ->
+      let lo = min a b and hi = max a b in
+      Interp.match_pattern (Int64.of_int x)
+        (Ast.P_range (Int64.of_int lo, Int64.of_int hi))
+      = (x >= lo && x <= hi))
+
+(* -- Expression evaluation is total --------------------------------------------- *)
+
+let binop_gen =
+  QCheck.Gen.oneofl
+    [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Band; Ast.Bor;
+      Ast.Bxor; Ast.Shl; Ast.Shr; Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt;
+      Ast.Ge; Ast.Land; Ast.Lor ]
+
+let prop_binop_total =
+  QCheck.Test.make ~name:"eval_binop never raises" ~count:1000
+    (QCheck.make QCheck.Gen.(triple binop_gen (map Int64.of_int int) (map Int64.of_int int)))
+    (fun (op, x, y) ->
+      ignore (Interp.eval_binop op x y);
+      true)
+
+let prop_bool_ops_boolean =
+  QCheck.Test.make ~name:"comparisons yield 0/1" ~count:500
+    (QCheck.make QCheck.Gen.(pair (map Int64.of_int int) (map Int64.of_int int)))
+    (fun (x, y) ->
+      List.for_all
+        (fun op ->
+          let r = Interp.eval_binop op x y in
+          r = 0L || r = 1L)
+        [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Land; Ast.Lor ])
+
+(* -- Glob matching ----------------------------------------------------------------- *)
+
+let ident_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+
+let prop_glob_literal_reflexive =
+  QCheck.Test.make ~name:"glob: literal matches itself" ~count:300
+    (QCheck.make ~print:Fun.id ident_gen)
+    (fun s -> Patch.glob_matches s s)
+
+let prop_glob_star_suffix =
+  QCheck.Test.make ~name:"glob: p* matches any extension" ~count:300
+    (QCheck.make
+       ~print:(fun (a, b) -> a ^ "|" ^ b)
+       QCheck.Gen.(pair ident_gen ident_gen))
+    (fun (p, ext) -> Patch.glob_matches (p ^ "*") (p ^ ext))
+
+let prop_glob_star_everything =
+  QCheck.Test.make ~name:"glob: * matches everything" ~count:300
+    (QCheck.make ~print:Fun.id ident_gen)
+    (fun s -> Patch.glob_matches "*" s)
+
+let prop_glob_question_length =
+  QCheck.Test.make ~name:"glob: ?s match length" ~count:300
+    (QCheck.make ~print:Fun.id ident_gen)
+    (fun s ->
+      Patch.glob_matches (String.make (String.length s) '?') s)
+
+(* -- Patch reversibility --------------------------------------------------------------- *)
+
+let small_block_gen =
+  QCheck.Gen.(
+    map
+      (fun (name, v) ->
+        Builder.block ("x_" ^ name)
+          [ Builder.set_meta "v" (Builder.const v) ])
+      (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)) (int_bound 100)))
+
+let prop_patch_add_remove_identity =
+  QCheck.Test.make ~name:"patch: add then remove = identity" ~count:200
+    (QCheck.make small_block_gen) (fun el ->
+      let base = Apps.L2l3.program () in
+      let name = Ast.element_name el in
+      QCheck.assume (Ast.find_element base name = None);
+      match
+        Patch.apply (Patch.v "add" [ Patch.Add_element (Patch.At_end, el) ]) base
+      with
+      | Error _ -> false
+      | Ok (p1, _) ->
+        (match
+           Patch.apply (Patch.v "rm" [ Patch.Remove_element (Patch.Sel_name name) ]) p1
+         with
+         | Error _ -> false
+         | Ok (p2, _) ->
+           List.map Ast.element_name p2.Ast.pipeline
+           = List.map Ast.element_name base.Ast.pipeline))
+
+(* Patched programs always typecheck (apply rejects otherwise). *)
+let prop_patch_preserves_typing =
+  QCheck.Test.make ~name:"patch results typecheck" ~count:200
+    (QCheck.make small_block_gen) (fun el ->
+      let base = Apps.L2l3.program () in
+      QCheck.assume (Ast.find_element base (Ast.element_name el) = None);
+      match
+        Patch.apply (Patch.v "add" [ Patch.Add_element (Patch.At_start, el) ]) base
+      with
+      | Error _ -> false
+      | Ok (p, _) -> Typecheck.check_program p = Ok ())
+
+(* -- Count-min sketch soundness ----------------------------------------------------------- *)
+
+let prop_sketch_never_underestimates =
+  QCheck.Test.make ~name:"sketch estimate >= true count" ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 10 200) (pair (int_bound 20) (int_bound 5)))
+    (fun flows ->
+      let cfg = { Apps.Cm_sketch.depth = 2; width = 64; map_name = "cms" } in
+      let prog = Apps.Cm_sketch.program ~cfg () in
+      let env = Interp.create_env prog in
+      let exact = Apps.Cm_sketch.Exact.create () in
+      List.iter
+        (fun (s, d) ->
+          let src = Int64.of_int s and dst = Int64.of_int d in
+          let pkt =
+            Netsim.Packet.create
+              [ Netsim.Packet.ethernet ~src ~dst ();
+                Netsim.Packet.ipv4 ~src ~dst ();
+                Netsim.Packet.tcp ~sport:1L ~dport:2L () ]
+          in
+          ignore (Interp.run env prog pkt);
+          Apps.Cm_sketch.Exact.add exact ~src ~dst ~proto:6L)
+        flows;
+      let st = Interp.env_map env "cms" in
+      List.for_all
+        (fun (s, d) ->
+          let src = Int64.of_int s and dst = Int64.of_int d in
+          Apps.Cm_sketch.estimate cfg st ~src ~dst ~proto:6L
+          >= Int64.of_int (Apps.Cm_sketch.Exact.count exact ~src ~dst ~proto:6L))
+        flows)
+
+(* -- Resource vectors ------------------------------------------------------------------------ *)
+
+let res_gen =
+  QCheck.Gen.(
+    map
+      (fun (a, b, c, d) ->
+        Targets.Resource.v ~sram_bytes:a ~tcam_bytes:b ~action_slots:c
+          ~instructions:d ())
+      (quad (int_bound 1000) (int_bound 1000) (int_bound 100) (int_bound 100)))
+
+let prop_resource_add_sub =
+  QCheck.Test.make ~name:"resource sub inverts add" ~count:300
+    (QCheck.make QCheck.Gen.(pair res_gen res_gen))
+    (fun (a, b) -> Targets.Resource.sub (Targets.Resource.add a b) b = a)
+
+let prop_resource_fits_monotone =
+  QCheck.Test.make ~name:"fits is monotone in capacity" ~count:300
+    (QCheck.make QCheck.Gen.(triple res_gen res_gen res_gen))
+    (fun (d, cap, extra) ->
+      (not (Targets.Resource.fits d cap))
+      || Targets.Resource.fits d (Targets.Resource.add cap extra))
+
+(* -- Placement conservation -------------------------------------------------------------------- *)
+
+let prop_placement_all_or_nothing =
+  QCheck.Test.make ~name:"placement installs all elements or none" ~count:50
+    QCheck.(int_range 1 40)
+    (fun n ->
+      let path =
+        [ Targets.Device.create ~id:"h" Targets.Arch.host_ebpf;
+          Targets.Device.create ~id:"s" Targets.Arch.drmt ]
+      in
+      let prog =
+        Builder.program "p"
+          (List.init n (fun i ->
+               Builder.block (Printf.sprintf "b%d" i)
+                 [ Builder.set_meta "x" (Builder.const i) ]))
+      in
+      let installed () =
+        List.fold_left
+          (fun acc d -> acc + List.length (Targets.Device.installed_names d))
+          0 path
+      in
+      match Compiler.Placement.place ~path prog with
+      | Ok _ -> installed () = n
+      | Error _ -> installed () = 0)
+
+(* -- Device invariants -------------------------------------------------------------------------- *)
+
+let element_gen =
+  QCheck.Gen.(
+    map3
+      (fun name size kind ->
+        let open Builder in
+        match kind with
+        | 0 ->
+          table ("t" ^ name)
+            ~keys:[ exact (field "ipv4" "dst") ]
+            ~actions:[ action "a" [ Ast.Nop ] ]
+            ~default:("a", []) ~size:(64 + size) ()
+        | 1 ->
+          table ("l" ^ name)
+            ~keys:[ lpm (field "ipv4" "dst") ]
+            ~actions:[ action "a" [ Ast.Nop ] ]
+            ~default:("a", []) ~size:(64 + size) ()
+        | _ -> block ("b" ^ name) [ set_meta "x" (const size) ])
+      (string_size ~gen:(char_range 'a' 'z') (int_range 3 8))
+      (int_bound 20_000) (int_bound 2))
+
+let prop_install_uninstall_identity =
+  QCheck.Test.make ~name:"install;uninstall restores device" ~count:200
+    (QCheck.make QCheck.Gen.(pair element_gen (oneofl Targets.Arch.all_kinds)))
+    (fun (el, kind) ->
+      let dev = Targets.Device.create (Targets.Arch.profile_of_kind kind) in
+      let before = Targets.Device.utilization dev in
+      let ctx = Builder.program "ctx" [ el ] in
+      match Targets.Device.install dev ~ctx ~order:0 el with
+      | Error _ -> true (* nothing changed: rejected *)
+      | Ok _ ->
+        Targets.Device.uninstall dev (Ast.element_name el)
+        && Targets.Device.installed_names dev = []
+        && Targets.Device.utilization dev = before)
+
+let prop_defragment_preserves_contents =
+  QCheck.Test.make ~name:"defragment preserves installed set and order"
+    ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 10) element_gen))
+    (fun els ->
+      (* unique names only *)
+      let els =
+        List.sort_uniq (fun a b -> compare (Ast.element_name a) (Ast.element_name b)) els
+      in
+      let dev = Targets.Device.create Targets.Arch.rmt in
+      let ctx = Builder.program "ctx" els in
+      let installed =
+        List.filteri
+          (fun i el ->
+            match Targets.Device.install dev ~ctx ~order:i el with
+            | Ok _ -> true
+            | Error _ -> false)
+          els
+        |> List.map Ast.element_name
+      in
+      (* remove a few to create holes *)
+      List.iteri
+        (fun i n -> if i mod 2 = 1 then ignore (Targets.Device.uninstall dev n))
+        installed;
+      let survivors = Targets.Device.installed_names dev in
+      ignore (Targets.Device.defragment dev);
+      Targets.Device.installed_names dev = survivors
+      &&
+      (* execution order (pipeline) intact *)
+      List.map Ast.element_name (Targets.Device.program dev).Ast.pipeline
+      = survivors)
+
+(* -- ECMP ----------------------------------------------------------------------------------------- *)
+
+let prop_ecmp_port_valid =
+  QCheck.Test.make ~name:"ecmp picks a valid next hop" ~count:100
+    QCheck.(pair (int_range 2 4) (int_bound 1000))
+    (fun (spines, salt) ->
+      let sim = Netsim.Sim.create () in
+      let built =
+        Netsim.Topology.leaf_spine ~sim ~spines ~leaves:2 ~hosts_per_leaf:1 ()
+      in
+      let topo = built.Netsim.Topology.topo in
+      let h0 = List.nth built.Netsim.Topology.host_list 0 in
+      let h1 = List.nth built.Netsim.Topology.host_list 1 in
+      let leaf = List.nth built.Netsim.Topology.switch_list spines in
+      let pkt =
+        Netsim.Packet.create
+          [ Netsim.Packet.ipv4
+              ~src:(Int64.of_int h0.Netsim.Node.id)
+              ~dst:(Int64.of_int h1.Netsim.Node.id) ();
+            Netsim.Packet.tcp ~sport:(Int64.of_int salt) ~dport:80L () ]
+      in
+      let hops =
+        Netsim.Topology.next_hops topo ~src:leaf.Netsim.Node.id
+          ~dst:h1.Netsim.Node.id
+      in
+      match
+        Netsim.Topology.ecmp_port topo ~src:leaf.Netsim.Node.id
+          ~dst:h1.Netsim.Node.id pkt
+      with
+      | Some p -> List.mem p hops
+      | None -> false)
+
+(* -- Merge cross product ----------------------------------------------------------------------------- *)
+
+let prop_merge_rule_count =
+  QCheck.Test.make ~name:"merged rules = cross product" ~count:100
+    QCheck.(pair (int_bound 8) (int_bound 8))
+    (fun (na, nb) ->
+      let mk n = List.init n (fun i ->
+          Builder.rule ~matches:[ Builder.exact_i i ] ~action:("a", []) ())
+      in
+      List.length (Compiler.Merge.merge_rules (mk na) (mk nb)) = na * nb)
+
+let () =
+  Alcotest.run "properties"
+    [ ( "event_queue", [ to_alcotest prop_event_queue_sorted ] );
+      ( "state",
+        [ to_alcotest prop_encodings_agree;
+          to_alcotest prop_snapshot_roundtrip;
+          to_alcotest prop_registers_subset ] );
+      ( "patterns",
+        [ to_alcotest prop_lpm_matches_self;
+          to_alcotest prop_lpm_prefix_semantics;
+          to_alcotest prop_ternary_mask;
+          to_alcotest prop_range_inclusive ] );
+      ( "eval",
+        [ to_alcotest prop_binop_total; to_alcotest prop_bool_ops_boolean ] );
+      ( "glob",
+        [ to_alcotest prop_glob_literal_reflexive;
+          to_alcotest prop_glob_star_suffix;
+          to_alcotest prop_glob_star_everything;
+          to_alcotest prop_glob_question_length ] );
+      ( "patch",
+        [ to_alcotest prop_patch_add_remove_identity;
+          to_alcotest prop_patch_preserves_typing ] );
+      ( "sketch", [ to_alcotest prop_sketch_never_underestimates ] );
+      ( "resources",
+        [ to_alcotest prop_resource_add_sub;
+          to_alcotest prop_resource_fits_monotone ] );
+      ( "placement", [ to_alcotest prop_placement_all_or_nothing ] );
+      ( "device",
+        [ to_alcotest prop_install_uninstall_identity;
+          to_alcotest prop_defragment_preserves_contents ] );
+      ( "ecmp", [ to_alcotest prop_ecmp_port_valid ] );
+      ( "merge", [ to_alcotest prop_merge_rule_count ] ) ]
