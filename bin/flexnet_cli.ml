@@ -154,6 +154,52 @@ let certify_cmd =
        ~doc:"Parse, typecheck, and certify a FlexBPF program file")
     Term.(const run $ file_arg)
 
+(* -- lint ---------------------------------------------------------------- *)
+
+let severity_conv =
+  let parse s =
+    match Flexbpf.Diagnostics.severity_of_string s with
+    | Some sev -> Ok sev
+    | None -> Error (`Msg (Printf.sprintf "unknown severity %s (expected: info, warning, error)" s))
+  in
+  Arg.conv (parse, Flexbpf.Diagnostics.pp_severity)
+
+let max_severity_arg =
+  Arg.(value & opt severity_conv Flexbpf.Diagnostics.Error
+       & info [ "max-severity" ] ~docv:"SEV"
+           ~doc:"Fail (exit 1) when a finding at or above $(docv) is present \
+                 (info, warning, or error)")
+
+let format_arg =
+  Arg.(value & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: human-readable $(b,text) or tab-separated \
+                 $(b,tsv) (code, severity, pass, path, message)")
+
+let lint_cmd =
+  let run path max_sev format =
+    let src = In_channel.with_open_text path In_channel.input_all in
+    match Flexbpf.Syntax.parse_program_result src with
+    | Error e ->
+      Printf.eprintf "%s: parse error: %s\n" path e;
+      exit 2
+    | Ok p ->
+      let ds = Flexbpf.Verifier.check p in
+      (match format with
+       | `Tsv ->
+         List.iter (fun d -> print_endline (Flexbpf.Diagnostics.to_tsv d)) ds
+       | `Text ->
+         List.iter (fun d -> Fmt.pr "%s: %a@." path Flexbpf.Diagnostics.pp d) ds;
+         Fmt.pr "%s: %a@." path Flexbpf.Diagnostics.pp_summary ds);
+      exit (if Flexbpf.Diagnostics.at_least max_sev ds <> [] then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the FlexBPF verifier over a program file. Exit 0 when clean, \
+          1 when findings reach --max-severity, 2 on parse failure.")
+    Term.(const run $ file_arg $ max_severity_arg $ format_arg)
+
 (* -- inject -------------------------------------------------------------- *)
 
 let inject_cmd =
@@ -402,5 +448,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; inject_cmd; demo_cmd; attack_cmd;
-          migrate_cmd ]))
+       (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; lint_cmd; inject_cmd;
+          demo_cmd; attack_cmd; migrate_cmd ]))

@@ -20,6 +20,8 @@ type tenant = {
   arrived_at : float;
   mutable element_names : string list;
   mutable map_names : string list;
+  diagnostics : Diagnostics.t list;
+      (* sub-Error verifier findings recorded at admission *)
 }
 
 type t = {
@@ -94,7 +96,7 @@ let admit t (ext : Ast.program) =
     | Error r ->
       t.rejected <- t.rejected + 1;
       Error (Certification r)
-    | Ok _cert ->
+    | Ok cert ->
       let namespaced = Compose.namespace ext in
       (match Compose.check_access ~exports:t.exports namespaced with
        | _ :: _ as violations ->
@@ -122,7 +124,8 @@ let admit t (ext : Ast.program) =
                 element_names = List.map Ast.element_name guarded.Ast.pipeline;
                 map_names =
                   List.map (fun (m : Ast.map_decl) -> m.map_name)
-                    guarded.Ast.maps }
+                    guarded.Ast.maps;
+                diagnostics = cert.Analysis.cert_warnings }
             in
             t.tenants <- tenant :: t.tenants;
             t.admitted <- t.admitted + 1;

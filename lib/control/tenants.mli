@@ -13,6 +13,8 @@ type tenant = {
   arrived_at : float;
   mutable element_names : string list;
   mutable map_names : string list;
+  diagnostics : Flexbpf.Diagnostics.t list;
+      (* sub-Error verifier findings recorded at admission *)
 }
 
 type t = {

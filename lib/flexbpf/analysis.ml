@@ -142,27 +142,40 @@ type certificate = {
   cert_program : string;
   cert_cycles : int;
   cert_footprint : footprint;
+  cert_warnings : Diagnostics.t list; (* sub-Error verifier findings *)
 }
 
 type rejection =
   | Ill_typed of Typecheck.error list
   | Cycles_exceed of int * int (* actual, budget *)
+  | Unsafe of Diagnostics.t list (* Error-severity verifier findings *)
 
 let pp_rejection ppf = function
   | Ill_typed errs ->
     Fmt.pf ppf "ill-typed: %a" Fmt.(list ~sep:(any "; ") Typecheck.pp_error) errs
   | Cycles_exceed (actual, budget) ->
     Fmt.pf ppf "worst-case cycles %d exceed budget %d" actual budget
+  | Unsafe ds ->
+    Fmt.pf ppf "verifier rejected: %a"
+      Fmt.(list ~sep:(any "; ") Diagnostics.pp)
+      ds
 
-(** Certify bounded execution: the program type-checks and its
-    worst-case cycle count fits [budget]. This is the gate every program
-    passes before it may be injected into the network. *)
-let certify ?(budget = 4096) prog =
+(** Certify bounded execution and safety: the program type-checks, its
+    worst-case cycle count fits [budget], and the verifier finds no
+    Error-severity defects. Sub-Error findings travel on the
+    certificate so admission pipelines can record them. This is the
+    gate every program passes before it may be injected into the
+    network. *)
+let certify ?(budget = 4096) ?(verifier = true) prog =
   match Typecheck.check_program prog with
   | Error errs -> Error (Ill_typed errs)
   | Ok () ->
     let cycles = max_cycles prog in
     if cycles > budget then Error (Cycles_exceed (cycles, budget))
     else
-      Ok { cert_program = prog.prog_name; cert_cycles = cycles;
-           cert_footprint = footprint prog }
+      let diags = if verifier then Verifier.verify prog else [] in
+      match Diagnostics.errors diags with
+      | _ :: _ as errs -> Error (Unsafe errs)
+      | [] ->
+        Ok { cert_program = prog.prog_name; cert_cycles = cycles;
+             cert_footprint = footprint prog; cert_warnings = diags }

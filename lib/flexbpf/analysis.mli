@@ -47,15 +47,22 @@ type certificate = {
   cert_program : string;
   cert_cycles : int;
   cert_footprint : footprint;
+  cert_warnings : Diagnostics.t list; (* sub-Error verifier findings *)
 }
 
 type rejection =
   | Ill_typed of Typecheck.error list
   | Cycles_exceed of int * int (* actual, budget *)
+  | Unsafe of Diagnostics.t list (* Error-severity verifier findings *)
 
 val pp_rejection : Format.formatter -> rejection -> unit
 
-(** Certify bounded execution: the program type-checks and its
-    worst-case cycle count fits [budget] (default 4096). Every program
-    passes this gate before injection into the network. *)
-val certify : ?budget:int -> Ast.program -> (certificate, rejection) result
+(** Certify bounded execution and safety: the program type-checks, its
+    worst-case cycle count fits [budget] (default 4096), and the
+    [Verifier] finds no Error-severity defects (disable the last gate
+    with [~verifier:false]). Warnings and infos are attached to the
+    certificate. Every program passes this gate before injection into
+    the network. *)
+val certify :
+  ?budget:int -> ?verifier:bool -> Ast.program ->
+  (certificate, rejection) result

@@ -101,7 +101,11 @@ let standard_headers =
 let standard_parser =
   [ parser_rule "parse_eth" [ "ethernet" ];
     parser_rule "parse_ipv4" [ "ethernet"; "ipv4" ];
-    parser_rule "parse_vlan_ipv4" [ "ethernet"; "vlan"; "ipv4" ] ]
+    parser_rule "parse_vlan_ipv4" [ "ethernet"; "vlan"; "ipv4" ];
+    parser_rule "parse_tcp" [ "ethernet"; "ipv4"; "tcp" ];
+    parser_rule "parse_udp" [ "ethernet"; "ipv4"; "udp" ];
+    parser_rule "parse_vlan_tcp" [ "ethernet"; "vlan"; "ipv4"; "tcp" ];
+    parser_rule "parse_vlan_udp" [ "ethernet"; "vlan"; "ipv4"; "udp" ] ]
 
 let program ?(owner = "infra") ?(headers = standard_headers)
     ?(parser = standard_parser) ?(maps = []) name pipeline =

@@ -1,0 +1,51 @@
+(** Unified diagnostics for the FlexBPF verifier.
+
+    Findings carry a stable code ("FBV001"), the pass that produced
+    them, a severity, and a location path like
+    [element/action/stmt-index]. [Analysis.certify] rejects on
+    [Error]-severity findings and attaches the rest to the certificate;
+    [flexnet lint] prints them; [Control.Tenants] records them per
+    tenant. *)
+
+type severity = Info | Warning | Error
+
+val severity_rank : severity -> int
+val compare_severity : severity -> severity -> int
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+val pp_severity : Format.formatter -> severity -> unit
+
+type t = {
+  code : string; (* stable, e.g. "FBV001" *)
+  pass : string; (* pass name, e.g. "uninit-read" *)
+  severity : severity;
+  path : string; (* location, e.g. "guard/stmt.2" or "map/cms" *)
+  message : string;
+}
+
+(** [v ~code ~pass ~severity ~path fmt] builds a diagnostic with a
+    printf-formatted message. *)
+val v :
+  code:string -> pass:string -> severity:severity -> path:string ->
+  ('a, unit, string, t) format4 -> 'a
+
+(** Total order: most severe first, then (code, path, message). *)
+val compare : t -> t -> int
+
+(** Sort into the canonical order and drop exact duplicates — the
+    deterministic form every verifier entry point returns. *)
+val normalize : t list -> t list
+
+val pp : Format.formatter -> t -> unit
+
+(** One tab-separated line: code, severity, pass, path, message. *)
+val to_tsv : t -> string
+
+val max_severity : t list -> severity option
+
+(** Findings at or above the given severity. *)
+val at_least : severity -> t list -> t list
+
+val errors : t list -> t list
+val count : severity -> t list -> int
+val pp_summary : Format.formatter -> t list -> unit

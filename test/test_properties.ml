@@ -407,6 +407,154 @@ let prop_merge_rule_count =
       in
       List.length (Compiler.Merge.merge_rules (mk na) (mk nb)) = na * nb)
 
+(* -- Surface syntax and the verifier -------------------------------------- *)
+
+(* A richer program generator than test_syntax's block-only one: declared
+   maps under every encoding, map get/put/incr/del statements, and a
+   match/action table — exercising the printer's full declaration
+   surface. Constants are non-negative (a printed "-5" reparses as
+   Un (Neg, Const 5)). *)
+
+let vmeta_gen =
+  QCheck.Gen.(
+    map (fun s -> "m" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 4)))
+
+let vexpr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [ map (fun v -> Ast.Const (Int64.of_int v)) (int_bound 1000);
+              map (fun m -> Ast.Meta m) vmeta_gen;
+              return (Ast.Field ("ipv4", "src"));
+              return (Ast.Field ("tcp", "dport"));
+              map (fun k -> Ast.Map_get ("m0", [ Ast.Const (Int64.of_int k) ]))
+                (int_bound 63) ]
+        else
+          oneof
+            [ map3
+                (fun op a b -> Ast.Bin (op, a, b))
+                (oneofl
+                   [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Band;
+                     Ast.Bor; Ast.Shl; Ast.Shr; Ast.Eq; Ast.Lt; Ast.Ge;
+                     Ast.Land; Ast.Lor ])
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun alg es -> Ast.Hash (alg, es))
+                (oneofl [ Ast.Crc16; Ast.Crc32 ])
+                (list_size (int_range 1 3) (self (n / 3))) ]))
+
+let vstmt_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Ast.Nop; return Ast.Drop;
+              map2 (fun m e -> Ast.Set_meta (m, e)) vmeta_gen vexpr_gen;
+              map (fun e -> Ast.Set_field ("ipv4", "ttl", e)) vexpr_gen;
+              map2 (fun k v -> Ast.Map_put ("m0", [ Ast.Const (Int64.of_int k) ],
+                                            Ast.Const (Int64.of_int v)))
+                (int_bound 63) (int_bound 100);
+              map3 (fun a b v -> Ast.Map_incr ("m1",
+                                               [ Ast.Const (Int64.of_int a);
+                                                 Ast.Const (Int64.of_int b) ], v))
+                (int_bound 30) (int_bound 30) vexpr_gen;
+              map (fun k -> Ast.Map_del ("m0", [ Ast.Const (Int64.of_int k) ]))
+                (int_bound 63);
+              map (fun e -> Ast.Forward e) vexpr_gen;
+              map (fun d -> Ast.Punt d) vmeta_gen ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map3
+                (fun c th el -> Ast.If (c, th, el))
+                vexpr_gen
+                (list_size (int_bound 3) (self (n / 3)))
+                (list_size (int_bound 2) (self (n / 3)));
+              map2 (fun k body -> Ast.Loop (1 + k, body)) (int_bound 7)
+                (list_size (int_range 1 3) (self (n / 3))) ]))
+
+let vtable_gen =
+  QCheck.Gen.(
+    map2
+      (fun kinds size ->
+        Builder.table "t0"
+          ~keys:
+            (List.map
+               (fun kind -> (Ast.Field ("ipv4", "dst"), kind))
+               kinds)
+          ~actions:
+            [ Builder.action "set_port" ~params:[ "p" ]
+                [ Ast.Forward (Ast.Param "p") ];
+              Builder.action "refuse" [ Ast.Drop ] ]
+          ~default:("refuse", []) ~size ())
+      (list_size (int_range 1 3)
+         (oneofl [ Ast.Exact; Ast.Lpm; Ast.Ternary; Ast.Range ]))
+      (int_range 1 512))
+
+let vprogram_gen =
+  QCheck.Gen.(
+    map3
+      (fun encodings blocks tbl ->
+        let enc0, enc1 = encodings in
+        Builder.program "pgen"
+          ~maps:
+            [ Builder.map_decl ~encoding:enc0 ~key_arity:1 ~size:64 "m0";
+              Builder.map_decl ~encoding:enc1 ~key_arity:2 ~size:128 "m1" ]
+          (List.mapi
+             (fun i body -> Builder.block (Printf.sprintf "b%d" i) body)
+             blocks
+           @ [ tbl ]))
+      (pair
+         (oneofl
+            [ Ast.Enc_auto; Ast.Enc_registers; Ast.Enc_flow_state;
+              Ast.Enc_stateful_table ])
+         (oneofl [ Ast.Enc_auto; Ast.Enc_registers ]))
+      (list_size (int_range 1 3) (list_size (int_range 1 4) vstmt_gen))
+      vtable_gen)
+
+let vprogram_arb = QCheck.make ~print:Syntax.print vprogram_gen
+
+let prop_full_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip (maps+tables)" ~count:200
+    vprogram_arb
+    (fun p ->
+      match Syntax.parse_program_result (Syntax.print p) with
+      | Error _ -> false
+      | Ok p' -> p' = p)
+
+let prop_verifier_deterministic =
+  QCheck.Test.make ~name:"verifier is deterministic" ~count:100 vprogram_arb
+    (fun p ->
+      let d1 = Verifier.check p in
+      let d2 = Verifier.check p in
+      (* ... and insensitive to physical identity: a structurally equal
+         program obtained by reprinting yields the same findings *)
+      let d3 =
+        match Syntax.parse_program_result (Syntax.print p) with
+        | Ok p' -> Verifier.check p'
+        | Error _ -> []
+      in
+      d1 = d2 && d1 = d3)
+
+let prop_verifier_total =
+  QCheck.Test.make ~name:"verifier total on ill-typed input" ~count:100
+    vprogram_arb
+    (fun p ->
+      (* break the program: reference an undeclared map *)
+      let broken =
+        { p with
+          Ast.pipeline =
+            Builder.block "bad"
+              [ Ast.Map_incr ("ghost", [ Ast.Const 0L ], Ast.Const 1L) ]
+            :: p.Ast.pipeline }
+      in
+      match Verifier.check broken with
+      | ds -> List.exists (fun d -> d.Diagnostics.code = "FBV000") ds
+      | exception _ -> false)
+
 let () =
   Alcotest.run "properties"
     [ ( "event_queue", [ to_alcotest prop_event_queue_sorted ] );
@@ -438,4 +586,9 @@ let () =
         [ to_alcotest prop_install_uninstall_identity;
           to_alcotest prop_defragment_preserves_contents ] );
       ( "ecmp", [ to_alcotest prop_ecmp_port_valid ] );
-      ( "merge", [ to_alcotest prop_merge_rule_count ] ) ]
+      ( "merge", [ to_alcotest prop_merge_rule_count ] );
+      ( "syntax",
+        [ to_alcotest prop_full_roundtrip ] );
+      ( "verifier",
+        [ to_alcotest prop_verifier_deterministic;
+          to_alcotest prop_verifier_total ] ) ]
