@@ -4,6 +4,7 @@
      dune exec bench/main.exe            # all experiments E1..E13 + F1 + A1 A2
      dune exec bench/main.exe E5 E7      # selected experiments
      dune exec bench/main.exe -- --micro # bechamel microbenchmarks
+     dune exec bench/main.exe -- --micro --quota 0.05 --out BENCH_micro.json
 
    Each experiment regenerates one table for a claim of the paper; see
    DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
@@ -27,9 +28,21 @@ let experiments =
     ("A1", A01_adjacency.run);
     ("A2", A02_consistency.run) ]
 
+(* Pull "--flag value" out of an arg list; returns (value, rest). *)
+let take_opt flag args =
+  let rec go acc = function
+    | f :: v :: rest when f = flag -> (Some v, List.rev_append acc rest)
+    | a :: rest -> go (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  go [] args
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--micro" args then Micro.run ()
+  let quota, args = take_opt "--quota" args in
+  let out, args = take_opt "--out" args in
+  if List.mem "--micro" args then
+    Micro.run ?quota:(Option.map float_of_string quota) ?out ()
   else begin
     let selected =
       match List.filter (fun a -> a <> "--micro") args with

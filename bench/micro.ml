@@ -1,6 +1,12 @@
 (* Bechamel microbenchmarks for the hot paths underneath the
-   experiments: per-packet interpretation, sketch updates, map
-   encodings, rule matching, event-queue churn, and placement. *)
+   experiments: per-packet interpretation (reference interpreter vs the
+   closure-compiled fast path), sketch updates, map encodings, rule
+   matching, event-queue churn, and placement.
+
+   The interpreter benchmarks come in reference/compiled pairs; after
+   the raw ns/op table a speedup section reports compiled-path gains.
+   [run ~quota ~out ()] supports a short CI quota and a JSON dump of
+   the estimates (see BENCH_micro.json for the checked-in baseline). *)
 
 open Bechamel
 open Toolkit
@@ -11,21 +17,50 @@ let mk_packet () =
       Netsim.Packet.ipv4 ~src:1L ~dst:2L ();
       Netsim.Packet.tcp ~sport:100L ~dport:200L () ]
 
-let test_interp_table =
+(* Reference/compiled pairs share a program shape but get separate envs
+   so map mutations in one engine cannot warm or skew the other. *)
+
+let l2l3_env () =
   let prog = Apps.L2l3.program () in
   let env = Flexbpf.Interp.create_env prog in
-  Flexbpf.Interp.install_rule env "ipv4_lpm" (Apps.L2l3.route_rule ~host_id:2 ~port:1);
+  Flexbpf.Interp.install_rule env "ipv4_lpm"
+    (Apps.L2l3.route_rule ~host_id:2 ~port:1);
+  (prog, env)
+
+let test_interp_table =
+  let prog, env = l2l3_env () in
   let pkt = mk_packet () in
   Test.make ~name:"interp: l2l3 pipeline per packet" (Staged.stage (fun () ->
       ignore (Flexbpf.Interp.run env prog pkt)))
 
+let test_compiled_table =
+  let prog, env = l2l3_env () in
+  let compiled = Flexbpf.Compile.compile env prog in
+  let pkt = mk_packet () in
+  Test.make ~name:"compiled: l2l3 pipeline per packet" (Staged.stage (fun () ->
+      ignore (Flexbpf.Compile.run compiled pkt)))
+
+let cms_cfg = { Apps.Cm_sketch.depth = 3; width = 1024; map_name = "cms" }
+
 let test_sketch_update =
-  let cfg = { Apps.Cm_sketch.depth = 3; width = 1024; map_name = "cms" } in
-  let prog = Apps.Cm_sketch.program ~cfg () in
+  let prog = Apps.Cm_sketch.program ~cfg:cms_cfg () in
   let env = Flexbpf.Interp.create_env prog in
   let pkt = mk_packet () in
   Test.make ~name:"interp: count-min update (3 rows)" (Staged.stage (fun () ->
       ignore (Flexbpf.Interp.run env prog pkt)))
+
+let test_compiled_sketch_update =
+  let prog = Apps.Cm_sketch.program ~cfg:cms_cfg () in
+  let env = Flexbpf.Interp.create_env prog in
+  let compiled = Flexbpf.Compile.compile env prog in
+  let pkt = mk_packet () in
+  Test.make ~name:"compiled: count-min update (3 rows)" (Staged.stage (fun () ->
+      ignore (Flexbpf.Compile.run compiled pkt)))
+
+(* (reference, compiled) benchmark names reported as speedups. *)
+let speedup_pairs =
+  [ ("interp: l2l3 pipeline per packet", "compiled: l2l3 pipeline per packet");
+    ("interp: count-min update (3 rows)", "compiled: count-min update (3 rows)") ]
 
 let state_bench enc name =
   let st = Flexbpf.State.create ~name:"m" ~size:4096 enc in
@@ -71,16 +106,49 @@ let test_patch_apply =
       ignore (Flexbpf.Patch.apply patch base)))
 
 let benchmarks =
-  [ test_interp_table; test_sketch_update; test_state_registers;
-    test_state_flow; test_state_stateful; test_event_queue; test_placement;
-    test_patch_apply ]
+  [ test_interp_table; test_compiled_table; test_sketch_update;
+    test_compiled_sketch_update; test_state_registers; test_state_flow;
+    test_state_stateful; test_event_queue; test_placement; test_patch_apply ]
 
-let run () =
+let strip_group name =
+  String.concat "" (String.split_on_char '/' name |> List.tl)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path estimates speedups =
+  let oc = open_out path in
+  output_string oc "{\n  \"ns_per_op\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    \"%s\": %.1f%s\n" (json_escape name) est
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  output_string oc "  },\n  \"speedup\": {\n";
+  List.iteri
+    (fun i (name, x) ->
+      Printf.fprintf oc "    \"%s\": %.2f%s\n" (json_escape name) x
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  output_string oc "  }\n}\n";
+  close_out oc
+
+(** [quota] is seconds of measurement per benchmark (default 0.5; CI
+    uses a shorter one). [out] dumps estimates and speedups as JSON. *)
+let run ?(quota = 0.5) ?out () =
   print_endline "\n== microbenchmarks (bechamel) ==";
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) ()
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results =
@@ -95,10 +163,31 @@ let run () =
         (fun name ols ->
           match Analyze.OLS.estimates ols with
           | Some [ est ] ->
-            Printf.printf "%-40s %12.1f ns/op\n"
-              (String.concat "" (String.split_on_char '/' name |> List.tl))
-              est
-          | _ -> Printf.printf "%-40s (no estimate)\n" name)
+            let name = strip_group name in
+            estimates := (name, est) :: !estimates;
+            Printf.printf "%-42s %12.1f ns/op\n" name est
+          | _ -> Printf.printf "%-42s (no estimate)\n" name)
         results)
     benchmarks;
+  let estimates = List.rev !estimates in
+  let speedups =
+    List.filter_map
+      (fun (ref_name, fast_name) ->
+        match (List.assoc_opt ref_name estimates,
+               List.assoc_opt fast_name estimates) with
+        | Some r, Some f when f > 0. -> Some (ref_name, r /. f)
+        | _ -> None)
+      speedup_pairs
+  in
+  if speedups <> [] then begin
+    print_endline "\n-- compiled fast path vs reference interpreter --";
+    List.iter
+      (fun (name, x) -> Printf.printf "%-42s %10.1fx\n" name x)
+      speedups
+  end;
+  (match out with
+   | Some path ->
+     write_json path estimates speedups;
+     Printf.printf "\nwrote %s\n" path
+   | None -> ());
   flush stdout

@@ -1,0 +1,44 @@
+(** Closure-compiled fast path for FlexBPF.
+
+    Compiles an installed program once into OCaml closures so the
+    per-packet work is only the work the modelled hardware would do:
+    expressions and statements become thunks (AST dispatch paid at
+    compile time), action parameters are array slots instead of assoc
+    lookups, per-table hit/miss counter keys are pre-interned, parser
+    acceptance is memoised per header-stack shape, and rule matching is
+    an index — a hash table keyed on the evaluated key tuple when every
+    installed rule is exact-match, otherwise a candidate array
+    pre-sorted by (priority, specificity) scanned to first match.
+
+    Rule indexes track [Interp.env.rules_gen]: they are rebuilt when
+    [Interp.install_rule] / [remove_rules] change a rule set (one
+    integer compare per table execution otherwise), so install/remove —
+    including across [Runtime.Reconfig] program swaps — keeps compiled
+    matching consistent with the environment. Map handles are cached per
+    access site and revalidated against [Interp.env.maps_gen], so state
+    snapshot restores ([Targets.Device.load_map_snapshot]) need no
+    recompilation; counter cells, header-field and metadata cells, and
+    the parser verdict are likewise cached and revalidated by cheap
+    identity checks. Qualifying loops run with their induction variable
+    staged in a cell and loop-invariant field reads hoisted to slots
+    filled at loop entry; the [hash(...) mod width] sketch idiom fuses
+    into a single unboxed closure.
+
+    [Interp] remains the executable specification of FlexBPF; compiled
+    execution is observationally equivalent (verdict, map state,
+    counters, runtime errors), which [test/test_compile.ml] checks with
+    a qcheck differential harness. *)
+
+type t
+
+(** Stage [prog] against [env]. Compilation is total: programs the
+    interpreter can run (including ones that fault at run time) compile;
+    faults surface at execution, matching the interpreter. *)
+val compile : Interp.env -> Ast.program -> t
+
+val program : t -> Ast.program
+val env : t -> Interp.env
+
+(** Run the compiled program on one packet: parser gate, then the
+    pipeline in order. Semantics identical to [Interp.run env prog]. *)
+val run : t -> Netsim.Packet.t -> Interp.result

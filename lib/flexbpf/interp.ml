@@ -16,6 +16,9 @@ let error fmt = Printf.ksprintf (fun s -> raise (Eval_error s)) fmt
 type env = {
   maps : (string, State.t) Hashtbl.t;
   rules : (string, rule list) Hashtbl.t; (* table -> installed rules *)
+  tables : (string, table) Hashtbl.t; (* table declarations, for validation *)
+  mutable rules_gen : int; (* bumped on every rule install/remove *)
+  mutable maps_gen : int; (* bumped whenever a map binding is (re)placed *)
   mutable now_us : int64; (* virtual time, set by the device before exec *)
   mutable punt : string -> Netsim.Packet.t -> unit;
   mutable drpc : string -> int64 list -> int64;
@@ -30,10 +33,15 @@ let create_env ?(default_encoding = State.Stateful_table) (prog : program) =
         (State.of_decl decl ~default:default_encoding ()))
     prog.maps;
   let rules = Hashtbl.create 8 in
+  let tables = Hashtbl.create 8 in
   List.iter
-    (function Table t -> Hashtbl.replace rules t.tbl_name [] | Block _ -> ())
+    (function
+      | Table t ->
+        Hashtbl.replace rules t.tbl_name [];
+        Hashtbl.replace tables t.tbl_name t
+      | Block _ -> ())
     prog.pipeline;
-  { maps; rules; now_us = 0L;
+  { maps; rules; tables; rules_gen = 0; maps_gen = 0; now_us = 0L;
     punt = (fun _ _ -> ());
     drpc = (fun _ _ -> 0L);
     stats = Netsim.Stats.Counters.create () }
@@ -43,13 +51,43 @@ let env_map env name =
   | Some m -> m
   | None -> error "no map %s" name
 
+(* All rebinding of map names goes through these two so [maps_gen]
+   stays truthful — the compiled fast path caches [State.t] handles
+   against it. *)
+let set_env_map env name st =
+  Hashtbl.replace env.maps name st;
+  env.maps_gen <- env.maps_gen + 1
+
+let remove_env_map env name =
+  Hashtbl.remove env.maps name;
+  env.maps_gen <- env.maps_gen + 1
+
+(** Make a table known to the environment (rule storage plus the
+    declaration used for install-time validation). Idempotent. *)
+let register_table env (t : table) =
+  if not (Hashtbl.mem env.rules t.tbl_name) then
+    Hashtbl.replace env.rules t.tbl_name [];
+  Hashtbl.replace env.tables t.tbl_name t
+
+let unregister_table env name =
+  Hashtbl.remove env.rules name;
+  Hashtbl.remove env.tables name;
+  env.rules_gen <- env.rules_gen + 1
+
 let install_rule env table rule =
+  (match Hashtbl.find_opt env.tables table with
+   | Some t when List.length rule.matches <> List.length t.keys ->
+     error "table %s: rule has %d match patterns but the table has %d keys"
+       table (List.length rule.matches) (List.length t.keys)
+   | _ -> ());
   let existing = Option.value (Hashtbl.find_opt env.rules table) ~default:[] in
-  Hashtbl.replace env.rules table (rule :: existing)
+  Hashtbl.replace env.rules table (rule :: existing);
+  env.rules_gen <- env.rules_gen + 1
 
 let remove_rules env table pred =
   let existing = Option.value (Hashtbl.find_opt env.rules table) ~default:[] in
-  Hashtbl.replace env.rules table (List.filter (fun r -> not (pred r)) existing)
+  Hashtbl.replace env.rules table (List.filter (fun r -> not (pred r)) existing);
+  env.rules_gen <- env.rules_gen + 1
 
 let table_rules env table =
   Option.value (Hashtbl.find_opt env.rules table) ~default:[]
@@ -67,8 +105,28 @@ let fresh_verdict () = { egress = None; dropped = false; punts = [] }
 let truthy v = v <> 0L
 let of_bool b = if b then 1L else 0L
 
-let crc16 data = Int64.of_int (Hashtbl.hash data land 0xFFFF)
-let crc32 data = Int64.of_int (Hashtbl.hash ("crc32", data) land 0x7FFFFFFF)
+(* FNV-1a over native ints with a murmur-style finaliser: the hash runs
+   per packet in sketches and ECMP, so the fold is kept entirely in
+   untagged [int] arithmetic — [Int64] intermediates would box on every
+   step (and the polymorphic [Hashtbl.hash] walks the list structure).
+   [Int64.to_int] keeps the low 63 bits; the dropped sign bit only
+   costs spread on values differing solely in bit 63. Only determinism
+   and spread are promised, not any wire CRC polynomial. *)
+let hash_init = 0x1A2B3C4D5E6F
+
+let hash_step h (v : int64) = (h lxor Int64.to_int v) * 0x100000001b3
+
+let hash_mix h =
+  let h = h lxor (h lsr 33) in
+  let h = h * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 29)
+
+let crc16_finish h = Int64.of_int ((hash_mix h lsr 16) land 0xFFFF)
+let crc32_finish h = Int64.of_int (hash_mix h land 0x7FFFFFFF)
+
+let hash_all data = List.fold_left hash_step hash_init data
+let crc16 data = crc16_finish (hash_all data)
+let crc32 data = crc32_finish (hash_all data)
 
 let rec eval env ~params pkt = function
   | Const v -> v
@@ -209,10 +267,10 @@ let select_rule env (t : table) ~params:_ pkt =
            && List.for_all2 match_pattern key_values r.matches)
   in
   match
-    List.sort
+    List.stable_sort
       (fun a b ->
-        match compare b.rule_priority a.rule_priority with
-        | 0 -> compare (rule_specificity b) (rule_specificity a)
+        match Int.compare b.rule_priority a.rule_priority with
+        | 0 -> Int.compare (rule_specificity b) (rule_specificity a)
         | c -> c)
       candidates
   with

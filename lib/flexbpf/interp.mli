@@ -14,6 +14,13 @@ exception Eval_error of string
 type env = {
   maps : (string, State.t) Hashtbl.t;
   rules : (string, Ast.rule list) Hashtbl.t; (* table -> installed rules *)
+  tables : (string, Ast.table) Hashtbl.t; (* table declarations, for validation *)
+  mutable rules_gen : int; (* bumped on every rule install/remove; the
+                              compiled fast path (Compile) watches this to
+                              keep its rule indexes consistent *)
+  mutable maps_gen : int; (* bumped whenever a map name is (re)bound;
+                             Compile revalidates cached State.t handles
+                             against it *)
   mutable now_us : int64; (* virtual time, set by the device before exec *)
   mutable punt : string -> Netsim.Packet.t -> unit;
   mutable drpc : string -> int64 list -> int64;
@@ -27,7 +34,25 @@ val create_env : ?default_encoding:State.concrete -> Ast.program -> env
 (** @raise Eval_error when the map does not exist. *)
 val env_map : env -> string -> State.t
 
+(** (Re)bind a map name. Replacing a binding through this (rather than
+    touching [env.maps] directly) bumps [maps_gen], which keeps the
+    compiled fast path's cached map handles coherent. *)
+val set_env_map : env -> string -> State.t -> unit
+
+(** Drop a map binding, bumping [maps_gen]. *)
+val remove_env_map : env -> string -> unit
+
+(** Make a table known to the environment (rule storage plus the
+    declaration used for install-time validation). Idempotent. *)
+val register_table : env -> Ast.table -> unit
+
+(** Forget a table's rules and declaration. *)
+val unregister_table : env -> string -> unit
+
+(** @raise Eval_error when the rule's match-pattern count differs from
+    the (registered) table's key count — such a rule could never match. *)
 val install_rule : env -> string -> Ast.rule -> unit
+
 val remove_rules : env -> string -> (Ast.rule -> bool) -> unit
 val table_rules : env -> string -> Ast.rule list
 
@@ -47,8 +72,28 @@ val eval_binop : Ast.binop -> int64 -> int64 -> int64
 val crc16 : int64 list -> int64
 val crc32 : int64 list -> int64
 
+(** The hash as an explicit fold over untagged [int] state, for callers
+    (the compiled fast path) that stream operands without building the
+    list: seed with [hash_init], fold [hash_step], then apply the
+    matching [_finish]. [crcNN data = crcNN_finish (List.fold_left
+    hash_step hash_init data)]. *)
+val hash_init : int
+val hash_step : int -> int64 -> int
+val crc16_finish : int -> int64
+val crc32_finish : int -> int64
+
+(** The final avalanche applied by both [_finish] functions, exposed so
+    the fast path can fuse finish+modulo without reboxing:
+    [crc32_finish h = Int64.of_int (hash_mix h land 0x7FFFFFFF)] and
+    [crc16_finish h = Int64.of_int ((hash_mix h lsr 16) land 0xFFFF)]. *)
+val hash_mix : int -> int
+
 (** Does [value] satisfy the pattern? *)
 val match_pattern : int64 -> Ast.pattern -> bool
+
+(** Summed LPM prefix lengths: longest prefix wins within equal
+    priorities. *)
+val rule_specificity : Ast.rule -> int
 
 (** Highest-priority (then longest-prefix) matching rule, if any. *)
 val select_rule :

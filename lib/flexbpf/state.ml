@@ -37,15 +37,44 @@ type snapshot = {
   snap_entries : (key * int64) list;
 }
 
+(* Keys are short int64 lists and the keyed stores sit on the per-packet
+   hot path (every map_get/put/incr), so the generic polymorphic
+   hash/compare — which dispatches on runtime tags per block — is
+   replaced by a monomorphic hash table over [key]. *)
+let key_hash (k : key) =
+  (* untagged [int] fold — [Int64] intermediates would box per element;
+     [to_int] drops only the sign bit *)
+  let rec go acc = function
+    | [] -> acc
+    | v :: tl -> go ((acc * 31) lxor Int64.to_int v) tl
+  in
+  go 17 k land max_int
+
+let rec key_equal (a : key) (b : key) =
+  match a, b with
+  | [], [] -> true
+  | x :: xs, y :: ys -> Int64.equal x y && key_equal xs ys
+  | _, _ -> false
+
+module KH = Hashtbl.Make (struct
+  type t = key
+  let equal = key_equal
+  let hash = key_hash
+end)
+
 type fs_store = {
-  fs_tbl : (key, int64) Hashtbl.t;
+  fs_tbl : int64 KH.t;
   fs_cap : int;
   mutable overflow_count : int;
 }
 
+(* One cell per key, mutated in place: value and last-touch tick live
+   together so the per-packet hot path does a single hashtable probe
+   instead of separate value and LRU bookkeeping lookups. *)
+type st_cell = { mutable sv : int64; mutable touched : int }
+
 type st_store = {
-  st_tbl : (key, int64) Hashtbl.t;
-  lru : (key, int) Hashtbl.t; (* key -> last-touch tick *)
+  st_tbl : st_cell KH.t;
   st_cap : int;
   mutable tick : int;
   mutable eviction_count : int;
@@ -58,7 +87,7 @@ type store =
 
 type t = { name : string; store : store }
 
-let slot n key = Hashtbl.hash key mod n
+let slot n key = key_hash key mod n
 
 let create ~name ~size (enc : concrete) =
   let size = max 1 size in
@@ -66,10 +95,10 @@ let create ~name ~size (enc : concrete) =
     match enc with
     | Registers -> Reg (Array.make size (None, 0L))
     | Flow_state ->
-      Fs { fs_tbl = Hashtbl.create size; fs_cap = size; overflow_count = 0 }
+      Fs { fs_tbl = KH.create size; fs_cap = size; overflow_count = 0 }
     | Stateful_table ->
-      St { st_tbl = Hashtbl.create size; lru = Hashtbl.create size;
-           st_cap = size; tick = 0; eviction_count = 0 }
+      St { st_tbl = KH.create size; st_cap = size; tick = 0;
+           eviction_count = 0 }
   in
   { name; store }
 
@@ -85,80 +114,108 @@ let encoding t =
   | Fs _ -> Flow_state
   | St _ -> Stateful_table
 
-let touch (st : store) key =
-  match st with
-  | St s ->
-    s.tick <- s.tick + 1;
-    Hashtbl.replace s.lru key s.tick
-  | _ -> ()
+let touch_cell (s : st_store) (c : st_cell) =
+  s.tick <- s.tick + 1;
+  c.touched <- s.tick
 
 let evict_lru s =
   (* find least-recently used key *)
   let victim =
-    Hashtbl.fold
-      (fun k tick acc ->
+    KH.fold
+      (fun k (c : st_cell) acc ->
         match acc with
-        | Some (_, best) when best <= tick -> acc
-        | _ -> Some (k, tick))
-      s.lru None
+        | Some (_, best) when best <= c.touched -> acc
+        | _ -> Some (k, c.touched))
+      s.st_tbl None
   in
   match victim with
   | Some (k, _) ->
-    Hashtbl.remove s.st_tbl k;
-    Hashtbl.remove s.lru k;
+    KH.remove s.st_tbl k;
     s.eviction_count <- s.eviction_count + 1
   | None -> ()
 
+(* Hot-path probes use [KH.find] + exception rather than [find_opt]:
+   the option would allocate on every hit. *)
 let get t key =
   match t.store with
   | Reg arr -> snd arr.(slot (Array.length arr) key)
-  | Fs f -> Option.value (Hashtbl.find_opt f.fs_tbl key) ~default:0L
+  | Fs f -> (match KH.find f.fs_tbl key with v -> v | exception Not_found -> 0L)
   | St s ->
-    (match Hashtbl.find_opt s.st_tbl key with
-     | Some v -> touch t.store key; v
-     | None -> 0L)
+    (match KH.find s.st_tbl key with
+     | c -> touch_cell s c; c.sv
+     | exception Not_found -> 0L)
 
 let mem t key =
   match t.store with
-  | Reg arr -> fst arr.(slot (Array.length arr) key) = Some key
-  | Fs f -> Hashtbl.mem f.fs_tbl key
-  | St s -> Hashtbl.mem s.st_tbl key
+  | Reg arr ->
+    (match fst arr.(slot (Array.length arr) key) with
+     | Some k -> key_equal k key
+     | None -> false)
+  | Fs f -> KH.mem f.fs_tbl key
+  | St s -> KH.mem s.st_tbl key
+
+let st_insert s key v =
+  if KH.length s.st_tbl >= s.st_cap then evict_lru s;
+  s.tick <- s.tick + 1;
+  KH.replace s.st_tbl key { sv = v; touched = s.tick }
 
 let put t key v =
   match t.store with
   | Reg arr -> arr.(slot (Array.length arr) key) <- (Some key, v)
   | Fs f ->
-    if Hashtbl.mem f.fs_tbl key then Hashtbl.replace f.fs_tbl key v
-    else if Hashtbl.length f.fs_tbl < f.fs_cap then Hashtbl.replace f.fs_tbl key v
+    if KH.mem f.fs_tbl key then KH.replace f.fs_tbl key v
+    else if KH.length f.fs_tbl < f.fs_cap then KH.replace f.fs_tbl key v
     else f.overflow_count <- f.overflow_count + 1
   | St s ->
-    if (not (Hashtbl.mem s.st_tbl key)) && Hashtbl.length s.st_tbl >= s.st_cap
-    then evict_lru s;
-    Hashtbl.replace s.st_tbl key v;
-    touch t.store key
+    (match KH.find s.st_tbl key with
+     | c -> c.sv <- v; touch_cell s c
+     | exception Not_found -> st_insert s key v)
 
+(* Specialised per encoding: [incr] is the per-packet hot operation
+   (sketches, counters), and the generic get-then-put pays the key hash
+   twice on Registers and probes twice on the keyed stores. *)
 let incr t key delta =
-  let v = Int64.add (get t key) delta in
-  put t key v;
-  v
+  match t.store with
+  | Reg arr ->
+    let i = slot (Array.length arr) key in
+    let v = Int64.add (snd arr.(i)) delta in
+    arr.(i) <- (Some key, v);
+    v
+  | Fs f ->
+    (match KH.find f.fs_tbl key with
+     | v ->
+       let v = Int64.add v delta in
+       KH.replace f.fs_tbl key v;
+       v
+     | exception Not_found ->
+       if KH.length f.fs_tbl < f.fs_cap then KH.replace f.fs_tbl key delta
+       else f.overflow_count <- f.overflow_count + 1;
+       delta)
+  | St s ->
+    (match KH.find s.st_tbl key with
+     | c ->
+       c.sv <- Int64.add c.sv delta;
+       touch_cell s c;
+       c.sv
+     | exception Not_found -> st_insert s key delta; delta)
 
 let del t key =
   match t.store with
   | Reg arr ->
     let i = slot (Array.length arr) key in
-    if fst arr.(i) = Some key then arr.(i) <- (None, 0L)
-  | Fs f -> Hashtbl.remove f.fs_tbl key
-  | St s ->
-    Hashtbl.remove s.st_tbl key;
-    Hashtbl.remove s.lru key
+    (match fst arr.(i) with
+     | Some k when key_equal k key -> arr.(i) <- (None, 0L)
+     | _ -> ())
+  | Fs f -> KH.remove f.fs_tbl key
+  | St s -> KH.remove s.st_tbl key
 
 let entries t =
   match t.store with
   | Reg arr ->
     Array.to_list arr
     |> List.filter_map (function Some k, v -> Some (k, v) | None, _ -> None)
-  | Fs f -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.fs_tbl []
-  | St s -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.st_tbl []
+  | Fs f -> KH.fold (fun k v acc -> (k, v) :: acc) f.fs_tbl []
+  | St s -> KH.fold (fun k c acc -> (k, c.sv) :: acc) s.st_tbl []
 
 let size t = List.length (entries t)
 
@@ -185,8 +242,8 @@ let restore ~name ~size enc snap =
 let clear t =
   match t.store with
   | Reg arr -> Array.fill arr 0 (Array.length arr) (None, 0L)
-  | Fs f -> Hashtbl.reset f.fs_tbl
-  | St s -> Hashtbl.reset s.st_tbl; Hashtbl.reset s.lru
+  | Fs f -> KH.reset f.fs_tbl
+  | St s -> KH.reset s.st_tbl
 
 (** Merge a snapshot into an existing map by summing values — used by
     the data-plane migration protocol to fold in-flight updates into the

@@ -60,7 +60,7 @@ module Reservoir = struct
     if m = 0 then 0.
     else begin
       let a = Array.sub t.samples 0 m in
-      Array.sort compare a;
+      Array.sort Float.compare a;
       let idx = int_of_float (p /. 100. *. float_of_int (m - 1)) in
       a.(Stdlib.max 0 (Stdlib.min (m - 1) idx))
     end
@@ -78,6 +78,17 @@ module Counters = struct
     match Hashtbl.find_opt t name with
     | Some r -> r := !r + by
     | None -> Hashtbl.replace t name (ref by)
+
+  (* The cell behind [name], creating a zero entry if absent. Hot-path
+     callers (the FlexBPF compiled fast path) hold the ref and bump it
+     directly instead of hashing the name per event. *)
+  let handle t name =
+    match Hashtbl.find_opt t name with
+    | Some r -> r
+    | None ->
+      let r = ref 0 in
+      Hashtbl.replace t name r;
+      r
 
   let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
 

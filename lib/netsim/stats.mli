@@ -36,6 +36,11 @@ module Counters : sig
   val incr : ?by:int -> t -> string -> unit
   val get : t -> string -> int
 
+  (** The cell behind [name], creating a zero entry if absent. Hot-path
+      callers hold the ref and bump it directly instead of hashing the
+      name per event. *)
+  val handle : t -> string -> int ref
+
   (** Sorted by name. *)
   val to_list : t -> (string * int) list
 

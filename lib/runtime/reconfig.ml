@@ -64,6 +64,15 @@ let execute ?(on_done = fun (_ : outcome) -> ()) ~sim ~mode ~wireds ~plan apply
         | None -> ())
       times;
     apply ();
+    (* Stage the new program's compiled fast path inside the window:
+       traffic still runs the frozen old program, and the thaw flips to
+       an already-compiled replacement atomically. *)
+    List.iter
+      (fun (d, _) ->
+        match wired_for wireds d with
+        | Some w -> Targets.Device.precompile w.Wiring.device
+        | None -> ())
+      times;
     let finish =
       List.fold_left (fun acc (_, t) -> Float.max acc t) 0. times
     in

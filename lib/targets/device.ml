@@ -54,6 +54,8 @@ type t = {
   map_refs : (string, int) Hashtbl.t;
   env : Interp.env;
   mutable cached_program : Ast.program option;
+  mutable compiled : Compile.t option; (* staged fast path for the live program *)
+  mutable compiled_frozen : Compile.t option; (* fast path for the frozen program *)
   mutable powered_on : bool;
   mutable processed : int;
   mutable version : int; (* bumped on every reconfiguration *)
@@ -90,6 +92,8 @@ let create ?(id = "dev") (profile : Arch.profile) =
     map_refs = Hashtbl.create 8;
     env = Interp.create_env empty_prog;
     cached_program = None;
+    compiled = None;
+    compiled_frozen = None;
     powered_on = true;
     processed = 0;
     version = 0;
@@ -282,12 +286,24 @@ let rebuild_program t =
       parser = t.parser; maps = t.map_decls; pipeline }
   in
   t.cached_program <- Some prog;
+  t.compiled <- None; (* program changed: next exec stages the new one *)
   t.version <- t.version + 1
 
 let program t =
   match t.cached_program with
   | Some p -> p
   | None -> rebuild_program t; Option.get t.cached_program
+
+(** The staged fast path of the live program, compiling on demand. *)
+let compiled_program t =
+  match t.compiled with
+  | Some c when Compile.program c == program t -> c
+  | _ ->
+    let c = Compile.compile t.env (program t) in
+    t.compiled <- Some c;
+    c
+
+let precompile t = ignore (compiled_program t)
 
 (* -- Install / uninstall ---------------------------------------------- *)
 
@@ -330,7 +346,7 @@ let instantiate_maps t (ctx : Ast.program) element =
                   (State.concrete_of_encoding decl.encoding)
                   ~default:(default_encoding_of_kind t.profile.kind)
               in
-              Hashtbl.replace t.env.Interp.maps name
+              Interp.set_env_map t.env name
                 (State.create ~name ~size:decl.map_size enc);
               t.map_decls <- t.map_decls @ [ decl ];
               Hashtbl.replace t.map_refs name 1))
@@ -352,9 +368,7 @@ let install t ~(ctx : Ast.program) ~order element =
       merge_headers t ctx;
       instantiate_maps t ctx element;
       (match element with
-       | Ast.Table tbl ->
-         if not (Hashtbl.mem t.env.Interp.rules tbl.Ast.tbl_name) then
-           Hashtbl.replace t.env.Interp.rules tbl.Ast.tbl_name []
+       | Ast.Table tbl -> Interp.register_table t.env tbl
        | Ast.Block _ -> ());
       let inst =
         { inst_element = element; inst_owner = ctx.owner; demand;
@@ -379,7 +393,7 @@ let release_maps t inst =
          | None -> ()
          | Some 1 ->
            Hashtbl.remove t.map_refs name;
-           Hashtbl.remove t.env.Interp.maps name;
+           Interp.remove_env_map t.env name;
            t.map_decls <-
              List.filter (fun (m : Ast.map_decl) -> m.map_name <> name)
                t.map_decls
@@ -394,7 +408,7 @@ let uninstall t name =
     t.elements <- List.filter (fun i -> i != inst) t.elements;
     (match inst.inst_element with
      | Ast.Table tbl ->
-       defer t (fun () -> Hashtbl.remove t.env.Interp.rules tbl.Ast.tbl_name)
+       defer t (fun () -> Interp.unregister_table t.env tbl.Ast.tbl_name)
      | Ast.Block _ -> ());
     rebuild_program t;
     true
@@ -453,7 +467,7 @@ let load_map_snapshot t name snap =
           (State.concrete_of_encoding decl.encoding)
           ~default:(default_encoding_of_kind t.profile.kind)
     in
-    Hashtbl.replace t.env.Interp.maps name
+    Interp.set_env_map t.env name
       (State.restore ~name ~size:decl.map_size enc snap);
     true
 
@@ -482,19 +496,27 @@ let remove_parser_rule t name =
 (* -- Execution -------------------------------------------------------- *)
 
 (** Begin a reconfiguration window: traffic keeps seeing the current
-    program until [thaw]. Idempotent. *)
+    program — through its already-staged fast path — until [thaw].
+    Idempotent. *)
 let freeze t =
-  if t.frozen = None then t.frozen <- Some (program t, t.version)
+  if t.frozen = None then begin
+    t.compiled_frozen <- Some (compiled_program t);
+    t.frozen <- Some (program t, t.version)
+  end
 
 (** End the reconfiguration window: the new program becomes visible
-    atomically and deferred cleanups run. *)
+    atomically and deferred cleanups run. The new program is recompiled
+    here — off the packet path — so the first post-swap packet already
+    runs the staged fast path. *)
 let thaw t =
   match t.frozen with
   | None -> ()
   | Some _ ->
     t.frozen <- None;
+    t.compiled_frozen <- None;
     List.iter (fun f -> f ()) (List.rev t.deferred);
-    t.deferred <- []
+    t.deferred <- [];
+    precompile t
 
 let is_frozen t = t.frozen <> None
 
@@ -506,13 +528,24 @@ let active_program t =
 let exec t ~now_us pkt =
   t.processed <- t.processed + 1;
   t.env.Interp.now_us <- now_us;
-  let prog, ver =
+  let compiled, ver =
     match t.frozen with
-    | Some (p, v) -> (p, v)
-    | None -> (program t, t.version)
+    | Some (p, v) ->
+      let c =
+        match t.compiled_frozen with
+        | Some c -> c
+        | None ->
+          (* only reachable if freeze predates this device's creation
+             path; stage the frozen program on first use *)
+          let c = Compile.compile t.env p in
+          t.compiled_frozen <- Some c;
+          c
+      in
+      (c, v)
+    | None -> (compiled_program t, t.version)
   in
   pkt.Netsim.Packet.epoch <- ver;
-  Interp.run t.env prog pkt
+  Compile.run compiled pkt
 
 (** Per-packet processing latency of the currently installed program. *)
 let latency_ns t =

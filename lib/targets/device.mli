@@ -105,8 +105,16 @@ val program : t -> Flexbpf.Ast.program
 
 (** {2 Execution} *)
 
-(** Run the active program on a packet, stamping its [epoch] with the
-    observed program version. *)
+(** Stage the live program's closure-compiled fast path now instead of
+    on the first packet after a change. [Runtime.Reconfig] calls this
+    inside the reconfiguration window so the compile cost is paid at
+    reconfig time, off the packet path. Idempotent. *)
+val precompile : t -> unit
+
+(** Run the active program on a packet through the closure-compiled
+    fast path ([Flexbpf.Compile]; [Flexbpf.Interp] is the reference
+    semantics), stamping the packet's [epoch] with the observed program
+    version. *)
 val exec : t -> now_us:int64 -> Netsim.Packet.t -> Flexbpf.Interp.result
 
 (** Per-packet processing latency of the installed program. *)

@@ -1,0 +1,550 @@
+(* The closure-compiled fast path (Flexbpf.Compile) against the
+   reference interpreter (Flexbpf.Interp):
+
+   - a qcheck differential harness: random programs, rule sets, and
+     packets — interleaved with rule installs/removes and clock moves —
+     must produce identical verdicts, packet mutations, map state, and
+     stats counters under both engines;
+   - unit tests that rule install/remove keeps the hash index and the
+     pre-sorted candidate lists consistent, including across a device's
+     freeze/thaw two-version swap (Runtime.Reconfig's mechanism);
+   - the install-time rule-arity validation regression test. *)
+
+open Flexbpf
+open Flexbpf.Builder
+
+let check = Alcotest.(check bool)
+let check_port = Alcotest.(check (option int))
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* -- Generators ------------------------------------------------------------ *)
+
+(* Key expressions drawn from fields of sometimes-absent headers (vlan,
+   tcp) so key evaluation faults are exercised, plus metadata. *)
+let key_expr_gen =
+  QCheck.Gen.oneofl
+    [ field "ipv4" "src"; field "ipv4" "dst"; field "ipv4" "proto";
+      field "tcp" "sport"; field "tcp" "dport"; field "vlan" "vid";
+      meta "m0" ]
+
+let expr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [ map (fun v -> Ast.Const (Int64.of_int v)) (int_bound 64);
+              key_expr_gen;
+              return Ast.Time;
+              map (fun p -> Ast.Param p) (oneofl [ "p"; "q"; "ghost" ]);
+              map (fun k -> Ast.Map_get ("m0", [ Ast.Const (Int64.of_int k) ]))
+                (int_bound 31) ]
+        else
+          oneof
+            [ map3
+                (fun op a b -> Ast.Bin (op, a, b))
+                (oneofl
+                   [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Band;
+                     Ast.Bor; Ast.Bxor; Ast.Shl; Ast.Shr; Ast.Eq; Ast.Neq;
+                     Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge; Ast.Land; Ast.Lor ])
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun op e -> Ast.Un (op, e))
+                (oneofl [ Ast.Not; Ast.Neg; Ast.Bnot ])
+                (self (n / 2));
+              map2
+                (fun alg es -> Ast.Hash (alg, es))
+                (oneofl [ Ast.Crc16; Ast.Crc32; Ast.Identity ])
+                (list_size (int_range 1 3) (self (n / 3))) ]))
+
+let stmt_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Ast.Nop; return Ast.Drop;
+              map2 (fun m e -> Ast.Set_meta (m, e)) (oneofl [ "m0"; "m1" ])
+                expr_gen;
+              map (fun e -> Ast.Set_field ("ipv4", "ttl", e)) expr_gen;
+              map2
+                (fun k v ->
+                  Ast.Map_put ("m0", [ Ast.Const (Int64.of_int k) ],
+                               Ast.Const (Int64.of_int v)))
+                (int_bound 31) (int_bound 100);
+              map2
+                (fun k e ->
+                  let k = Ast.Const (Int64.of_int k) in
+                  Ast.Map_incr ("m1", [ k; k ], e))
+                (int_bound 15) expr_gen;
+              map (fun k -> Ast.Map_del ("m0", [ Ast.Const (Int64.of_int k) ]))
+                (int_bound 31);
+              map (fun e -> Ast.Forward e) expr_gen;
+              map (fun d -> Ast.Punt d) (oneofl [ "alpha"; "beta" ]);
+              map (fun args -> Ast.Call ("svc", args))
+                (list_size (int_bound 2) expr_gen) ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map3
+                (fun c th el -> Ast.If (c, th, el))
+                expr_gen
+                (list_size (int_bound 3) (self (n / 3)))
+                (list_size (int_bound 2) (self (n / 3)));
+              map2
+                (fun k body -> Ast.Loop (1 + k, body))
+                (int_bound 4)
+                (list_size (int_range 1 3) (self (n / 3))) ]))
+
+let table_gen =
+  QCheck.Gen.(
+    map2
+      (fun keys act_body ->
+        table "t0" ~keys
+          ~actions:
+            [ action "set_port" ~params:[ "p" ] [ forward (param "p") ];
+              action "mark" ~params:[ "p"; "q" ]
+                [ set_meta "m1" (param "p" +: param "q") ];
+              action "custom" act_body;
+              action "refuse" [ drop ] ]
+          ~default:("refuse", []) ~size:128 ())
+      (list_size (int_range 1 3)
+         (pair key_expr_gen (oneofl [ Ast.Exact; Ast.Lpm; Ast.Ternary; Ast.Range ])))
+      (list_size (int_bound 3) stmt_gen))
+
+let program_gen =
+  QCheck.Gen.(
+    map3
+      (fun enc blocks tbl ->
+        let pipeline =
+          List.mapi (fun i body -> block (Printf.sprintf "b%d" i) body) blocks
+        in
+        (* table position varies: before, between, or after the blocks *)
+        let pipeline =
+          match pipeline with
+          | [] -> [ tbl ]
+          | x :: rest -> x :: tbl :: rest
+        in
+        Builder.program "diff"
+          ~maps:
+            [ Builder.map_decl ~encoding:enc ~key_arity:1 ~size:64 "m0";
+              Builder.map_decl ~key_arity:2 ~size:128 "m1" ]
+          pipeline)
+      (oneofl
+         [ Ast.Enc_auto; Ast.Enc_registers; Ast.Enc_flow_state;
+           Ast.Enc_stateful_table ])
+      (list_size (int_range 0 3) (list_size (int_bound 4) stmt_gen))
+      table_gen)
+
+(* Patterns for a single key; values small so exact/lpm/ternary rules
+   actually hit generated packets. *)
+let pattern_gen =
+  QCheck.Gen.(
+    oneof
+      [ return Ast.P_any;
+        map (fun v -> Ast.P_exact (Int64.of_int v)) (int_bound 8);
+        map2 (fun v len -> Ast.P_lpm (Int64.of_int v, len)) (int_bound 8)
+          (oneofl [ 0; 8; 24; 30; 31; 32 ]);
+        map2
+          (fun v m -> Ast.P_ternary (Int64.of_int v, Int64.of_int m))
+          (int_bound 8) (oneofl [ 0; 1; 3; 7; 0xFF ]);
+        map2
+          (fun a b ->
+            Ast.P_range (Int64.of_int (min a b), Int64.of_int (max a b)))
+          (int_bound 10) (int_bound 300) ])
+
+(* A rule for a table of [arity] keys. Mostly well-formed; some have an
+   unknown action or wrong argument arity so the differential harness
+   covers the selection-time error paths too. *)
+let rule_gen arity =
+  QCheck.Gen.(
+    map3
+      (fun prio matches (act, args) ->
+        { Ast.rule_priority = prio; matches; rule_action = act;
+          rule_args = List.map Int64.of_int args })
+      (int_bound 3)
+      (list_repeat arity pattern_gen)
+      (oneof
+         [ map (fun p -> ("set_port", [ p ])) (int_bound 9);
+           return ("mark", [ 2; 3 ]);
+           return ("custom", []);
+           return ("refuse", []);
+           return ("set_port", []); (* arity mismatch *)
+           return ("nonesuch", []) (* missing action *) ]))
+
+type pkt_spec = {
+  with_vlan : bool;
+  with_ipv4 : bool;
+  l4 : int; (* 0 = none, 1 = tcp, 2 = udp *)
+  src : int;
+  dst : int;
+  sport : int;
+  dport : int;
+}
+
+let pkt_spec_gen =
+  QCheck.Gen.(
+    map
+      (fun ((with_vlan, with_ipv4, l4), (src, dst, sport, dport)) ->
+        { with_vlan; with_ipv4; l4; src; dst; sport; dport })
+      (pair
+         (triple bool (frequencyl [ (9, true); (1, false) ]) (int_bound 2))
+         (quad (int_bound 8) (int_bound 8) (int_bound 300) (int_bound 300))))
+
+let mk_pkt spec =
+  let hs =
+    [ Netsim.Packet.ethernet ~src:(Int64.of_int spec.src)
+        ~dst:(Int64.of_int spec.dst) () ]
+    @ (if spec.with_vlan then [ Netsim.Packet.vlan ~vid:5L () ] else [])
+    @ (if spec.with_ipv4 then
+         [ Netsim.Packet.ipv4 ~src:(Int64.of_int spec.src)
+             ~dst:(Int64.of_int spec.dst) () ]
+       else [])
+    @
+    match spec.l4 with
+    | 1 ->
+      [ Netsim.Packet.tcp ~sport:(Int64.of_int spec.sport)
+          ~dport:(Int64.of_int spec.dport) () ]
+    | 2 ->
+      [ Netsim.Packet.udp ~sport:(Int64.of_int spec.sport)
+          ~dport:(Int64.of_int spec.dport) () ]
+    | _ -> []
+  in
+  Netsim.Packet.create hs
+
+type op =
+  | Run of pkt_spec
+  | Install of Ast.rule
+  | RemoveAbove of int (* remove rules with priority >= n *)
+  | Advance of int (* move the virtual clock *)
+
+let op_gen arity =
+  QCheck.Gen.(
+    frequency
+      [ (6, map (fun s -> Run s) pkt_spec_gen);
+        (3, map (fun r -> Install r) (rule_gen arity));
+        (1, map (fun n -> RemoveAbove n) (int_bound 3));
+        (1, map (fun n -> Advance n) (int_bound 1000)) ])
+
+let scenario_gen =
+  QCheck.Gen.(
+    program_gen >>= fun prog ->
+    let arity =
+      match Ast.find_table prog "t0" with
+      | Some t -> List.length t.Ast.keys
+      | None -> 1
+    in
+    map (fun ops -> (prog, ops)) (list_size (int_range 1 25) (op_gen arity)))
+
+let scenario_print (prog, ops) =
+  Printf.sprintf "%s\n-- %d ops: %s" (Syntax.print prog) (List.length ops)
+    (String.concat ";"
+       (List.map
+          (function
+            | Run s ->
+              Printf.sprintf "run{vlan=%b,ipv4=%b,l4=%d,src=%d,dst=%d,sp=%d,dp=%d}"
+                s.with_vlan s.with_ipv4 s.l4 s.src s.dst s.sport s.dport
+            | Install r ->
+              Printf.sprintf "install{prio=%d,action=%s,%d args,%d matches}"
+                r.Ast.rule_priority r.Ast.rule_action
+                (List.length r.Ast.rule_args)
+                (List.length r.Ast.matches)
+            | RemoveAbove n -> Printf.sprintf "remove>=%d" n
+            | Advance n -> Printf.sprintf "advance+%d" n)
+          ops))
+
+let scenario_arb = QCheck.make ~print:scenario_print scenario_gen
+
+(* -- Observations ----------------------------------------------------------- *)
+
+let meta_list pkt =
+  Hashtbl.fold (fun k c acc -> (k, !c) :: acc) pkt.Netsim.Packet.meta []
+  |> List.sort compare
+
+let headers_list pkt =
+  List.map
+    (fun h -> (h.Netsim.Packet.hname, h.Netsim.Packet.fields))
+    pkt.Netsim.Packet.headers
+
+let results_agree (a : Interp.result) (b : Interp.result) =
+  a.Interp.parse_ok = b.Interp.parse_ok
+  && a.Interp.runtime_error = b.Interp.runtime_error
+  && a.Interp.verdict.Interp.egress = b.Interp.verdict.Interp.egress
+  && a.Interp.verdict.Interp.dropped = b.Interp.verdict.Interp.dropped
+  && a.Interp.verdict.Interp.punts = b.Interp.verdict.Interp.punts
+
+let envs_agree prog env_a env_b =
+  List.for_all
+    (fun (m : Ast.map_decl) ->
+      State.snapshot (Interp.env_map env_a m.Ast.map_name)
+      = State.snapshot (Interp.env_map env_b m.Ast.map_name))
+    prog.Ast.maps
+  && Netsim.Stats.Counters.to_list env_a.Interp.stats
+     = Netsim.Stats.Counters.to_list env_b.Interp.stats
+
+(* -- The differential property ----------------------------------------------- *)
+
+let prop_compiled_equals_interpreted =
+  QCheck.Test.make ~name:"compiled = interpreted (verdict, maps, stats)"
+    ~count:300 scenario_arb
+    (fun (prog, ops) ->
+      let env_a = Interp.create_env prog in
+      let env_b = Interp.create_env prog in
+      let punts_a = ref [] and punts_b = ref [] in
+      env_a.Interp.punt <- (fun d _ -> punts_a := d :: !punts_a);
+      env_b.Interp.punt <- (fun d _ -> punts_b := d :: !punts_b);
+      env_a.Interp.drpc <- (fun _ args -> List.fold_left Int64.add 1L args);
+      env_b.Interp.drpc <- (fun _ args -> List.fold_left Int64.add 1L args);
+      let compiled = Compile.compile env_b prog in
+      let install env r =
+        match Interp.install_rule env "t0" r with
+        | () -> true
+        | exception Interp.Eval_error _ -> false
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Install r ->
+            (* both engines must agree on install-time validation *)
+            install env_a r = install env_b r
+          | RemoveAbove n ->
+            Interp.remove_rules env_a "t0" (fun r -> r.Ast.rule_priority >= n);
+            Interp.remove_rules env_b "t0" (fun r -> r.Ast.rule_priority >= n);
+            true
+          | Advance n ->
+            env_a.Interp.now_us <- Int64.add env_a.Interp.now_us (Int64.of_int n);
+            env_b.Interp.now_us <- Int64.add env_b.Interp.now_us (Int64.of_int n);
+            true
+          | Run spec ->
+            let pkt_a = mk_pkt spec and pkt_b = mk_pkt spec in
+            let ra = Interp.run env_a prog pkt_a in
+            let rb = Compile.run compiled pkt_b in
+            results_agree ra rb
+            && meta_list pkt_a = meta_list pkt_b
+            && headers_list pkt_a = headers_list pkt_b)
+        ops
+      && envs_agree prog env_a env_b
+      && !punts_a = !punts_b)
+
+(* Recompiling mid-stream against live state must not change behaviour:
+   a fresh Compile.t over the same env picks up installed rules and map
+   contents. *)
+let prop_recompile_transparent =
+  QCheck.Test.make ~name:"recompile over live env is transparent" ~count:100
+    scenario_arb
+    (fun (prog, ops) ->
+      let env_a = Interp.create_env prog in
+      let env_b = Interp.create_env prog in
+      let compiled = ref (Compile.compile env_b prog) in
+      let steps = ref 0 in
+      List.for_all
+        (fun op ->
+          incr steps;
+          if !steps mod 5 = 0 then compiled := Compile.compile env_b prog;
+          match op with
+          | Install r ->
+            (try Interp.install_rule env_a "t0" r
+             with Interp.Eval_error _ -> ());
+            (try Interp.install_rule env_b "t0" r
+             with Interp.Eval_error _ -> ());
+            true
+          | RemoveAbove n ->
+            Interp.remove_rules env_a "t0" (fun r -> r.Ast.rule_priority >= n);
+            Interp.remove_rules env_b "t0" (fun r -> r.Ast.rule_priority >= n);
+            true
+          | Advance _ -> true
+          | Run spec ->
+            let pkt_a = mk_pkt spec and pkt_b = mk_pkt spec in
+            results_agree (Interp.run env_a prog pkt_a)
+              (Compile.run !compiled pkt_b))
+        ops
+      && envs_agree prog env_a env_b)
+
+(* -- Install-time arity validation (regression) ------------------------------- *)
+
+let two_key_prog =
+  program "p"
+    [ table "t"
+        ~keys:[ exact (field "ipv4" "dst"); exact (field "ipv4" "src") ]
+        ~actions:[ action "fwd" ~params:[ "p" ] [ forward (param "p") ] ]
+        ~default:("nop", []) () ]
+
+let test_install_arity_validated () =
+  let env = Interp.create_env two_key_prog in
+  (match
+     Interp.install_rule env "t"
+       (rule ~matches:[ exact_i 1 ] ~action:("fwd", [ 1 ]) ())
+   with
+   | () -> Alcotest.fail "under-arity rule must be rejected"
+   | exception Interp.Eval_error msg ->
+     check "error mentions pattern and key counts" true
+       (let has sub =
+          let n = String.length msg and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+          go 0
+        in
+        has "1" && has "2"));
+  (match
+     Interp.install_rule env "t"
+       (rule ~matches:[ exact_i 1; exact_i 2; exact_i 3 ] ~action:("fwd", [ 1 ]) ())
+   with
+   | () -> Alcotest.fail "over-arity rule must be rejected"
+   | exception Interp.Eval_error _ -> ());
+  (* correct arity accepted *)
+  Interp.install_rule env "t"
+    (rule ~matches:[ exact_i 1; exact_i 2 ] ~action:("fwd", [ 1 ]) ());
+  Alcotest.(check int) "rule installed" 1
+    (List.length (Interp.table_rules env "t"));
+  (* unregistered tables keep the historical permissive behaviour *)
+  Interp.install_rule env "unknown_table"
+    (rule ~matches:[ exact_i 1 ] ~action:("x", []) ())
+
+(* -- Index consistency under install/remove ----------------------------------- *)
+
+let fwd_table =
+  table "t"
+    ~keys:[ exact (field "ipv4" "dst") ]
+    ~actions:[ action "fwd" ~params:[ "p" ] [ forward (param "p") ] ]
+    ~default:("nop", []) ()
+
+let exec_compiled compiled dst =
+  let pkt =
+    Netsim.Packet.create
+      [ Netsim.Packet.ethernet ~src:1L ~dst ();
+        Netsim.Packet.ipv4 ~src:1L ~dst ();
+        Netsim.Packet.tcp ~sport:1L ~dport:2L () ]
+  in
+  (Compile.run compiled pkt).Interp.verdict.Interp.egress
+
+let test_hash_index_tracks_rules () =
+  let prog = program "p" [ fwd_table ] in
+  let env = Interp.create_env prog in
+  let compiled = Compile.compile env prog in
+  check_port "no rules: default" None (exec_compiled compiled 2L);
+  Interp.install_rule env "t" (rule ~matches:[ exact_i 2 ] ~action:("fwd", [ 7 ]) ());
+  check_port "install picked up" (Some 7) (exec_compiled compiled 2L);
+  Interp.install_rule env "t"
+    (rule ~priority:5 ~matches:[ exact_i 2 ] ~action:("fwd", [ 9 ]) ());
+  check_port "higher priority shadows" (Some 9) (exec_compiled compiled 2L);
+  Interp.remove_rules env "t" (fun r -> r.Ast.rule_priority = 5);
+  check_port "remove restores" (Some 7) (exec_compiled compiled 2L);
+  Interp.remove_rules env "t" (fun _ -> true);
+  check_port "empty again" None (exec_compiled compiled 2L)
+
+(* Mixing a non-exact rule into an exact table must demote the hash
+   index to a scan list — transparently. *)
+let test_index_demotes_to_scan () =
+  let prog = program "p" [ fwd_table ] in
+  let env = Interp.create_env prog in
+  let compiled = Compile.compile env prog in
+  Interp.install_rule env "t" (rule ~matches:[ exact_i 2 ] ~action:("fwd", [ 7 ]) ());
+  check_port "exact hit" (Some 7) (exec_compiled compiled 2L);
+  Interp.install_rule env "t"
+    (rule ~priority:1 ~matches:[ lpm_i 0 0 ] ~action:("fwd", [ 3 ]) ());
+  check_port "wildcard lpm wins on other key" (Some 3) (exec_compiled compiled 9L);
+  check_port "higher-priority lpm wins on exact key too" (Some 3)
+    (exec_compiled compiled 2L);
+  Interp.remove_rules env "t" (fun r -> r.Ast.rule_priority = 1);
+  check_port "back to exact index" (Some 7) (exec_compiled compiled 2L)
+
+(* -- Two-version swap: compiled path across freeze/thaw ------------------------ *)
+
+let route_all_prog = Apps.L2l3.program ()
+
+let test_device_swap_consistency () =
+  (* device A runs the compiled path (Device.exec); device B is the
+     interpreted reference over the same installs *)
+  let mk () =
+    let dev = Targets.Device.create ~id:"d" Targets.Arch.drmt in
+    List.iteri
+      (fun i el ->
+        match Targets.Device.install dev ~ctx:route_all_prog ~order:i el with
+        | Ok _ -> ()
+        | Error r ->
+          Alcotest.failf "install: %s" (Targets.Device.reject_to_string r))
+      route_all_prog.Ast.pipeline;
+    Interp.install_rule (Targets.Device.env dev) "ipv4_lpm"
+      (Apps.L2l3.route_rule ~host_id:2 ~port:4);
+    dev
+  in
+  let dev_a = mk () and dev_b = mk () in
+  let exec_a dst =
+    let pkt = mk_pkt { with_vlan = false; with_ipv4 = true; l4 = 1;
+                       src = 1; dst; sport = 10; dport = 20 } in
+    Netsim.Packet.set_meta pkt "in_port" 0L;
+    (Targets.Device.exec dev_a ~now_us:0L pkt).Interp.verdict.Interp.egress
+  in
+  let exec_b dst =
+    let pkt = mk_pkt { with_vlan = false; with_ipv4 = true; l4 = 1;
+                       src = 1; dst; sport = 10; dport = 20 } in
+    Netsim.Packet.set_meta pkt "in_port" 0L;
+    let env = Targets.Device.env dev_b in
+    env.Interp.now_us <- 0L;
+    (Interp.run env (Targets.Device.active_program dev_b) pkt)
+      .Interp.verdict.Interp.egress
+  in
+  check_port "pre-swap engines agree" (exec_b 2) (exec_a 2);
+  (* two-version swap on both: drop the ACL, change a route *)
+  Targets.Device.freeze dev_a;
+  Targets.Device.freeze dev_b;
+  List.iter
+    (fun dev ->
+      check "uninstall acl" true (Targets.Device.uninstall dev "acl");
+      Interp.remove_rules (Targets.Device.env dev) "ipv4_lpm" (fun _ -> true);
+      Interp.install_rule (Targets.Device.env dev) "ipv4_lpm"
+        (Apps.L2l3.route_rule ~host_id:2 ~port:8))
+    [ dev_a; dev_b ];
+  (* during the window: old program, new rules (rule changes are not
+     frozen — they are data, not program) *)
+  check "both frozen" true
+    (Targets.Device.is_frozen dev_a && Targets.Device.is_frozen dev_b);
+  check_port "mid-window engines agree" (exec_b 2) (exec_a 2);
+  check_port "mid-window sees new rule" (Some 8) (exec_a 2);
+  Targets.Device.thaw dev_a;
+  Targets.Device.thaw dev_b;
+  check_port "post-swap engines agree" (exec_b 2) (exec_a 2);
+  check_port "post-swap routes via new rule" (Some 8) (exec_a 2);
+  (* rule index still live on the new compiled program *)
+  Interp.remove_rules (Targets.Device.env dev_a) "ipv4_lpm" (fun _ -> true);
+  Interp.remove_rules (Targets.Device.env dev_b) "ipv4_lpm" (fun _ -> true);
+  check_port "post-swap removal tracked" (exec_b 2) (exec_a 2)
+
+let test_frozen_program_isolated () =
+  (* during the window the compiled frozen program keeps executing even
+     though the live pipeline changed *)
+  let dev = Targets.Device.create ~id:"d" Targets.Arch.drmt in
+  let ctx = program "ctx" [ fwd_table ] in
+  (match Targets.Device.install dev ~ctx ~order:0 fwd_table with
+   | Ok _ -> ()
+   | Error r -> Alcotest.failf "install: %s" (Targets.Device.reject_to_string r));
+  Interp.install_rule (Targets.Device.env dev) "t"
+    (rule ~matches:[ exact_i 2 ] ~action:("fwd", [ 7 ]) ());
+  let exec dst =
+    let pkt = mk_pkt { with_vlan = false; with_ipv4 = true; l4 = 1;
+                       src = 1; dst; sport = 1; dport = 2 } in
+    (Targets.Device.exec dev ~now_us:0L pkt).Interp.verdict.Interp.egress
+  in
+  check_port "live table forwards" (Some 7) (exec 2);
+  Targets.Device.freeze dev;
+  check "uninstall under freeze" true (Targets.Device.uninstall dev "t");
+  check_port "frozen program still forwards" (Some 7) (exec 2);
+  Targets.Device.thaw dev;
+  check_port "after thaw the table is gone" None (exec 2)
+
+let () =
+  Alcotest.run "compile"
+    [ ( "differential",
+        [ to_alcotest prop_compiled_equals_interpreted;
+          to_alcotest prop_recompile_transparent ] );
+      ( "install_validation",
+        [ Alcotest.test_case "rule arity checked" `Quick
+            test_install_arity_validated ] );
+      ( "rule_index",
+        [ Alcotest.test_case "hash index tracks rules" `Quick
+            test_hash_index_tracks_rules;
+          Alcotest.test_case "demotes to scan" `Quick test_index_demotes_to_scan ] );
+      ( "two_version_swap",
+        [ Alcotest.test_case "device swap consistency" `Quick
+            test_device_swap_consistency;
+          Alcotest.test_case "frozen program isolated" `Quick
+            test_frozen_program_isolated ] ) ]

@@ -296,7 +296,7 @@ let test_parser_runtime_ops () =
   let gre_pkt =
     Netsim.Packet.create
       [ Netsim.Packet.ethernet ~src:1L ~dst:2L ();
-        { Netsim.Packet.hname = "gre"; fields = [ ("proto", 1L) ] } ]
+        { Netsim.Packet.hname = "gre"; fields = [ ("proto", ref 1L) ] } ]
   in
   let r1 = Targets.Device.exec dev ~now_us:0L gre_pkt in
   check "unknown protocol rejected" false r1.Flexbpf.Interp.parse_ok;
