@@ -36,8 +36,8 @@ let run_side ~n invoke =
   !done_at
 
 let run_case n =
-  let dp = run_side ~n Runtime.Drpc.invoke_dataplane in
-  let cp = run_side ~n Runtime.Drpc.invoke_controlplane in
+  let dp = run_side ~n (fun reg name args -> Runtime.Drpc.invoke_dataplane reg name args) in
+  let cp = run_side ~n (fun reg name args -> Runtime.Drpc.invoke_controlplane reg name args) in
   [ Report.i n; Report.ms dp; Report.ms cp; Report.f1 (cp /. dp) ]
 
 let run () =

@@ -5,6 +5,10 @@
      dune exec bench/main.exe E5 E7      # selected experiments
      dune exec bench/main.exe -- --micro # bechamel microbenchmarks
      dune exec bench/main.exe -- --micro --quota 0.05 --out BENCH_micro.json
+     dune exec bench/main.exe -- --micro --check BENCH_micro.json --tolerance 0.35
+                                         # CI regression gate: exits 1 when a
+                                         # compiled-path speedup falls below
+                                         # baseline * (1 - tolerance)
 
    Each experiment regenerates one table for a claim of the paper; see
    DESIGN.md section 4 for the experiment index and EXPERIMENTS.md for
@@ -24,6 +28,7 @@ let experiments =
     ("E11", E11_drpc.run);
     ("E12", E12_raft.run);
     ("E13", E13_cc_workloads.run);
+    ("E14", E14_faults.run);
     ("F1", F01_whole_stack.run);
     ("A1", A01_adjacency.run);
     ("A2", A02_consistency.run) ]
@@ -41,8 +46,11 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quota, args = take_opt "--quota" args in
   let out, args = take_opt "--out" args in
+  let check, args = take_opt "--check" args in
+  let tolerance, args = take_opt "--tolerance" args in
   if List.mem "--micro" args then
-    Micro.run ?quota:(Option.map float_of_string quota) ?out ()
+    Micro.run ?quota:(Option.map float_of_string quota) ?out ?check
+      ?tolerance:(Option.map float_of_string tolerance) ()
   else begin
     let selected =
       match List.filter (fun a -> a <> "--micro") args with

@@ -140,9 +140,96 @@ let write_json path estimates speedups =
   output_string oc "  }\n}\n";
   close_out oc
 
+(* -- Regression gate ---------------------------------------------------- *)
+
+(* Parse the "speedup" section of a BENCH_micro.json baseline. The file
+   is our own write_json output, so a line-oriented scan is enough (no
+   JSON library in the container): entries look like
+     "interp: l2l3 pipeline per packet": 5.52,
+   inside the object that follows the "speedup" key. *)
+let read_baseline_speedups path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let lines = List.rev !lines in
+  let in_speedup = ref false in
+  let entries = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if String.length line >= 9 && String.sub line 0 9 = "\"speedup\"" then
+        in_speedup := true
+      else if !in_speedup then
+        if line = "}" || line = "}," then in_speedup := false
+        else
+          (* "name": value[,] *)
+          match String.index_opt line '"' with
+          | Some 0 ->
+            (match String.index_from_opt line 1 '"' with
+             | Some close ->
+               let name = String.sub line 1 (close - 1) in
+               let rest = String.sub line (close + 1) (String.length line - close - 1) in
+               let num =
+                 String.trim rest |> fun s ->
+                 (if String.length s > 0 && s.[0] = ':' then
+                    String.sub s 1 (String.length s - 1)
+                  else s)
+                 |> String.trim
+                 |> fun s ->
+                 if String.length s > 0 && s.[String.length s - 1] = ',' then
+                   String.sub s 0 (String.length s - 1)
+                 else s
+               in
+               (match float_of_string_opt num with
+                | Some v -> entries := (name, v) :: !entries
+                | None -> ())
+             | None -> ())
+          | _ -> ())
+    lines;
+  List.rev !entries
+
+(* Compare measured speedups against a checked-in baseline. A benchmark
+   regresses when its compiled-vs-interpreter speedup falls below
+   baseline * (1 - tolerance); missing measurements also fail so a
+   silently-dropped pair cannot green the gate. Returns true iff all
+   baseline entries pass. *)
+let check_speedups ~baseline_path ~tolerance measured =
+  let baseline = read_baseline_speedups baseline_path in
+  if baseline = [] then begin
+    Printf.printf "bench gate: no speedup entries found in %s\n" baseline_path;
+    false
+  end
+  else begin
+    Printf.printf "\n-- bench regression gate (tolerance %.0f%%) --\n"
+      (tolerance *. 100.);
+    List.fold_left
+      (fun ok (name, base) ->
+        let floor = base *. (1. -. tolerance) in
+        match List.assoc_opt name measured with
+        | Some m when m >= floor ->
+          Printf.printf "PASS %-42s %.2fx (baseline %.2fx, floor %.2fx)\n"
+            name m base floor;
+          ok
+        | Some m ->
+          Printf.printf "FAIL %-42s %.2fx < floor %.2fx (baseline %.2fx)\n"
+            name m floor base;
+          false
+        | None ->
+          Printf.printf "FAIL %-42s not measured (baseline %.2fx)\n" name base;
+          false)
+      true baseline
+  end
+
 (** [quota] is seconds of measurement per benchmark (default 0.5; CI
-    uses a shorter one). [out] dumps estimates and speedups as JSON. *)
-let run ?(quota = 0.5) ?out () =
+    uses a shorter one). [out] dumps estimates and speedups as JSON.
+    [check] compares measured speedups against a baseline JSON and
+    exits non-zero past [tolerance] (default 0.35) — the CI bench
+    regression gate. *)
+let run ?(quota = 0.5) ?out ?check ?(tolerance = 0.35) () =
   print_endline "\n== microbenchmarks (bechamel) ==";
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
@@ -189,5 +276,11 @@ let run ?(quota = 0.5) ?out () =
    | Some path ->
      write_json path estimates speedups;
      Printf.printf "\nwrote %s\n" path
+   | None -> ());
+  (match check with
+   | Some baseline_path ->
+     let ok = check_speedups ~baseline_path ~tolerance speedups in
+     flush stdout;
+     if not ok then exit 1
    | None -> ());
   flush stdout

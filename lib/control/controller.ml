@@ -30,6 +30,7 @@ type t = {
   mutable digests : (float * string * int) list; (* time, digest, pkt uid *)
   mutable raft : Raft.t option;
   mutable journal_fallbacks : int; (* ops executed with no live leader *)
+  mutable reresolutions : int; (* elements re-injected after a restart *)
 }
 
 let devices t = List.map (fun w -> w.Runtime.Wiring.device) t.wireds
@@ -38,7 +39,7 @@ let create ~sim ~topo ~wireds =
   let t =
     { sim; topo; wireds; apps = Hashtbl.create 16; apis = Hashtbl.create 16;
       subscriptions = Hashtbl.create 8; digests = []; raft = None;
-      journal_fallbacks = 0 }
+      journal_fallbacks = 0; reresolutions = 0 }
   in
   (* digest bus: every wired device punts into the controller *)
   List.iter
@@ -199,6 +200,57 @@ let expand_map t uri ~map_name ~factor =
         (Printf.sprintf "expand %s/%s x%d" (Uri.to_string uri) map_name factor);
       Ok ()
     end
+
+(* -- Failure handling --------------------------------------------------- *)
+
+(** A device crashed: drop its cached API session (it is gone on the
+    device side) and journal the event. App replica lists keep the
+    device — it is expected back; [handle_device_restart] re-resolves. *)
+let handle_device_crash t dev_id =
+  Hashtbl.remove t.apis dev_id;
+  journal t ("device-crash " ^ dev_id)
+
+(** A crashed device restarted: reconnect lazily and re-resolve every
+    app that names it as a replica. A mid-update crash rolled the
+    device back to its old program, so elements injected during the
+    lost window are gone — reinstall whatever is missing. *)
+let handle_device_restart t dev_id =
+  Hashtbl.remove t.apis dev_id;
+  (match find_device t dev_id with
+   | None -> ()
+   | Some dev ->
+     List.iter
+       (fun app ->
+         if
+           List.exists
+             (fun d -> Targets.Device.id d = dev_id)
+             app.replicas
+         then
+           List.iteri
+             (fun i el ->
+               let name = Ast.element_name el in
+               if not (List.mem name (Targets.Device.installed_names dev))
+               then
+                 match
+                   Targets.Device.install dev ~ctx:app.program
+                     ~order:(1000 + i) el
+                 with
+                 | Ok _ -> t.reresolutions <- t.reresolutions + 1
+                 | Error _ -> ())
+             app.program.Ast.pipeline)
+       (all_apps t));
+  journal t ("device-restart " ^ dev_id)
+
+(** Elements re-injected by restart re-resolution. *)
+let reresolutions t = t.reresolutions
+
+(** Subscribe to a fault injector's device events so crashes and
+    restarts are handled automatically. *)
+let watch_faults t faults =
+  Netsim.Faults.subscribe faults (fun dev_id ev ->
+      match ev with
+      | `Crash -> handle_device_crash t dev_id
+      | `Restart -> handle_device_restart t dev_id)
 
 (* -- Digests ----------------------------------------------------------- *)
 

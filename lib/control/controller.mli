@@ -70,6 +70,22 @@ val migrate :
     URI operation. *)
 val expand_map : t -> Uri.t -> map_name:string -> factor:int -> (unit, op_error) result
 
+(** {2 Failure handling} *)
+
+(** A device crashed: drop its cached API session and journal. *)
+val handle_device_crash : t -> string -> unit
+
+(** A crashed device restarted: reconnect lazily and re-resolve — any
+    app replica elements lost to the crash rollback are reinstalled. *)
+val handle_device_restart : t -> string -> unit
+
+(** Elements re-injected by restart re-resolution. *)
+val reresolutions : t -> int
+
+(** Subscribe to a fault injector's device events so crashes/restarts
+    are handled automatically. *)
+val watch_faults : t -> Netsim.Faults.t -> unit
+
 (** {2 Digests} *)
 
 (** Subscribe to a digest name; the callback runs on every punt. *)

@@ -15,8 +15,10 @@ type t = {
   mutable primary : Targets.Device.t;
   mutable backups : Targets.Device.t list;
   mode : mode;
+  mutable member_ids : string list; (* ever-members, for rejoin checks *)
   mutable syncs : int;
   mutable failovers : int;
+  mutable rejoins : int;
   mutable last_sync : float;
   mutable running : bool;
 }
@@ -31,8 +33,9 @@ let sync_once t =
 
 let create ~sim ~map_name ~primary ~backups mode =
   let t =
-    { sim; map_name; primary; backups; mode; syncs = 0; failovers = 0;
-      last_sync = 0.; running = true }
+    { sim; map_name; primary; backups; mode;
+      member_ids = List.map Targets.Device.id (primary :: backups);
+      syncs = 0; failovers = 0; rejoins = 0; last_sync = 0.; running = true }
   in
   (match mode with
    | Periodic_sync period ->
@@ -80,6 +83,48 @@ let staleness t backup =
     List.length (Flexbpf.State.entries p)
   | None, _ -> 0
 
+(* -- Failure handling --------------------------------------------------- *)
+
+let member t dev_id = List.mem dev_id t.member_ids
+
+(** A group member crashed. Primary: promote the freshest backup.
+    Backup: drop it from the sync set (it rejoins at restart). *)
+let handle_crash t dev_id =
+  if not (member t dev_id) then ()
+  else if Targets.Device.id t.primary = dev_id then ignore (failover t)
+  else
+    t.backups <-
+      List.filter (fun b -> Targets.Device.id b <> dev_id) t.backups
+
+(** A restarted (ever-)member rejoins as a backup — the state it
+    crashed with is stale — and is brought current with an immediate
+    sync. Non-members are ignored. *)
+let rejoin t dev =
+  let id = Targets.Device.id dev in
+  if member t id
+     && Targets.Device.id t.primary <> id
+     && not (List.exists (fun b -> Targets.Device.id b = id) t.backups)
+  then begin
+    t.backups <- t.backups @ [ dev ];
+    t.rejoins <- t.rejoins + 1;
+    if t.running then sync_once t
+  end
+
+(** Subscribe to a fault injector so group members fail over on crash
+    and re-resolve (rejoin + resync) on restart. [resolve] maps a
+    device id back to its handle — crashed members are forgotten, so
+    the controller's registry supplies it. *)
+let watch_faults t faults ~resolve =
+  Netsim.Faults.subscribe faults (fun dev_id ev ->
+      match ev with
+      | `Crash -> handle_crash t dev_id
+      | `Restart ->
+        (match resolve dev_id with
+         | Some dev -> rejoin t dev
+         | None -> ()))
+
 let syncs t = t.syncs
 let failovers t = t.failovers
+let rejoins t = t.rejoins
 let primary t = t.primary
+let backups t = t.backups

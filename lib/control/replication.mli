@@ -25,6 +25,30 @@ val failover : t -> Targets.Device.t option
     metric. *)
 val staleness : t -> Targets.Device.t -> int
 
+(** {2 Failure handling} *)
+
+(** Is (or was) this device id a group member? *)
+val member : t -> string -> bool
+
+(** A member crashed: primary → promote the freshest backup; backup →
+    drop it from the sync set until restart. Non-members are ignored. *)
+val handle_crash : t -> string -> unit
+
+(** A restarted ever-member rejoins as a backup and is resynced
+    immediately. Non-members are ignored. *)
+val rejoin : t -> Targets.Device.t -> unit
+
+(** Subscribe to a fault injector: members fail over on crash and
+    rejoin + resync on restart; [resolve] maps a device id back to its
+    handle (e.g. [Controller.find_device]). *)
+val watch_faults :
+  t -> Netsim.Faults.t -> resolve:(string -> Targets.Device.t option) -> unit
+
 val syncs : t -> int
 val failovers : t -> int
+
+(** Successful restart rejoins. *)
+val rejoins : t -> int
+
 val primary : t -> Targets.Device.t
+val backups : t -> Targets.Device.t list

@@ -17,10 +17,16 @@ type t = {
   mutable busy_until : float;
   mutable depth : int;
   mutable up : bool;
+  (* fault injection (Faults): probabilistic loss and added latency,
+     both zero outside an armed fault window *)
+  mutable loss_prob : float;
+  mutable loss_rng : Random.State.t option;
+  mutable extra_delay : float;
   (* statistics *)
   mutable tx_packets : int;
   mutable tx_bytes : int;
   mutable drops : int;
+  mutable fault_drops : int;
   mutable ecn_marks : int;
   depth_series : Stats.Series.t;
 }
@@ -28,13 +34,26 @@ type t = {
 let create ~sim ~name ?(bandwidth = 10e9) ?(delay = 1e-6) ?(queue_capacity = 256)
     ?(ecn_threshold = 0) ?(deliver = fun _ -> ()) () =
   { sim; name; bandwidth; delay; queue_capacity; ecn_threshold; deliver;
-    busy_until = 0.; depth = 0; up = true; tx_packets = 0; tx_bytes = 0;
-    drops = 0; ecn_marks = 0; depth_series = Stats.Series.create () }
+    busy_until = 0.; depth = 0; up = true; loss_prob = 0.; loss_rng = None;
+    extra_delay = 0.; tx_packets = 0; tx_bytes = 0; drops = 0;
+    fault_drops = 0; ecn_marks = 0; depth_series = Stats.Series.create () }
 
+let name t = t.name
 let set_deliver t f = t.deliver <- f
 let set_up t up = t.up <- up
+
+(** Arm (or clear, with [prob = 0.]) probabilistic loss. Draws come from
+    [rng], so a shared seeded state keeps whole-runs deterministic. *)
+let set_loss t ?rng prob =
+  t.loss_prob <- prob;
+  if rng <> None then t.loss_rng <- rng
+
+(** Extra per-packet propagation delay, seconds (fault windows). *)
+let set_extra_delay t d = t.extra_delay <- d
+
 let depth t = t.depth
 let drops t = t.drops
+let fault_drops t = t.fault_drops
 let tx_packets t = t.tx_packets
 let tx_bytes t = t.tx_bytes
 let ecn_marks t = t.ecn_marks
@@ -55,6 +74,16 @@ let transmit t pkt =
     t.drops <- t.drops + 1;
     false
   end
+  else if
+    t.loss_prob > 0.
+    && (match t.loss_rng with
+        | Some rng -> Random.State.float rng 1.0 < t.loss_prob
+        | None -> false)
+  then begin
+    t.drops <- t.drops + 1;
+    t.fault_drops <- t.fault_drops + 1;
+    false
+  end
   else begin
     if t.ecn_threshold > 0 && t.depth >= t.ecn_threshold
        && Packet.has_header pkt "ipv4"
@@ -71,7 +100,7 @@ let transmit t pkt =
         t.depth <- t.depth - 1;
         t.tx_packets <- t.tx_packets + 1;
         t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
-        let arrival = departure +. t.delay in
+        let arrival = departure +. t.delay +. t.extra_delay in
         Sim.at t.sim arrival (fun () -> if t.up then t.deliver pkt));
     true
   end

@@ -13,6 +13,9 @@ val create :
   ?queue_capacity:int -> ?ecn_threshold:int -> ?deliver:(Packet.t -> unit) ->
   unit -> t
 
+(** The name given at creation ("src->dst" for topology links). *)
+val name : t -> string
+
 (** Set the receive-side callback (wired by the topology). *)
 val set_deliver : t -> (Packet.t -> unit) -> unit
 
@@ -20,10 +23,23 @@ val set_deliver : t -> (Packet.t -> unit) -> unit
     discards in-flight deliveries. *)
 val set_up : t -> bool -> unit
 
+(** {2 Fault injection} (armed by [Faults] inside fault windows)} *)
+
+(** Arm (or clear, with [prob = 0.]) probabilistic per-packet loss.
+    Draws come from [rng] — sharing one seeded state across a run keeps
+    fault placement deterministic. Without an rng no loss is injected. *)
+val set_loss : t -> ?rng:Random.State.t -> float -> unit
+
+(** Extra per-packet propagation delay in seconds (0. to clear). *)
+val set_extra_delay : t -> float -> unit
+
 (** Current queue depth in packets. *)
 val depth : t -> int
 
 val drops : t -> int
+
+(** Drops caused by injected loss (subset of [drops]). *)
+val fault_drops : t -> int
 val tx_packets : t -> int
 val tx_bytes : t -> int
 val ecn_marks : t -> int

@@ -8,7 +8,13 @@
 
     Latency model: a dRPC invocation rides the data plane between
     adjacent devices (microseconds); the control-plane alternative is a
-    controller round trip (milliseconds). *)
+    controller round trip (milliseconds).
+
+    Fault tolerance: a bound [Netsim.Faults] injector may drop
+    invocations (request lost in the fabric — the handler never runs).
+    The async entry points carry a per-call timeout and a bounded
+    exponential-backoff retry loop; exhausting the budget reports
+    [None]. Counters: "drpc.drops", "drpc.retries", "drpc.gaveups". *)
 
 type service = {
   svc_name : string;
@@ -23,11 +29,30 @@ type t = {
   controlplane_rtt : float;
   mutable dp_invocations : int;
   mutable cp_invocations : int;
+  mutable faults : Netsim.Faults.t option;
+  stats : Netsim.Stats.Counters.t;
 }
 
 let create ?(controlplane_rtt = 0.002) sim =
   { sim; services = Hashtbl.create 16; controlplane_rtt; dp_invocations = 0;
-    cp_invocations = 0 }
+    cp_invocations = 0; faults = None;
+    stats = Netsim.Stats.Counters.create () }
+
+(** Bind (or clear) a fault injector; [Drpc_window] entries of its plan
+    then apply to every invocation through this registry. *)
+let set_faults t faults = t.faults <- faults
+
+let stats t = t.stats
+
+let delivered t name =
+  match t.faults with
+  | None -> true
+  | Some f ->
+    (match Netsim.Faults.rpc_decision f ~service:name with
+     | `Deliver -> true
+     | `Drop ->
+       Netsim.Stats.Counters.incr t.stats "drpc.drops";
+       false)
 
 let register t ?(owner = "infra") ?(dataplane_latency = 5e-6) name handler =
   Hashtbl.replace t.services name
@@ -53,25 +78,61 @@ let invoke_inline t name args =
     t.dp_invocations <- t.dp_invocations + 1;
     svc.handler args
 
+(* Shared async invocation skeleton. Each attempt either delivers (the
+   handler runs once, the callback fires after [latency]) or is lost to
+   an injected fault; a lost attempt is detected after [timeout] and
+   retried after an exponentially growing backoff, up to [max_retries]
+   retries, after which the caller sees [None]. With no fault injector
+   bound, the first attempt always delivers — the happy path is
+   unchanged. *)
+let invoke_async t ~count ~latency ~timeout ~max_retries name svc args ~k =
+  let rec attempt n =
+    count ();
+    if delivered t name then
+      Netsim.Sim.after t.sim latency (fun () -> k (Some (svc.handler args)))
+    else
+      Netsim.Sim.after t.sim timeout (fun () ->
+          if n < max_retries then begin
+            Netsim.Stats.Counters.incr t.stats "drpc.retries";
+            (* bounded exponential backoff: timeout, 2*timeout, ... *)
+            Netsim.Sim.after t.sim
+              (timeout *. (2. ** float_of_int n))
+              (fun () -> attempt (n + 1))
+          end
+          else begin
+            Netsim.Stats.Counters.incr t.stats "drpc.gaveups";
+            k None
+          end)
+  in
+  attempt 0
+
 (** Asynchronous data-plane invocation: the result callback fires after
-    the data-plane latency. *)
-let invoke_dataplane t name args ~k =
+    the data-plane latency ([None] after the retry budget is spent on a
+    faulty fabric). [timeout] defaults to 8x the service latency. *)
+let invoke_dataplane t ?timeout ?(max_retries = 3) name args ~k =
   match Hashtbl.find_opt t.services name with
   | None -> k None
   | Some svc ->
-    t.dp_invocations <- t.dp_invocations + 1;
-    Netsim.Sim.after t.sim svc.dataplane_latency (fun () ->
-        k (Some (svc.handler args)))
+    let timeout =
+      match timeout with Some s -> s | None -> 8. *. svc.dataplane_latency
+    in
+    invoke_async t
+      ~count:(fun () -> t.dp_invocations <- t.dp_invocations + 1)
+      ~latency:svc.dataplane_latency ~timeout ~max_retries name svc args ~k
 
 (** The same operation via the controller: one control-plane RTT per
-    invocation (the baseline for the E11 experiment). *)
-let invoke_controlplane t name args ~k =
+    invocation (the baseline for the E11 experiment). [timeout]
+    defaults to 2x the control-plane RTT. *)
+let invoke_controlplane t ?timeout ?(max_retries = 3) name args ~k =
   match Hashtbl.find_opt t.services name with
   | None -> k None
   | Some svc ->
-    t.cp_invocations <- t.cp_invocations + 1;
-    Netsim.Sim.after t.sim t.controlplane_rtt (fun () ->
-        k (Some (svc.handler args)))
+    let timeout =
+      match timeout with Some s -> s | None -> 2. *. t.controlplane_rtt
+    in
+    invoke_async t
+      ~count:(fun () -> t.cp_invocations <- t.cp_invocations + 1)
+      ~latency:t.controlplane_rtt ~timeout ~max_retries name svc args ~k
 
 (** Bind this registry as the dRPC backend of a device's interpreter
     environment, so [Call] statements in installed programs reach it. *)

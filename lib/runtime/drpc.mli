@@ -5,11 +5,24 @@
     invoke without a controller round trip; discovery runs through an
     in-network registry. Latency model: a dRPC rides the data plane
     (microseconds); the control-plane alternative costs a controller
-    RTT (milliseconds). *)
+    RTT (milliseconds).
+
+    Fault tolerance: a bound [Netsim.Faults] injector may drop
+    invocations; the async entry points carry a per-call timeout plus
+    bounded exponential-backoff retries, and report [None] once the
+    budget is exhausted. *)
 
 type t
 
 val create : ?controlplane_rtt:float -> Netsim.Sim.t -> t
+
+(** Bind (or clear) a fault injector; its [Drpc_window] plan entries
+    then apply to every invocation through this registry. *)
+val set_faults : t -> Netsim.Faults.t option -> unit
+
+(** Retry machinery counters: "drpc.drops" (injected losses),
+    "drpc.retries", "drpc.gaveups". *)
+val stats : t -> Netsim.Stats.Counters.t
 
 val register :
   t -> ?owner:string -> ?dataplane_latency:float -> string ->
@@ -25,14 +38,19 @@ val discover : t -> string -> string list
 val invoke_inline : t -> string -> int64 list -> int64
 
 (** Asynchronous data-plane invocation; [k] fires after the service's
-    data-plane latency ([None] for unknown services). *)
+    data-plane latency ([None] for unknown services, or after the retry
+    budget is spent on a faulty fabric). Lost attempts are detected
+    after [timeout] (default 8x the service latency) and retried with
+    exponential backoff up to [max_retries] (default 3). *)
 val invoke_dataplane :
-  t -> string -> int64 list -> k:(int64 option -> unit) -> unit
+  t -> ?timeout:float -> ?max_retries:int -> string -> int64 list ->
+  k:(int64 option -> unit) -> unit
 
 (** The same operation via the controller: one control-plane RTT per
-    invocation (the E11 baseline). *)
+    invocation (the E11 baseline). [timeout] defaults to 2x the RTT. *)
 val invoke_controlplane :
-  t -> string -> int64 list -> k:(int64 option -> unit) -> unit
+  t -> ?timeout:float -> ?max_retries:int -> string -> int64 list ->
+  k:(int64 option -> unit) -> unit
 
 (** Bind this registry as the dRPC backend of a device's interpreter
     environment. *)

@@ -16,7 +16,19 @@
     The caller provides [apply], which performs the actual device
     mutations (e.g. running the incremental compiler). Mutations happen
     under freeze, so traffic observes old-program semantics until the
-    modelled completion time. *)
+    modelled completion time.
+
+    Failure handling (Hitless): the op batch is acknowledged
+    per device at the end of the window — a device that crashed
+    mid-batch restarts on its old program (Targets.Device rolls the
+    in-flight mutations back at restart), the surviving devices are
+    rolled back too, and the whole plan is re-driven after a bounded
+    exponential backoff. When the retry budget runs out the plan aborts
+    atomically: every touched device ends on its old program. Either
+    way each device runs old-XOR-new, never a mix. [apply] is re-run on
+    retries, so it must be idempotent over already-converged devices
+    (element installs are: re-installing an installed element is
+    rejected and ignored). *)
 
 type mode = Hitless | Drain
 
@@ -25,6 +37,8 @@ type outcome = {
   finished_at : float;
   mode : mode;
   per_device_done : (string * float) list;
+  attempts : int; (* 1 on a fault-free run *)
+  rolled_back : bool; (* true: plan aborted, all devices on old program *)
 }
 
 let wired_for wireds dev_id =
@@ -48,45 +62,101 @@ let per_device_times plan wireds =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
 
 (** Execute [plan] starting now. [apply] performs the compiler-side
-    mutations immediately (under freeze); visibility and loss follow the
-    mode's timing model. [on_done] fires when every device finished. *)
-let execute ?(on_done = fun (_ : outcome) -> ()) ~sim ~mode ~wireds ~plan apply
-    =
+    mutations immediately (under freeze); visibility and loss follow
+    the mode's timing model. [on_done] fires when every device finished
+    (or the plan aborted). Hitless runs survive mid-batch device
+    crashes: the plan is re-driven up to [max_retries] times with
+    exponential backoff starting at [retry_backoff] seconds, then
+    aborted with every touched device rolled back to its old program.
+    [stats] (if given) counts "reconfig.retries" and
+    "reconfig.gaveups". *)
+let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
+    ?(retry_backoff = 0.05) ?stats ~sim ~mode ~wireds ~plan apply =
+  let count name =
+    match stats with
+    | Some c -> Netsim.Stats.Counters.incr c name
+    | None -> ()
+  in
   let start = Netsim.Sim.now sim in
   let times = per_device_times plan wireds in
+  let touched () =
+    List.filter_map (fun (d, _) -> wired_for wireds d) times
+  in
   match mode with
   | Hitless ->
-    (* freeze → mutate → thaw per device at its completion time *)
-    List.iter
-      (fun (d, _) ->
-        match wired_for wireds d with
-        | Some w -> Targets.Device.freeze w.Wiring.device
-        | None -> ())
-      times;
-    apply ();
-    (* Stage the new program's compiled fast path inside the window:
-       traffic still runs the frozen old program, and the thaw flips to
-       an already-compiled replacement atomically. *)
-    List.iter
-      (fun (d, _) ->
-        match wired_for wireds d with
-        | Some w -> Targets.Device.precompile w.Wiring.device
-        | None -> ())
-      times;
-    let finish =
-      List.fold_left (fun acc (_, t) -> Float.max acc t) 0. times
-    in
-    List.iter
-      (fun (d, t) ->
-        Netsim.Sim.after sim t (fun () ->
-            match wired_for wireds d with
-            | Some w -> Targets.Device.thaw w.Wiring.device
-            | None -> ()))
-      times;
-    Netsim.Sim.after sim finish (fun () ->
+    (* Per attempt: freeze (checkpoint) → mutate → stage fast paths →
+       acknowledge at the end of the window. Commit (thaw) only if every
+       touched device survived the window; otherwise roll the survivors
+       back (crashed devices roll back at restart) and re-drive. *)
+    let rec attempt k =
+      let ws = touched () in
+      if not (List.for_all (fun w -> Targets.Device.powered_on w.Wiring.device) ws)
+      then retry_or_abort k (* a device is still down: back off, retry *)
+      else begin
+        let attempt_start = Netsim.Sim.now sim in
+        let marks =
+          List.map (fun w -> (w, Targets.Device.crashes w.Wiring.device)) ws
+        in
+        List.iter (fun w -> Targets.Device.freeze w.Wiring.device) ws;
+        apply ();
+        (* Stage the new program's compiled fast path inside the window:
+           traffic still runs the frozen old program, and the thaw flips
+           to an already-compiled replacement atomically. *)
+        List.iter
+          (fun w ->
+            if Targets.Device.powered_on w.Wiring.device then
+              Targets.Device.precompile w.Wiring.device)
+          ws;
+        let finish =
+          List.fold_left (fun acc (_, t) -> Float.max acc t) 0. times
+        in
+        Netsim.Sim.after sim finish (fun () ->
+            let acked (w, crashes0) =
+              Targets.Device.powered_on w.Wiring.device
+              && Targets.Device.crashes w.Wiring.device = crashes0
+            in
+            if List.for_all acked marks then begin
+              List.iter (fun w -> Targets.Device.thaw w.Wiring.device) ws;
+              on_done
+                { started_at = start; finished_at = Netsim.Sim.now sim; mode;
+                  per_device_done =
+                    List.map (fun (d, t) -> (d, attempt_start +. t)) times;
+                  attempts = k + 1; rolled_back = false }
+            end
+            else begin
+              (* un-acked batch: survivors roll back now, crashed
+                 devices roll back on restart *)
+              List.iter
+                (fun w ->
+                  if Targets.Device.powered_on w.Wiring.device then
+                    Targets.Device.rollback w.Wiring.device)
+                ws;
+              retry_or_abort k
+            end)
+      end
+    and retry_or_abort k =
+      if k < max_retries then begin
+        count "reconfig.retries";
+        Netsim.Sim.after sim
+          (retry_backoff *. (2. ** float_of_int k))
+          (fun () -> attempt (k + 1))
+      end
+      else begin
+        count "reconfig.gaveups";
+        (* abort atomically: any device still holding an open window
+           (e.g. frozen but never crashed) reverts to its old program *)
+        List.iter
+          (fun w ->
+            if Targets.Device.is_frozen w.Wiring.device
+               && Targets.Device.powered_on w.Wiring.device
+            then Targets.Device.rollback w.Wiring.device)
+          (touched ());
         on_done
-          { started_at = start; finished_at = start +. finish; mode;
-            per_device_done = List.map (fun (d, t) -> (d, start +. t)) times })
+          { started_at = start; finished_at = Netsim.Sim.now sim; mode;
+            per_device_done = []; attempts = k + 1; rolled_back = true }
+      end
+    in
+    attempt 0
   | Drain ->
     (* take each touched device offline for drain + full reflash *)
     let downtimes =
@@ -119,7 +189,8 @@ let execute ?(on_done = fun (_ : outcome) -> ()) ~sim ~mode ~wireds ~plan apply
         on_done
           { started_at = start; finished_at = start +. finish; mode;
             per_device_done =
-              List.map (fun (d, t) -> (d, start +. t)) downtimes })
+              List.map (fun (d, t) -> (d, start +. t)) downtimes;
+            attempts = 1; rolled_back = false })
 
 (** Modelled completion latency of a plan in hitless mode (no sim). *)
 let hitless_latency ~devices plan =

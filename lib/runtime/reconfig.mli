@@ -11,7 +11,13 @@
     The caller provides [apply], which performs the actual device
     mutations (e.g. running the incremental compiler); mutations happen
     under freeze, so traffic observes old-program semantics until the
-    modelled completion time. *)
+    modelled completion time.
+
+    Failure handling (Hitless): the op batch is acknowledged per device
+    at the end of the window. A device that crashed mid-batch restarts
+    on its old program; survivors roll back and the plan is re-driven
+    with exponential backoff, or aborted atomically once the retry
+    budget is spent — each device always runs old-XOR-new. *)
 
 type mode = Hitless | Drain
 
@@ -20,6 +26,8 @@ type outcome = {
   finished_at : float;
   mode : mode;
   per_device_done : (string * float) list;
+  attempts : int; (* 1 on a fault-free run *)
+  rolled_back : bool; (* true: plan aborted, all devices on old program *)
 }
 
 (** Serial op time per device id in the plan. *)
@@ -27,9 +35,15 @@ val per_device_times :
   Compiler.Plan.t -> Wiring.wired list -> (string * float) list
 
 (** Execute [plan] starting now; [on_done] fires when every device has
-    finished. *)
+    finished (or the plan aborted). Hitless runs survive mid-batch
+    crashes: up to [max_retries] re-drives (default 2) with exponential
+    backoff from [retry_backoff] seconds (default 0.05), then an atomic
+    abort. [apply] is re-run on retries and must be idempotent over
+    already-converged devices. [stats] counts "reconfig.retries" /
+    "reconfig.gaveups". *)
 val execute :
-  ?on_done:(outcome -> unit) -> sim:Netsim.Sim.t -> mode:mode ->
+  ?on_done:(outcome -> unit) -> ?max_retries:int -> ?retry_backoff:float ->
+  ?stats:Netsim.Stats.Counters.t -> sim:Netsim.Sim.t -> mode:mode ->
   wireds:Wiring.wired list -> plan:Compiler.Plan.t -> (unit -> unit) -> unit
 
 (** Modelled completion latency of a plan in hitless mode. *)

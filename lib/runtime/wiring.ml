@@ -65,3 +65,17 @@ let set_online w online = w.online <- online
 let drain_drops w = w.reconfig_drops
 
 let punted w = List.rev w.punted
+
+(** Register this wired device with a fault injector: a planned crash
+    powers the device off (mid-update state rolls back at restart, see
+    [Targets.Device.restart]) and takes the node offline so traffic
+    drops for the downtime; the restart brings both back. *)
+let bind_faults faults w =
+  Netsim.Faults.register_device faults
+    (Targets.Device.id w.device)
+    ~crash:(fun () ->
+      Targets.Device.crash w.device;
+      w.online <- false)
+    ~restart:(fun () ->
+      Targets.Device.restart w.device;
+      w.online <- true)

@@ -29,3 +29,8 @@ val drain_drops : wired -> int
 
 (** Punted digests in arrival order. *)
 val punted : wired -> (string * Netsim.Packet.t) list
+
+(** Register this wired device with a fault injector: planned crashes
+    power the device off and take the node offline for the downtime;
+    restarts bring both back (rolling back any mid-update state). *)
+val bind_faults : Netsim.Faults.t -> wired -> unit

@@ -65,6 +65,30 @@ type t = {
      during the window are deferred so the old program stays runnable. *)
   mutable frozen : (Ast.program * int) option; (* program, version *)
   mutable deferred : (unit -> unit) list;
+  (* Crash consistency: [freeze] snapshots the structural state so a
+     mid-update crash (or an explicit abort) can roll the device back
+     to its old program — old-XOR-new even under failure. *)
+  mutable checkpoint : checkpoint option;
+  mutable crashes : int; (* total crash events, for health checks *)
+}
+
+(** Structural state captured at [freeze]. Map {e contents} are not
+    snapshotted: traffic keeps mutating state under the old program
+    during the window, and rollback must not clobber those updates —
+    only maps and tables {e added} by the aborted update are removed. *)
+and checkpoint = {
+  ck_elements : installed list; (* records copied: slots may move *)
+  ck_headers : Ast.header_decl list;
+  ck_parser : Ast.parser_rule list;
+  ck_map_decls : Ast.map_decl list;
+  ck_stage_used : Resource.t array;
+  ck_pool_used : Resource.t;
+  ck_tiles_used : (Arch.tile_kind * int) list;
+  ck_pem_used : int;
+  ck_map_refs : (string * int) list;
+  ck_env_maps : string list; (* env map names present at freeze *)
+  ck_env_tables : string list; (* registered table names at freeze *)
+  ck_version : int;
 }
 
 (** The compiler's state-encoding selection (§3.1): each architecture
@@ -98,7 +122,9 @@ let create ?(id = "dev") (profile : Arch.profile) =
     processed = 0;
     version = 0;
     frozen = None;
-    deferred = [] }
+    deferred = [];
+    checkpoint = None;
+    crashes = 0 }
 
 let id t = t.dev_id
 let kind t = t.profile.kind
@@ -495,13 +521,32 @@ let remove_parser_rule t name =
 
 (* -- Execution -------------------------------------------------------- *)
 
+let hashtbl_keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+
 (** Begin a reconfiguration window: traffic keeps seeing the current
     program — through its already-staged fast path — until [thaw].
-    Idempotent. *)
+    Also snapshots the structural state so a mid-update crash or abort
+    can [rollback]. Idempotent. *)
 let freeze t =
   if t.frozen = None then begin
     t.compiled_frozen <- Some (compiled_program t);
-    t.frozen <- Some (program t, t.version)
+    t.frozen <- Some (program t, t.version);
+    t.checkpoint <-
+      Some
+        { ck_elements = List.map (fun i -> { i with slot = i.slot }) t.elements;
+          ck_headers = t.headers;
+          ck_parser = t.parser;
+          ck_map_decls = t.map_decls;
+          ck_stage_used = Array.copy t.stage_used;
+          ck_pool_used = t.pool_used;
+          ck_tiles_used =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tiles_used [];
+          ck_pem_used = t.pem_used;
+          ck_map_refs =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.map_refs [];
+          ck_env_maps = hashtbl_keys t.env.Interp.maps;
+          ck_env_tables = hashtbl_keys t.env.Interp.tables;
+          ck_version = t.version }
   end
 
 (** End the reconfiguration window: the new program becomes visible
@@ -514,11 +559,76 @@ let thaw t =
   | Some _ ->
     t.frozen <- None;
     t.compiled_frozen <- None;
+    t.checkpoint <- None;
     List.iter (fun f -> f ()) (List.rev t.deferred);
     t.deferred <- [];
     precompile t
 
 let is_frozen t = t.frozen <> None
+
+(** Abort the open reconfiguration window: restore the structural state
+    captured at [freeze], discard the in-flight mutations and their
+    deferred cleanups, and resume on the old program. Maps and tables
+    added by the aborted update are dropped; pre-existing map contents
+    (still being mutated by traffic under the old program) are kept.
+    No-op when not frozen. *)
+let rollback t =
+  match t.frozen, t.checkpoint with
+  | Some (old_prog, _), Some ck ->
+    t.elements <- ck.ck_elements;
+    t.headers <- ck.ck_headers;
+    t.parser <- ck.ck_parser;
+    t.map_decls <- ck.ck_map_decls;
+    Array.blit ck.ck_stage_used 0 t.stage_used 0 (Array.length t.stage_used);
+    t.pool_used <- ck.ck_pool_used;
+    Hashtbl.reset t.tiles_used;
+    List.iter (fun (k, v) -> Hashtbl.replace t.tiles_used k v) ck.ck_tiles_used;
+    t.pem_used <- ck.ck_pem_used;
+    Hashtbl.reset t.map_refs;
+    List.iter (fun (k, v) -> Hashtbl.replace t.map_refs k v) ck.ck_map_refs;
+    List.iter
+      (fun name ->
+        if not (List.mem name ck.ck_env_maps) then
+          Interp.remove_env_map t.env name)
+      (hashtbl_keys t.env.Interp.maps);
+    List.iter
+      (fun name ->
+        if not (List.mem name ck.ck_env_tables) then
+          Interp.unregister_table t.env name)
+      (hashtbl_keys t.env.Interp.tables);
+    (* deferred cleanups belong to the aborted new version: the old
+       program's maps/tables were never actually removed, so dropping
+       the cleanups restores them fully *)
+    t.deferred <- [];
+    t.frozen <- None;
+    t.compiled_frozen <- None;
+    t.checkpoint <- None;
+    t.cached_program <- Some old_prog;
+    t.compiled <- None;
+    t.version <- ck.ck_version;
+    precompile t
+  | _ -> ()
+
+(* -- Crash / restart --------------------------------------------------- *)
+
+(** Fail-stop crash: the device stops serving (callers gate on
+    [powered_on]); any open reconfiguration window is resolved at
+    [restart]. *)
+let crash t =
+  t.powered_on <- false;
+  t.crashes <- t.crashes + 1
+
+(** Restart after a crash. A device that died mid-update comes back on
+    its {e old} program — the in-flight mutations are rolled back, so
+    the old-XOR-new guarantee holds across the failure; the runtime
+    re-drives or aborts the plan. *)
+let restart t =
+  if not t.powered_on then begin
+    t.powered_on <- true;
+    if t.frozen <> None then rollback t
+  end
+
+let crashes t = t.crashes
 
 (** The program traffic currently observes: the frozen old program
     during a reconfiguration window, the live one otherwise. *)

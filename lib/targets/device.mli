@@ -96,6 +96,28 @@ val thaw : t -> unit
 
 val is_frozen : t -> bool
 
+(** Abort the open window: restore the structural state captured at
+    [freeze] and resume on the old program. Maps/tables added by the
+    aborted update are dropped; pre-existing map contents (still being
+    mutated by traffic under the old program) are kept. No-op when not
+    frozen. *)
+val rollback : t -> unit
+
+(** {2 Crash / restart} *)
+
+(** Fail-stop crash: powers the device off and bumps [crashes]. *)
+val crash : t -> unit
+
+(** Restart after a crash. A device that died mid-update comes back on
+    its old program (the in-flight mutations roll back), preserving
+    old-XOR-new under failure. *)
+val restart : t -> unit
+
+(** Total crash events — the runtime compares this across a
+    reconfiguration window to detect a crash that was repaired (crash +
+    restart) entirely within the window. *)
+val crashes : t -> int
+
 (** The program traffic currently observes (frozen old program during a
     window, the live one otherwise). *)
 val active_program : t -> Flexbpf.Ast.program

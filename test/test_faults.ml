@@ -1,0 +1,416 @@
+(* Fault-injection tests: the seeded injector itself (links, dRPC,
+   device crashes), the retry machinery it exercises (dRPC backoff,
+   reconfiguration re-drive/rollback), and the control-plane reactions
+   (replication rejoin, controller re-resolution). The headline qcheck
+   property is the paper's old-XOR-new guarantee under arbitrary seeded
+   fault plans: a reconfiguration either completes or rolls every
+   touched device back — no device is ever left mid-update. *)
+
+open Flexbpf.Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* -- The injector is deterministic and glob matching behaves ------------- *)
+
+let test_glob () =
+  check "exact" true (Netsim.Faults.glob_matches "heartbeat" "heartbeat");
+  check "star" true (Netsim.Faults.glob_matches "*" "anything");
+  check "prefix" true (Netsim.Faults.glob_matches "s1->*" "s1->s2");
+  check "no match" false (Netsim.Faults.glob_matches "s1->*" "s2->s1");
+  check "infix" true (Netsim.Faults.glob_matches "*->s1" "s0->s1")
+
+let drop_counts ~seed =
+  let sim = Netsim.Sim.create () in
+  let faults =
+    Netsim.Faults.create ~sim ~seed
+      [ Netsim.Faults.Drpc_window
+          { service = "*"; start = 0.; stop = 10.; drop_prob = 0.5 } ]
+  in
+  List.init 64 (fun _ ->
+      match Netsim.Faults.rpc_decision faults ~service:"svc" with
+      | `Drop -> 1
+      | `Deliver -> 0)
+
+let test_deterministic_decisions () =
+  Alcotest.(check (list int))
+    "same seed, same drop sequence" (drop_counts ~seed:42) (drop_counts ~seed:42);
+  check "different seeds diverge" true
+    (drop_counts ~seed:42 <> drop_counts ~seed:43)
+
+(* -- Link faults: loss, extra delay -------------------------------------- *)
+
+let linear_hosts () =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches:1 () in
+  let topo = built.Netsim.Topology.topo in
+  List.iter
+    (fun sw ->
+      Netsim.Node.set_handler sw (Netsim.Topology.forwarding_handler topo))
+    built.Netsim.Topology.switch_list;
+  let h0 = List.nth built.Netsim.Topology.host_list 0 in
+  let h1 = List.nth built.Netsim.Topology.host_list 1 in
+  (sim, built, h0, h1)
+
+let test_link_loss_window () =
+  let sim, built, h0, h1 = linear_hosts () in
+  let received = ref 0 in
+  Netsim.Node.set_handler h1 (fun _ ~in_port:_ _ -> incr received);
+  let faults =
+    Netsim.Faults.create ~sim ~seed:5
+      [ Netsim.Faults.Link_window
+          { link = "*"; start = 0.1; stop = 0.2;
+            what = Netsim.Faults.Loss 1.0 } ]
+  in
+  List.iter
+    (Netsim.Faults.bind_node_links faults)
+    (built.Netsim.Topology.host_list @ built.Netsim.Topology.switch_list);
+  let sent = ref 0 in
+  let gen = Netsim.Traffic.create sim in
+  Netsim.Traffic.cbr gen ~rate_pps:1000. ~start:0. ~stop:0.3 ~send:(fun () ->
+      incr sent;
+      Netsim.Node.send h0 ~port:0
+        (Netsim.Traffic.tcp_packet ~src:h0.Netsim.Node.id
+           ~dst:h1.Netsim.Node.id ~sport:1 ~dport:2
+           ~born:(Netsim.Sim.now sim) ()));
+  ignore (Netsim.Sim.run sim);
+  let lost = !sent - !received in
+  (* p=1.0 over a 100ms window at 1kpps: the window's packets die *)
+  check "loss confined to the window" true (lost >= 90 && lost <= 110);
+  check "loss counted as injected" true
+    (Netsim.Stats.Counters.get
+       (Netsim.Faults.counters faults)
+       "faults.link.loss_windows"
+     > 0)
+
+let test_link_extra_delay () =
+  let sim, built, h0, h1 = linear_hosts () in
+  let arrivals = ref [] in
+  Netsim.Node.set_handler h1 (fun _ ~in_port:_ _ ->
+      arrivals := Netsim.Sim.now sim :: !arrivals);
+  let faults =
+    Netsim.Faults.create ~sim ~seed:5
+      [ Netsim.Faults.Link_window
+          { link = "*"; start = 0.1; stop = 0.2;
+            what = Netsim.Faults.Extra_delay 0.01 } ]
+  in
+  List.iter
+    (Netsim.Faults.bind_node_links faults)
+    (built.Netsim.Topology.host_list @ built.Netsim.Topology.switch_list);
+  let send at =
+    Netsim.Sim.at sim at (fun () ->
+        Netsim.Node.send h0 ~port:0
+          (Netsim.Traffic.tcp_packet ~src:h0.Netsim.Node.id
+             ~dst:h1.Netsim.Node.id ~sport:1 ~dport:2 ~born:at ()))
+  in
+  send 0.05 (* before the window *);
+  send 0.15 (* inside: both hops add 10ms *);
+  ignore (Netsim.Sim.run sim);
+  match List.rev !arrivals with
+  | [ a1; a2 ] ->
+    let base = a1 -. 0.05 and slow = a2 -. 0.15 in
+    check "delay window adds latency" true (slow > base +. 0.015)
+  | l -> Alcotest.failf "expected 2 arrivals, got %d" (List.length l)
+
+(* -- dRPC: timeout, bounded backoff retries, give-up --------------------- *)
+
+let drpc_fixture plan =
+  let sim = Netsim.Sim.create () in
+  let faults = Netsim.Faults.create ~sim ~seed:9 plan in
+  let reg = Runtime.Drpc.create sim in
+  Runtime.Drpc.set_faults reg (Some faults);
+  Runtime.Drpc.register reg "echo" (fun _ -> 7L);
+  (sim, reg)
+
+let test_drpc_gives_up_after_retries () =
+  let sim, reg =
+    drpc_fixture
+      [ Netsim.Faults.Drpc_window
+          { service = "echo"; start = 0.; stop = 1e9; drop_prob = 1.0 } ]
+  in
+  let result = ref (Some 0L) in
+  Runtime.Drpc.invoke_dataplane reg ~max_retries:3 "echo" [] ~k:(fun r ->
+      result := r);
+  ignore (Netsim.Sim.run sim);
+  check "k sees None once the budget is spent" true (!result = None);
+  let stats = Runtime.Drpc.stats reg in
+  check_int "every retry was taken" 3
+    (Netsim.Stats.Counters.get stats "drpc.retries");
+  check_int "one give-up" 1 (Netsim.Stats.Counters.get stats "drpc.gaveups");
+  check_int "all four attempts dropped" 4
+    (Netsim.Stats.Counters.get stats "drpc.drops")
+
+let test_drpc_retry_succeeds_after_window () =
+  (* the drop window closes before the retry budget runs out, so the
+     invocation eventually lands: with 5us service latency the attempts
+     fire at 0, 40us, 120us, 280us — a 100us window eats the first two *)
+  let sim, reg =
+    drpc_fixture
+      [ Netsim.Faults.Drpc_window
+          { service = "echo"; start = 0.; stop = 1e-4; drop_prob = 1.0 } ]
+  in
+  let result = ref None in
+  Runtime.Drpc.invoke_dataplane reg ~max_retries:3 "echo" [] ~k:(fun r ->
+      result := r);
+  ignore (Netsim.Sim.run sim);
+  check "retry after the window succeeds" true (!result = Some 7L);
+  let stats = Runtime.Drpc.stats reg in
+  check "at least one retry happened" true
+    (Netsim.Stats.Counters.get stats "drpc.retries" > 0);
+  check_int "no give-up" 0 (Netsim.Stats.Counters.get stats "drpc.gaveups")
+
+let test_drpc_clean_fabric_no_retries () =
+  let sim, reg = drpc_fixture [] in
+  let result = ref None in
+  Runtime.Drpc.invoke_dataplane reg "echo" [ 1L ] ~k:(fun r -> result := r);
+  ignore (Netsim.Sim.run sim);
+  check "delivered first try" true (!result = Some 7L);
+  check_int "no retries on a clean fabric" 0
+    (Netsim.Stats.Counters.get (Runtime.Drpc.stats reg) "drpc.retries")
+
+(* -- Reconfiguration: crash mid-batch, re-drive or atomic abort ---------- *)
+
+let counter_block () = block "cnt" [ map_incr "hits" [ const 0 ] ]
+
+let reconfig_under_crash ~restart_after ~max_retries =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches:1 () in
+  let topo = built.Netsim.Topology.topo in
+  let dev = Targets.Device.create ~id:"s0" Targets.Arch.drmt in
+  let wireds =
+    [ Runtime.Wiring.attach topo (List.hd built.Netsim.Topology.switch_list) dev ]
+  in
+  let faults =
+    Netsim.Faults.create ~sim ~seed:3
+      [ Netsim.Faults.Device_crash { device = "s0"; at = 1.02; restart_after } ]
+  in
+  List.iter (Runtime.Wiring.bind_faults faults) wireds;
+  let counter = counter_block () in
+  let prog =
+    program "p" ~maps:[ map_decl ~key_arity:1 ~size:4 "hits" ] [ counter ]
+  in
+  let plan =
+    Compiler.Plan.v "add"
+      [ Compiler.Plan.Install
+          { device = "s0"; element = counter; ctx = prog; order = 0 } ]
+  in
+  let outcome = ref None in
+  Netsim.Sim.at sim 1.0 (fun () ->
+      Runtime.Reconfig.execute ~sim ~mode:Runtime.Reconfig.Hitless ~wireds
+        ~plan ~max_retries ~retry_backoff:0.02
+        ~on_done:(fun o -> outcome := Some o)
+        (fun () -> ignore (Targets.Device.install dev ~ctx:prog ~order:0 counter)));
+  ignore (Netsim.Sim.run sim);
+  (dev, Option.get !outcome)
+
+let test_reconfig_redrive_after_crash () =
+  (* the device restarts quickly; the second attempt lands the batch *)
+  let dev, o = reconfig_under_crash ~restart_after:0.01 ~max_retries:3 in
+  check "plan completed" false o.Runtime.Reconfig.rolled_back;
+  check "took a re-drive" true (o.Runtime.Reconfig.attempts > 1);
+  check "element installed" true
+    (List.mem "cnt" (Targets.Device.installed_names dev));
+  check "device not left frozen" false (Targets.Device.is_frozen dev);
+  check_int "one crash injected" 1 (Targets.Device.crashes dev)
+
+let test_reconfig_atomic_abort () =
+  (* downtime outlasts every retry: the plan must abort atomically,
+     leaving the device on its old program *)
+  let dev, o = reconfig_under_crash ~restart_after:30.0 ~max_retries:2 in
+  check "plan rolled back" true o.Runtime.Reconfig.rolled_back;
+  check "element absent after abort" false
+    (List.mem "cnt" (Targets.Device.installed_names dev));
+  check "device not left frozen" false (Targets.Device.is_frozen dev)
+
+(* -- qcheck: old-XOR-new under arbitrary seeded fault plans -------------- *)
+
+(* A random plan mixes dRPC windows, link-delay windows, and at most one
+   crash of the touched device with random timing. Whatever the plan, a
+   hitless reconfiguration must end with the device unfrozen and either
+   fully updated (element installed, not rolled back) or fully rolled
+   back (element absent) — never mid-update. Crash-free plans must
+   complete on the first attempt. *)
+
+let plan_gen =
+  QCheck.Gen.(
+    let* seed = int_bound 10_000 in
+    let* with_crash = bool in
+    let* crash_at = float_bound_inclusive 0.08 in
+    let* restart_after = float_bound_inclusive 0.2 in
+    let* drpc_p = float_bound_inclusive 1.0 in
+    let* delay = float_bound_inclusive 0.005 in
+    return (seed, with_crash, 1.0 +. crash_at, restart_after, drpc_p, delay))
+
+let plan_arb =
+  QCheck.make
+    ~print:(fun (s, c, at, ra, p, d) ->
+      Printf.sprintf "seed=%d crash=%b at=%.3f restart=%.3f drpc_p=%.2f delay=%.4f"
+        s c at ra p d)
+    plan_gen
+
+let prop_old_xor_new (seed, with_crash, crash_at, restart_after, drpc_p, delay) =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches:1 () in
+  let topo = built.Netsim.Topology.topo in
+  let dev = Targets.Device.create ~id:"s0" Targets.Arch.drmt in
+  let wireds =
+    [ Runtime.Wiring.attach topo (List.hd built.Netsim.Topology.switch_list) dev ]
+  in
+  let plan_faults =
+    [ Netsim.Faults.Drpc_window
+        { service = "*"; start = 0.; stop = 2.; drop_prob = drpc_p };
+      Netsim.Faults.Link_window
+        { link = "*"; start = 0.9; stop = 1.4;
+          what = Netsim.Faults.Extra_delay delay } ]
+    @
+    if with_crash then
+      [ Netsim.Faults.Device_crash { device = "s0"; at = crash_at; restart_after } ]
+    else []
+  in
+  let faults = Netsim.Faults.create ~sim ~seed plan_faults in
+  List.iter (Runtime.Wiring.bind_faults faults) wireds;
+  List.iter
+    (fun w -> Netsim.Faults.bind_node_links faults w.Runtime.Wiring.node)
+    wireds;
+  let counter = counter_block () in
+  let prog =
+    program "p" ~maps:[ map_decl ~key_arity:1 ~size:4 "hits" ] [ counter ]
+  in
+  let plan =
+    Compiler.Plan.v "add"
+      [ Compiler.Plan.Install
+          { device = "s0"; element = counter; ctx = prog; order = 0 } ]
+  in
+  let outcome = ref None in
+  Netsim.Sim.at sim 1.0 (fun () ->
+      Runtime.Reconfig.execute ~sim ~mode:Runtime.Reconfig.Hitless ~wireds
+        ~plan ~max_retries:2 ~retry_backoff:0.02
+        ~on_done:(fun o -> outcome := Some o)
+        (fun () -> ignore (Targets.Device.install dev ~ctx:prog ~order:0 counter)));
+  ignore (Netsim.Sim.run sim);
+  match !outcome with
+  | None -> false (* the protocol must always report an outcome *)
+  | Some o ->
+    let installed = List.mem "cnt" (Targets.Device.installed_names dev) in
+    (not (Targets.Device.is_frozen dev))
+    && installed = not o.Runtime.Reconfig.rolled_back
+    && (with_crash
+        || (o.Runtime.Reconfig.attempts = 1
+            && not o.Runtime.Reconfig.rolled_back))
+
+let prop_fault_plan_old_xor_new =
+  QCheck.Test.make ~name:"reconfig under faults: old-XOR-new, never mid-update"
+    ~count:150 plan_arb prop_old_xor_new
+
+(* -- Replication: failover on crash, rejoin + resync on restart ---------- *)
+
+let counting_device id =
+  let dev = Targets.Device.create ~id Targets.Arch.drmt in
+  let b = block "cnt" [ map_incr "state" [ field "ipv4" "src" ] ] in
+  let prog =
+    program "p" ~maps:[ map_decl ~key_arity:1 ~size:256 "state" ] [ b ]
+  in
+  ignore (Targets.Device.install dev ~ctx:prog ~order:0 b);
+  dev
+
+let test_replication_failover_and_rejoin () =
+  let sim = Netsim.Sim.create () in
+  let primary = counting_device "primary" in
+  let backup = counting_device "backup" in
+  let group =
+    Control.Replication.create ~sim ~map_name:"state" ~primary
+      ~backups:[ backup ] (Control.Replication.Periodic_sync 0.05)
+  in
+  let faults =
+    Netsim.Faults.create ~sim ~seed:4
+      [ Netsim.Faults.Device_crash
+          { device = "primary"; at = 0.2; restart_after = 0.3 } ]
+  in
+  Netsim.Faults.register_device faults "primary"
+    ~crash:(fun () -> Targets.Device.crash primary)
+    ~restart:(fun () -> Targets.Device.restart primary);
+  let members = [ primary; backup ] in
+  Control.Replication.watch_faults group faults
+    ~resolve:(fun id ->
+      List.find_opt (fun d -> Targets.Device.id d = id) members);
+  Netsim.Sim.at sim 0.8 (fun () -> Control.Replication.stop group);
+  ignore (Netsim.Sim.run ~until:1.0 sim);
+  Alcotest.(check string)
+    "backup promoted on crash" "backup"
+    (Targets.Device.id (Control.Replication.primary group));
+  check_int "old primary rejoined as backup" 1
+    (Control.Replication.rejoins group);
+  check "rejoined device is in the sync set" true
+    (List.exists
+       (fun d -> Targets.Device.id d = "primary")
+       (Control.Replication.backups group));
+  check "a non-member restart is ignored" true
+    (Control.Replication.rejoin group (counting_device "stranger");
+     Control.Replication.rejoins group = 1)
+
+(* -- Controller: re-resolution after a crash rollback --------------------- *)
+
+let test_controller_reresolves_after_restart () =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches:1 () in
+  let topo = built.Netsim.Topology.topo in
+  let dev = Targets.Device.create ~id:"s0" Targets.Arch.drmt in
+  let wireds =
+    [ Runtime.Wiring.attach topo (List.hd built.Netsim.Topology.switch_list) dev ]
+  in
+  let ctl = Control.Controller.create ~sim ~topo ~wireds in
+  let b = block "app" [ map_incr "m" [ const 0 ] ] in
+  let prog = program "p" ~maps:[ map_decl ~key_arity:1 ~size:4 "m" ] [ b ] in
+  let uri = Control.Uri.v ~owner:"tenant" "app" in
+  let app =
+    Control.Controller.register_app ctl ~uri
+      ~kind:Control.Controller.Tenant_extension ~program:prog ~replicas:[]
+  in
+  let faults =
+    Netsim.Faults.create ~sim ~seed:6
+      [ Netsim.Faults.Device_crash
+          { device = "s0"; at = 0.2; restart_after = 0.1 } ]
+  in
+  List.iter (Runtime.Wiring.bind_faults faults) wireds;
+  Control.Controller.watch_faults ctl faults;
+  (* inject the app inside a freeze window: the crash rolls the device
+     back to its pre-app checkpoint, so restart must re-resolve *)
+  Netsim.Sim.at sim 0.1 (fun () ->
+      Targets.Device.freeze dev;
+      (match Control.Controller.inject_on ctl uri ~device:dev with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "inject: %a" Control.Controller.pp_op_error e);
+      app.Control.Controller.replicas <- [ dev ]);
+  ignore (Netsim.Sim.run ~until:1.0 sim);
+  check "crash rollback removed the element, restart reinstalled it" true
+    (List.mem "app" (Targets.Device.installed_names dev));
+  check "re-resolution counted" true (Control.Controller.reresolutions ctl > 0);
+  check "device back up" true (Targets.Device.powered_on dev)
+
+let () =
+  Alcotest.run "faults"
+    [ ( "injector",
+        [ Alcotest.test_case "glob matching" `Quick test_glob;
+          Alcotest.test_case "deterministic decisions" `Quick
+            test_deterministic_decisions ] );
+      ( "links",
+        [ Alcotest.test_case "loss window" `Quick test_link_loss_window;
+          Alcotest.test_case "extra delay window" `Quick test_link_extra_delay ] );
+      ( "drpc",
+        [ Alcotest.test_case "gives up after retries" `Quick
+            test_drpc_gives_up_after_retries;
+          Alcotest.test_case "retry succeeds after window" `Quick
+            test_drpc_retry_succeeds_after_window;
+          Alcotest.test_case "clean fabric, no retries" `Quick
+            test_drpc_clean_fabric_no_retries ] );
+      ( "reconfig",
+        [ Alcotest.test_case "re-drive after crash" `Quick
+            test_reconfig_redrive_after_crash;
+          Alcotest.test_case "atomic abort" `Quick test_reconfig_atomic_abort;
+          to_alcotest prop_fault_plan_old_xor_new ] );
+      ( "control",
+        [ Alcotest.test_case "replication failover+rejoin" `Quick
+            test_replication_failover_and_rejoin;
+          Alcotest.test_case "controller re-resolution" `Quick
+            test_controller_reresolves_after_restart ] ) ]
