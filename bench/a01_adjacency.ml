@@ -27,17 +27,24 @@ let patch_of k =
              block (Printf.sprintf "ins%d" i)
                [ set_meta (Printf.sprintf "m%d" i) (const i) ] )))
 
+(* Both variants run the same candidate-generation path
+   ([Incremental.window_candidates], scored with opposite signs) and
+   [candidates:1] pins the cost search off: the ablation varies exactly
+   one factor — the placement preference — not the search. *)
 let run_variant ~prefer_adjacent k =
   let path = Common.mk_path ~switches:3 () in
   let dep =
-    match Compiler.Incremental.deploy ~path (base_program ()) with
+    match Runtime.Reconfig.deploy ~path (base_program ()) with
     | Ok d -> d
     | Error _ -> failwith "deploy"
   in
   let used_before =
     Compiler.Placement.devices_used dep.Compiler.Incremental.dep_placement
   in
-  match Compiler.Incremental.apply_patch ~prefer_adjacent dep (patch_of k) with
+  match
+    Runtime.Reconfig.apply_patch ~candidates:1 ~prefer_adjacent dep
+      (patch_of k)
+  with
   | Error e -> failwith (Fmt.str "%a" Compiler.Incremental.pp_error e)
   | Ok (report, _) ->
     let sla = Compiler.Sla.estimate dep.Compiler.Incremental.dep_placement in

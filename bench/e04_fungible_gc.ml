@@ -21,7 +21,7 @@ let prefill path n =
     program "idle"
       (List.init n (fun i -> Common.exact_table ~size:70_000 (Printf.sprintf "idle%d" i)))
   in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Ok _ -> ()
   | Error _ -> failwith "prefill failed"
 
@@ -34,22 +34,22 @@ let run_case idle_tables =
   let path = [ Targets.Device.create ~id:"s0" Targets.Arch.rmt ] in
   prefill path idle_tables;
   let util0 = Targets.Device.utilization (List.hd path) in
-  let baseline = Compiler.Fungible.place_once ~path (offer_new_program ()) in
-  let baseline_ok = baseline.Compiler.Fungible.placement <> None in
+  let baseline = Runtime.Reconfig.place_once ~path (offer_new_program ()) in
+  let baseline_ok = baseline.Runtime.Reconfig.placement <> None in
   (* reset: rebuild the same pre-state for the fungible attempt *)
-  (match baseline.Compiler.Fungible.placement with
-   | Some p -> Compiler.Placement.unplace p
+  (match baseline.Runtime.Reconfig.placement with
+   | Some p -> Runtime.Reconfig.unplace p
    | None -> ());
   let outcome =
-    Compiler.Fungible.place_with_gc ~path ~removable (offer_new_program ())
+    Runtime.Reconfig.place_with_gc ~path ~removable (offer_new_program ())
   in
   [ Report.i idle_tables;
     Report.pct util0;
     (if baseline_ok then "yes" else "no");
-    (if outcome.Compiler.Fungible.placement <> None then "yes" else "no");
-    Report.i outcome.Compiler.Fungible.iterations;
-    Report.i (List.length outcome.Compiler.Fungible.gc_removed);
-    Report.i outcome.Compiler.Fungible.defrag_moves ]
+    (if outcome.Runtime.Reconfig.placement <> None then "yes" else "no");
+    Report.i outcome.Runtime.Reconfig.iterations;
+    Report.i (List.length outcome.Runtime.Reconfig.gc_removed);
+    Report.i outcome.Runtime.Reconfig.defrag_moves ]
 
 let run () =
   let rows = List.map run_case [ 4; 8; 10; 12 ] in

@@ -31,24 +31,24 @@ let run_case k =
   (* incremental *)
   let path = Common.mk_path ~switches:3 () in
   let dep =
-    match Compiler.Incremental.deploy ~path (base_program ()) with
+    match Runtime.Reconfig.deploy ~path (base_program ()) with
     | Ok d -> d
     | Error _ -> failwith "deploy failed"
   in
   let inc =
-    match Compiler.Incremental.apply_patch dep (patch_of k) with
+    match Runtime.Reconfig.apply_patch dep (patch_of k) with
     | Ok (r, _) -> r
     | Error e -> failwith (Fmt.str "%a" Compiler.Incremental.pp_error e)
   in
   (* full recompile on a fresh identical deployment *)
   let path2 = Common.mk_path ~switches:3 () in
   let dep2 =
-    match Compiler.Incremental.deploy ~path:path2 (base_program ()) with
+    match Runtime.Reconfig.deploy ~path:path2 (base_program ()) with
     | Ok d -> d
     | Error _ -> failwith "deploy2 failed"
   in
   let full =
-    match Compiler.Incremental.full_recompile dep2 dep.Compiler.Incremental.dep_prog with
+    match Runtime.Reconfig.full_recompile dep2 dep.Compiler.Incremental.dep_prog with
     | Ok r -> r
     | Error e -> failwith (Fmt.str "%a" Compiler.Incremental.pp_error e)
   in

@@ -29,33 +29,26 @@ let run_case peak_pps =
         (Netsim.Traffic.spoofed_syn attack_gen ~dst:h1.Netsim.Node.id ~dport:80
            ~born:(Netsim.Sim.now sim)));
   let defense_prog = Apps.Syn_defense.program ~threshold:100 () in
+  let controller = Flexnet.controller net in
+  let uri = Control.Uri.v ~owner:"infra" "syn-defense" in
+  ignore
+    (Control.Controller.register_app controller ~uri
+       ~kind:Control.Controller.Utility ~program:defense_prog ~replicas:[]);
   let replicas = ref 0 in
   let max_replicas_seen = ref 0 in
   let scrubbed_acc = ref 0 in
+  (* replica churn goes through the controller, i.e. install/remove
+     plans executed by the reconfiguration engine *)
+  let actuate =
+    Control.Elastic.app_actuator
+      ~on_retire:(fun dev ->
+        scrubbed_acc :=
+          !scrubbed_acc + Int64.to_int (Apps.Syn_defense.dropped_count dev))
+      ~controller ~uri ~devices:switches ()
+  in
   let scale_to n =
     let n = min n (List.length switches) in
-    if n > !replicas then
-      List.iteri
-        (fun i dev ->
-          if i >= !replicas && i < n then
-            List.iteri
-              (fun o el ->
-                ignore
-                  (Targets.Device.install dev ~ctx:defense_prog ~order:(100 + o) el))
-              defense_prog.Flexbpf.Ast.pipeline)
-        switches
-    else
-      List.iteri
-        (fun i dev ->
-          if i >= n && i < !replicas then begin
-            scrubbed_acc :=
-              !scrubbed_acc + Int64.to_int (Apps.Syn_defense.dropped_count dev);
-            List.iter
-              (fun el ->
-                ignore (Targets.Device.uninstall dev (Flexbpf.Ast.element_name el)))
-              defense_prog.Flexbpf.Ast.pipeline
-          end)
-        switches;
+    actuate n;
     replicas := n;
     max_replicas_seen := max !max_replicas_seen n
   in

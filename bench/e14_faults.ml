@@ -84,10 +84,9 @@ let run_case ~mode plan =
   let stats = Netsim.Stats.Counters.create () in
   let outcome = ref None in
   Netsim.Sim.at sim 1.0 (fun () ->
-      Runtime.Reconfig.execute ~sim ~mode ~wireds ~plan:plan_ ~max_retries:3
+      Runtime.Reconfig.execute_plan ~sim ~mode ~wireds ~plan:plan_ ~max_retries:3
         ~retry_backoff:0.02 ~stats
-        ~on_done:(fun o -> outcome := Some o)
-        (fun () -> ignore (Targets.Device.install s1 ~ctx:prog ~order:0 counter)));
+        ~on_done:(fun o -> outcome := Some o) ());
   ignore (Netsim.Sim.run sim);
   let o = Option.get !outcome in
   let installed = List.mem "cnt" (Targets.Device.installed_names s1) in
@@ -105,6 +104,78 @@ let run_case ~mode plan =
     drpc_retries = Netsim.Stats.Counters.get (Runtime.Drpc.stats reg) "drpc.retries";
     drpc_gaveups = Netsim.Stats.Counters.get (Runtime.Drpc.stats reg) "drpc.gaveups" }
 
+(* Deploy (not patch) under a crash: the plan comes from the pure
+   placement planner over the wired path and runs through the same
+   engine as every patch — a crash mid-deploy must leave every device
+   on the old xor the new program, never a partial install. *)
+let run_deploy_case ~mode fault_plan =
+  let sim, _topo, h0, h1, devs, wireds, received = Common.wired_linear () in
+  let faults = Netsim.Faults.create ~sim ~seed fault_plan in
+  List.iter (Runtime.Wiring.bind_faults faults) wireds;
+  List.iter
+    (fun w -> Netsim.Faults.bind_node_links faults w.Runtime.Wiring.node)
+    wireds;
+  let sent = ref 0 in
+  let gen = Netsim.Traffic.create sim in
+  Netsim.Traffic.cbr gen ~rate_pps:10_000. ~start:0. ~stop:2.0 ~send:(fun () ->
+      incr sent;
+      Netsim.Node.send h0 ~port:0
+        (Common.h0_h1_packet ~h0:h0.Netsim.Node.id ~h1:h1.Netsim.Node.id
+           ~born:(Netsim.Sim.now sim)));
+  let prog =
+    program "d"
+      ~maps:[ map_decl ~key_arity:1 ~size:4 "hits" ]
+      [ Common.exact_table ~size:64 "acl";
+        Common.lpm_table ~size:64 "routes";
+        block "cnt" [ map_incr "hits" [ const 0 ] ] ]
+  in
+  let planned =
+    match Compiler.Placement.plan ~path:devs prog with
+    | Ok p -> p
+    | Error _ -> failwith "deploy planning failed"
+  in
+  let plan_ = planned.Compiler.Placement.pln_plan in
+  let stats = Netsim.Stats.Counters.create () in
+  let outcome = ref None in
+  Netsim.Sim.at sim 1.0 (fun () ->
+      Runtime.Reconfig.execute_plan ~sim ~mode ~wireds ~plan:plan_
+        ~max_retries:3 ~retry_backoff:0.02 ~stats
+        ~on_done:(fun o -> outcome := Some o) ());
+  ignore (Netsim.Sim.run sim);
+  let o = Option.get !outcome in
+  (* old-XOR-new per device: a device hosts its full planned element
+     set or none of it, matching the engine's verdict, and is thawed *)
+  let consistent =
+    List.for_all
+      (fun d ->
+        let id = Targets.Device.id d in
+        let planned_here =
+          List.filter_map
+            (function
+              | Compiler.Plan.Install { device; element; _ } when device = id
+                ->
+                Some (Flexbpf.Ast.element_name element)
+              | _ -> None)
+            plan_.Compiler.Plan.ops
+        in
+        let inst = Targets.Device.installed_names d in
+        let present = List.filter (fun n -> List.mem n inst) planned_here in
+        (not (Targets.Device.is_frozen d))
+        && (present = [] || List.length present = List.length planned_here)
+        && (planned_here = []
+            || (present <> []) = not o.Runtime.Reconfig.rolled_back))
+      devs
+  in
+  { sent = !sent;
+    delivered = !received;
+    lost = !sent - !received;
+    duration = o.Runtime.Reconfig.finished_at -. o.Runtime.Reconfig.started_at;
+    attempts = o.Runtime.Reconfig.attempts;
+    rolled_back = o.Runtime.Reconfig.rolled_back;
+    consistent;
+    drpc_retries = 0;
+    drpc_gaveups = 0 }
+
 let row name mode_label c =
   [ name; mode_label; Report.i c.sent; Report.i c.delivered; Report.i c.lost;
     Report.f2 c.duration; Report.i c.attempts;
@@ -113,12 +184,20 @@ let row name mode_label c =
     Report.i c.drpc_retries; Report.i c.drpc_gaveups ]
 
 let run () =
+  let deploy_crash =
+    [ Netsim.Faults.Device_crash
+        { device = "s0"; at = 1.02; restart_after = 0.03 } ]
+  in
   let rows =
     List.concat_map
       (fun (name, plan) ->
         [ row name "hitless" (run_case ~mode:Runtime.Reconfig.Hitless plan);
           row name "drain" (run_case ~mode:Runtime.Reconfig.Drain plan) ])
       scenarios
+    @ [ row "crash s0 mid-deploy" "hitless"
+          (run_deploy_case ~mode:Runtime.Reconfig.Hitless deploy_crash);
+        row "crash s0 mid-deploy" "drain"
+          (run_deploy_case ~mode:Runtime.Reconfig.Drain deploy_crash) ]
   in
   Report.print ~id:"E14" ~title:"reconfiguration under injected faults"
     ~claim:

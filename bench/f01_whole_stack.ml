@@ -45,7 +45,7 @@ let run () =
     | Error e -> failwith (Fmt.str "%a" Flexbpf.Analysis.pp_rejection e)
   in
   let placement =
-    match Compiler.Placement.place ~path:(Flexnet.path net) prog with
+    match Runtime.Reconfig.place ~path:(Flexnet.path net) prog with
     | Ok p -> p
     | Error f -> failwith (Fmt.str "%a" Compiler.Placement.pp_failure f)
   in

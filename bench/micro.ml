@@ -91,7 +91,7 @@ let test_placement =
         Flexbpf.Builder.program "p"
           (List.init 20 (fun i -> Common.exact_table ~size:512 (Printf.sprintf "t%d" i)))
       in
-      match Compiler.Placement.place ~path prog with
+      match Runtime.Reconfig.place ~path prog with
       | Ok _ -> ()
       | Error _ -> ()))
 

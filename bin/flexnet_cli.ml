@@ -5,6 +5,7 @@
      apps      certify and summarize the built-in FlexBPF app programs
      certify   parse, typecheck, and certify a .fbpf program file
      demo      bring up a network, deploy, patch hitlessly under traffic
+     plan      dry-run a patch: print the cost-annotated plan, execute nothing
      attack    run the elastic DDoS defense scenario
      migrate   run the state-migration comparison
 
@@ -270,6 +271,178 @@ let arch_arg =
 let switches_arg =
   Arg.(value & opt int 3 & info [ "switches" ] ~docv:"N" ~doc:"Switch count")
 
+(* -- plan --------------------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Append a program's maps, parser rules, and elements to the live
+   infrastructure — the patch shape tenant admission uses. Headers,
+   parser rules, and maps the base program already declares are
+   skipped. *)
+let extension_patch ~(base : Flexbpf.Ast.program) (ext : Flexbpf.Ast.program) =
+  let new_headers =
+    List.filter
+      (fun (h : Flexbpf.Ast.header_decl) ->
+        not
+          (List.exists
+             (fun (b : Flexbpf.Ast.header_decl) ->
+               b.Flexbpf.Ast.hdr_name = h.Flexbpf.Ast.hdr_name)
+             base.Flexbpf.Ast.headers))
+      ext.Flexbpf.Ast.headers
+  in
+  let new_parser =
+    List.filter
+      (fun (r : Flexbpf.Ast.parser_rule) ->
+        not
+          (List.exists
+             (fun (b : Flexbpf.Ast.parser_rule) ->
+               b.Flexbpf.Ast.pr_name = r.Flexbpf.Ast.pr_name)
+             base.Flexbpf.Ast.parser))
+      ext.Flexbpf.Ast.parser
+  in
+  let new_maps =
+    List.filter
+      (fun (m : Flexbpf.Ast.map_decl) ->
+        not
+          (List.exists
+             (fun (b : Flexbpf.Ast.map_decl) ->
+               b.Flexbpf.Ast.map_name = m.Flexbpf.Ast.map_name)
+             base.Flexbpf.Ast.maps))
+      ext.Flexbpf.Ast.maps
+  in
+  Flexbpf.Patch.v ~owner:ext.Flexbpf.Ast.owner
+    ("plan-" ^ ext.Flexbpf.Ast.prog_name)
+    (List.map (fun h -> Flexbpf.Patch.Add_header h) new_headers
+     @ List.map (fun m -> Flexbpf.Patch.Add_map m) new_maps
+     @ List.map (fun r -> Flexbpf.Patch.Add_parser_rule r) new_parser
+     @ List.map
+         (fun el -> Flexbpf.Patch.Add_element (Flexbpf.Patch.At_end, el))
+         ext.Flexbpf.Ast.pipeline)
+
+let plan_cmd =
+  let plan_format_arg =
+    Arg.(value & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,table) or $(b,json)")
+  in
+  let candidates_arg =
+    Arg.(value & opt int 3
+         & info [ "candidates" ] ~docv:"K"
+             ~doc:"Candidate plans to evaluate (min predicted work wins)")
+  in
+  let plan_file_arg =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"FILE"
+             ~doc:"FlexBPF program to append as an extension; without it a \
+                   built-in telemetry patch is planned")
+  in
+  let run arch switches format candidates file =
+    let net = Flexnet.create ~arch ~switches () in
+    (match Flexnet.deploy_infrastructure net with
+     | Ok _ -> ()
+     | Error e -> failwith e);
+    let dep = Flexnet.deployment_exn net in
+    let patch =
+      match file with
+      | None ->
+        Flexbpf.Patch.v "add-telemetry"
+          [ Flexbpf.Patch.Add_map Apps.Telemetry.flow_bytes_map;
+            Flexbpf.Patch.Add_element
+              (Flexbpf.Patch.Before (Flexbpf.Patch.Sel_name "ipv4_lpm"),
+               Apps.Telemetry.flow_counter) ]
+      | Some path ->
+        let src = In_channel.with_open_text path In_channel.input_all in
+        (match Flexbpf.Syntax.load src with
+         | Error e ->
+           Printf.eprintf "%s: %s\n" path e;
+           exit 2
+         | Ok ext ->
+           extension_patch ~base:dep.Compiler.Incremental.dep_prog ext)
+    in
+    (* pure planning only: nothing below touches a device *)
+    match Compiler.Incremental.plan_patch ~candidates dep patch with
+    | Error e ->
+      Fmt.epr "planning failed: %a@." Compiler.Incremental.pp_error e;
+      exit 1
+    | Ok (pc, _diff) ->
+      let report = pc.Compiler.Incremental.ch_report in
+      let plan = report.Compiler.Incremental.plan in
+      let times_of = Compiler.Plan.times_of_devices (Flexnet.path net) in
+      let cost = report.Compiler.Incremental.cost in
+      (match format with
+       | `Table ->
+         Printf.printf "plan %s: %d ops, %d candidate(s) evaluated\n"
+           plan.Compiler.Plan.plan_name
+           (Compiler.Plan.size plan)
+           pc.Compiler.Incremental.ch_candidates;
+         List.iter
+           (fun op ->
+             Printf.printf "  %-40s %-10s %6.1f ms\n" (Compiler.Plan.op_name op)
+               (Compiler.Plan.op_device op)
+               (1000. *. Compiler.Plan.op_time (times_of (Compiler.Plan.op_device op)) op))
+           plan.Compiler.Plan.ops;
+         Printf.printf "predicted total work : %.1f ms\n"
+           (1000. *. report.Compiler.Incremental.total_work);
+         Printf.printf "predicted duration   : %.1f ms\n"
+           (1000. *. report.Compiler.Incremental.duration);
+         Printf.printf "touched devices      : %s\n"
+           (String.concat ", " report.Compiler.Incremental.touched_devices);
+         List.iter
+           (fun (d, r) ->
+             Printf.printf
+               "  delta %-10s sram %+d B, tcam %+d B, actions %+d, instrs %+d\n"
+               d r.Targets.Resource.sram_bytes r.Targets.Resource.tcam_bytes
+               r.Targets.Resource.action_slots r.Targets.Resource.instructions)
+           cost.Compiler.Plan.c_deltas
+       | `Json ->
+         let ops =
+           String.concat ","
+             (List.map
+                (fun op ->
+                  Printf.sprintf
+                    "{\"op\":\"%s\",\"device\":\"%s\",\"time_s\":%.6f}"
+                    (json_escape (Compiler.Plan.op_name op))
+                    (json_escape (Compiler.Plan.op_device op))
+                    (Compiler.Plan.op_time (times_of (Compiler.Plan.op_device op)) op))
+                plan.Compiler.Plan.ops)
+         in
+         let deltas =
+           String.concat ","
+             (List.map
+                (fun (d, r) ->
+                  Printf.sprintf
+                    "{\"device\":\"%s\",\"sram_bytes\":%d,\"tcam_bytes\":%d,\
+                     \"action_slots\":%d,\"instructions\":%d}"
+                    (json_escape d) r.Targets.Resource.sram_bytes
+                    r.Targets.Resource.tcam_bytes r.Targets.Resource.action_slots
+                    r.Targets.Resource.instructions)
+                cost.Compiler.Plan.c_deltas)
+         in
+         Printf.printf
+           "{\"plan\":\"%s\",\"candidates\":%d,\"total_work_s\":%.6f,\
+            \"duration_s\":%.6f,\"ops\":[%s],\"deltas\":[%s]}\n"
+           (json_escape plan.Compiler.Plan.plan_name)
+           pc.Compiler.Incremental.ch_candidates
+           report.Compiler.Incremental.total_work
+           report.Compiler.Incremental.duration ops deltas)
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Dry-run a patch: plan it over resource snapshots and print the \
+          cost-annotated reconfiguration plan without executing it")
+    Term.(const run $ arch_arg $ switches_arg $ plan_format_arg
+          $ candidates_arg $ plan_file_arg)
+
 let demo_cmd =
   let run arch switches =
     let net = Flexnet.create ~arch ~switches () in
@@ -341,22 +514,18 @@ let attack_cmd =
           (Netsim.Traffic.spoofed_syn attack ~dst:h1.Netsim.Node.id ~dport:80
              ~born:(Netsim.Sim.now sim)));
     let defense = Apps.Syn_defense.program ~threshold:100 () in
+    let controller = Flexnet.controller net in
+    let uri = Control.Uri.v ~owner:"infra" "syn-defense" in
+    ignore
+      (Control.Controller.register_app controller ~uri
+         ~kind:Control.Controller.Utility ~program:defense ~replicas:[]);
     let replicas = ref 0 in
+    let actuate =
+      Control.Elastic.app_actuator ~controller ~uri ~devices:switches ()
+    in
     let scale_to n =
       let n = min n (List.length switches) in
-      List.iteri
-        (fun i dev ->
-          if i >= !replicas && i < n then
-            List.iteri
-              (fun o el ->
-                ignore (Targets.Device.install dev ~ctx:defense ~order:(100 + o) el))
-              defense.Flexbpf.Ast.pipeline
-          else if i >= n && i < !replicas then
-            List.iter
-              (fun el ->
-                ignore (Targets.Device.uninstall dev (Flexbpf.Ast.element_name el)))
-              defense.Flexbpf.Ast.pipeline)
-        switches;
+      actuate n;
       Printf.printf "t=%.2fs: replicas -> %d\n" (Netsim.Sim.now sim) n;
       replicas := n
     in
@@ -449,4 +618,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; lint_cmd; inject_cmd;
-          demo_cmd; attack_cmd; migrate_cmd ]))
+          demo_cmd; plan_cmd; attack_cmd; migrate_cmd ]))

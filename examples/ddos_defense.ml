@@ -55,8 +55,15 @@ let () =
         (Netsim.Traffic.spoofed_syn attack_gen ~dst:h1.Netsim.Node.id
            ~dport:80 ~born:(Netsim.Sim.now sim)));
 
-  (* defense replica management: replica i lives on switch i *)
+  (* defense replica management: replica i lives on switch i; churn
+     goes through the controller, i.e. every inject/retire is an
+     install/remove plan executed by the reconfiguration engine *)
   let defense_prog = Apps.Syn_defense.program ~threshold:100 () in
+  let controller = Flexnet.controller net in
+  let uri = Control.Uri.v ~owner:"infra" "syn-defense" in
+  ignore
+    (Control.Controller.register_app controller ~uri
+       ~kind:Control.Controller.Utility ~program:defense_prog ~replicas:[]);
   let replicas = ref 0 in
   (* scrub totals survive replica retirement *)
   let scrubbed_acc = ref 0 in
@@ -65,36 +72,22 @@ let () =
       (fun acc d -> acc + Int64.to_int (Apps.Syn_defense.dropped_count d))
       0 switches
   in
+  let actuate =
+    Control.Elastic.app_actuator
+      ~on_inject:(fun dev ->
+        establish dev;
+        pf "  t=%.2fs: defense replica injected on %s@." (Netsim.Sim.now sim)
+          (Targets.Device.id dev))
+      ~on_retire:(fun dev ->
+        scrubbed_acc :=
+          !scrubbed_acc + Int64.to_int (Apps.Syn_defense.dropped_count dev);
+        pf "  t=%.2fs: defense replica retired from %s@." (Netsim.Sim.now sim)
+          (Targets.Device.id dev))
+      ~controller ~uri ~devices:switches ()
+  in
   let scale_to n =
     let n = min n (List.length switches) in
-    if n > !replicas then
-      List.iteri
-        (fun i dev ->
-          if i >= !replicas && i < n then begin
-            List.iteri
-              (fun o el ->
-                ignore (Targets.Device.install dev ~ctx:defense_prog ~order:(100 + o) el))
-              defense_prog.Flexbpf.Ast.pipeline;
-            establish dev;
-            pf "  t=%.2fs: defense replica injected on %s@." (Netsim.Sim.now sim)
-              (Targets.Device.id dev)
-          end)
-        switches
-    else
-      List.iteri
-        (fun i dev ->
-          if i >= n && i < !replicas then begin
-            scrubbed_acc :=
-              !scrubbed_acc + Int64.to_int (Apps.Syn_defense.dropped_count dev);
-            List.iter
-              (fun el ->
-                ignore
-                  (Targets.Device.uninstall dev (Flexbpf.Ast.element_name el)))
-              defense_prog.Flexbpf.Ast.pipeline;
-            pf "  t=%.2fs: defense replica retired from %s@." (Netsim.Sim.now sim)
-              (Targets.Device.id dev)
-          end)
-        switches;
+    actuate n;
     replicas := n
   in
 

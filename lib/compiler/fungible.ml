@@ -1,4 +1,4 @@
-(** The fungible compilation loop (§3.3).
+(** The fungible compilation loop (§3.3) — as pure planning.
 
     "If compiling a FlexNet datapath to its resource slice fails, the
     compiler recursively invokes optimization primitives ... to perform
@@ -6,17 +6,22 @@
     another round of compilation."
 
     The two optimization primitives modeled here:
-    - garbage collection: uninstall elements the controller has marked
+    - garbage collection: remove elements the controller has marked
       inactive (idle tenant apps, retired defenses);
     - defragmentation: re-pack staged architectures first-fit so
       stage-local free space coalesces (the "all pipeline resources
       become fungible" point for RMT).
 
-    A one-shot bin-packing compiler (the non-fungible baseline of
-    existing work) is [place_once]. *)
+    The whole loop runs over resource snapshots; the returned plan
+    carries the GC removes and defragment ops ahead of the installs,
+    and [Runtime.Reconfig] executes it hitlessly. A one-shot
+    bin-packing compiler (the non-fungible baseline of existing work)
+    is [place_once]. *)
 
 type outcome = {
-  placement : Placement.t option;
+  planned : Placement.planned option;
+      (* on success: full plan (GC removes + defrags + installs),
+         predicted placement, cost, predicted snapshots *)
   iterations : int; (* placement attempts *)
   gc_removed : string list;
   defrag_moves : int;
@@ -24,48 +29,81 @@ type outcome = {
 }
 
 let place_once ~path prog =
-  match Placement.place ~path prog with
-  | Ok p ->
-    { placement = Some p; iterations = 1; gc_removed = []; defrag_moves = 0;
+  match Placement.plan ~path prog with
+  | Ok pl ->
+    { planned = Some pl; iterations = 1; gc_removed = []; defrag_moves = 0;
       failure = None }
   | Error f ->
-    { placement = None; iterations = 1; gc_removed = []; defrag_moves = 0;
+    { planned = None; iterations = 1; gc_removed = []; defrag_moves = 0;
       failure = Some f }
 
 (** [removable dev] lists element names on [dev] that may be garbage-
-    collected (inactive apps). Each GC round removes one more batch. *)
+    collected (inactive apps). Each GC round removes one more batch —
+    names already released from the snapshot in an earlier round are
+    skipped, so batches shrink to nothing. *)
 let place_with_gc ?(max_iterations = 4) ~path ~removable prog =
+  let snaps0 = Placement.default_snaps path in
+  let snaps = ref snaps0 in
+  let prelude = ref [] in (* reversed GC/defrag ops *)
   let gc_removed = ref [] in
   let defrag_moves = ref 0 in
+  let set_snap id s = snaps := (id, s) :: List.remove_assoc id !snaps in
   let rec attempt i =
-    match Placement.place ~path prog with
-    | Ok p ->
-      { placement = Some p; iterations = i; gc_removed = List.rev !gc_removed;
+    match Placement.plan_on ~snaps:!snaps ~path prog with
+    | Ok pl ->
+      (* Stitch the optimization prelude ahead of the installs and
+         re-annotate the cost against the devices' original state. *)
+      let plan =
+        Plan.v pl.Placement.pln_plan.Plan.plan_name
+          (List.rev !prelude @ pl.Placement.pln_plan.Plan.ops)
+      in
+      let deltas =
+        Placement.snapshot_deltas ~before:snaps0
+          ~after:pl.Placement.pln_snaps plan
+      in
+      let cost =
+        Plan.cost_of ~times_of:(Plan.times_of_devices path) ~deltas plan
+      in
+      { planned =
+          Some { pl with Placement.pln_plan = plan; pln_cost = cost };
+        iterations = i; gc_removed = List.rev !gc_removed;
         defrag_moves = !defrag_moves; failure = None }
     | Error f ->
       if i >= max_iterations then
-        { placement = None; iterations = i; gc_removed = List.rev !gc_removed;
+        { planned = None; iterations = i; gc_removed = List.rev !gc_removed;
           defrag_moves = !defrag_moves; failure = Some f }
       else begin
         (* GC one batch of removable elements across the path. *)
         let removed_this_round = ref false in
         List.iter
           (fun dev ->
+            let id = Targets.Device.id dev in
             List.iter
               (fun name ->
-                if Targets.Device.uninstall dev name then begin
+                match Targets.Resource.release (List.assoc id !snaps) name with
+                | Some (_slot, s') ->
+                  set_snap id s';
+                  prelude :=
+                    Plan.Remove { device = id; element_name = name } :: !prelude;
                   gc_removed := name :: !gc_removed;
                   removed_this_round := true
-                end)
+                | None -> ())
               (removable dev))
           path;
         (* Defragment staged architectures so freed space coalesces. *)
         List.iter
-          (fun dev -> defrag_moves := !defrag_moves + Targets.Device.defragment dev)
+          (fun dev ->
+            let id = Targets.Device.id dev in
+            let moves, s' = Targets.Resource.defragment (List.assoc id !snaps) in
+            if moves > 0 then begin
+              set_snap id s';
+              prelude := Plan.Defragment { device = id; moves } :: !prelude;
+              defrag_moves := !defrag_moves + moves
+            end)
           path;
         if !removed_this_round || !defrag_moves > 0 then attempt (i + 1)
         else
-          { placement = None; iterations = i;
+          { planned = None; iterations = i;
             gc_removed = List.rev !gc_removed; defrag_moves = !defrag_moves;
             failure = Some f }
       end

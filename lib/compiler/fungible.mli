@@ -1,14 +1,17 @@
-(** The fungible compilation loop (§3.3).
+(** The fungible compilation loop (§3.3) — as pure planning.
 
     "If compiling a FlexNet datapath to its resource slice fails, the
     compiler recursively invokes optimization primitives ... resource
     reallocation and garbage collection, before attempting another
     round of compilation." The two primitives modeled: garbage
     collection of controller-marked removable elements, and
-    defragmentation of staged architectures. *)
+    defragmentation of staged architectures. The loop runs over
+    resource snapshots and emits one plan (GC removes + defrags +
+    installs) for [Runtime.Reconfig] to execute. *)
 
 type outcome = {
-  placement : Placement.t option;
+  planned : Placement.planned option;
+      (* on success: full plan incl. the GC/defrag prelude *)
   iterations : int; (* placement attempts *)
   gc_removed : string list;
   defrag_moves : int;
@@ -16,13 +19,13 @@ type outcome = {
 }
 
 (** One-shot bin-packing — the non-fungible baseline of existing
-    compilers. *)
+    compilers. Pure. *)
 val place_once :
   path:Targets.Device.t list -> Flexbpf.Ast.program -> outcome
 
-(** The iterative loop: place; on failure GC one batch of [removable]
+(** The iterative loop: plan; on failure GC one batch of [removable]
     element names per device, defragment, retry (bounded by
-    [max_iterations], default 4). *)
+    [max_iterations], default 4). Pure. *)
 val place_with_gc :
   ?max_iterations:int -> path:Targets.Device.t list ->
   removable:(Targets.Device.t -> string list) -> Flexbpf.Ast.program ->

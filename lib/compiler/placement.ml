@@ -1,4 +1,5 @@
-(** Placement of lowered units onto a physical datapath.
+(** Placement of lowered units onto a physical datapath — as a pure
+    search over resource snapshots.
 
     The datapath is an ordered device path (host stack, NIC, switches,
     ... — the "physical slice" a fungible datapath runs on). Placement
@@ -8,8 +9,11 @@
     affinity: tables try switching ASICs first, offloads only consider
     general-purpose targets.
 
-    Placement is transactional — on failure every element already
-    installed for this program is rolled back. *)
+    [plan] never touches a device: admission runs against
+    [Targets.Resource] snapshots (the same check the device itself
+    performs at install time) and the result is a cost-annotated
+    [Plan.t] plus the predicted post-execution snapshots. Execution —
+    and rollback on failure — is [Runtime.Reconfig]'s job. *)
 
 open Flexbpf
 
@@ -34,10 +38,11 @@ let pp_failure ppf f =
            (of_to_string Targets.Device.reject_to_string)))
     f.attempts
 
+(** Index of a device on the path; [None] if absent. *)
 let device_position path dev =
   let rec go i = function
-    | [] -> invalid_arg "device not on path"
-    | d :: rest -> if d == dev then i else go (i + 1) rest
+    | [] -> None
+    | d :: rest -> if d == dev then Some i else go (i + 1) rest
   in
   go 0 path
 
@@ -65,53 +70,92 @@ let candidates ~path ~min_pos (u : Lowering.unit_) =
     switches @ others
   | _ -> tail
 
-let rollback path prog =
-  List.iter
-    (fun el ->
-      List.iter
-        (fun d -> ignore (Targets.Device.uninstall d (Ast.element_name el)))
-        path)
-    prog.Ast.pipeline
+(* -- Pure planning ----------------------------------------------------- *)
 
-(** Place every unit of [prog] on [path]. On success returns the
-    placement; on failure rolls back and reports which unit failed and
-    why each candidate rejected it. *)
-let place ~path (prog : Ast.program) =
+(** A successful pure placement: where every element goes, the plan
+    that realizes it, its cost, and the predicted snapshots. *)
+type planned = {
+  pln_where : (string * string) list; (* element name -> device id *)
+  pln_plan : Plan.t;
+  pln_cost : Plan.cost;
+  pln_snaps : (string * Targets.Resource.snapshot) list;
+      (* predicted (finalized) snapshot of every path device *)
+}
+
+let default_snaps path =
+  List.map (fun d -> (Targets.Device.id d, Targets.Device.snapshot d)) path
+
+let snapshot_deltas ~before ~after plan =
+  let touched =
+    List.sort_uniq compare (List.map Plan.op_device plan.Plan.ops)
+  in
+  List.filter_map
+    (fun d ->
+      match (List.assoc_opt d before, List.assoc_opt d after) with
+      | Some b, Some a ->
+        Some
+          (d, Targets.Resource.sub (Targets.Resource.used a)
+                (Targets.Resource.used b))
+      | _ -> None)
+    touched
+
+(** Plan the placement of every unit of [prog] over [snaps] (resource
+    snapshots keyed by device id; [path] supplies order and metadata
+    only). Pure: no device is touched. On failure reports which unit
+    failed and why each candidate rejected it — and, since nothing was
+    installed, there is nothing to roll back. *)
+let plan_on ?(plan_name = "deploy") ~snaps ~path (prog : Ast.program) =
   let units = Lowering.units_of_program prog in
-  let rec go min_pos placed = function
-    | [] -> Ok placed
+  let before = snaps in
+  let rec go snaps min_pos placed ops = function
+    | [] -> Ok (snaps, List.rev placed, List.rev ops)
     | (u : Lowering.unit_) :: rest ->
       let tried = ref [] in
       let rec attempt = function
-        | [] ->
-          rollback path prog;
-          Error { failed_unit = u; attempts = List.rev !tried }
+        | [] -> Error { failed_unit = u; attempts = List.rev !tried }
         | dev :: more ->
-          (match
-             Targets.Device.install dev ~ctx:u.Lowering.u_ctx
-               ~order:u.Lowering.u_index u.Lowering.u_element
-           with
-           | Ok _slot ->
-             let pos = device_position path dev in
-             go (max min_pos pos)
-               ((Ast.element_name u.Lowering.u_element, dev) :: placed)
-               rest
-           | Error reject ->
-             tried := (Targets.Device.id dev, reject) :: !tried;
-             attempt more)
+          let id = Targets.Device.id dev in
+          (match List.assoc_opt id snaps with
+           | None -> attempt more
+           | Some snap ->
+             (match
+                Targets.Resource.admit snap ~ctx:u.Lowering.u_ctx
+                  ~order:u.Lowering.u_index u.Lowering.u_element
+              with
+              | Ok (_slot, snap') ->
+                let snaps = (id, snap') :: List.remove_assoc id snaps in
+                let pos =
+                  Option.value (device_position path dev) ~default:min_pos
+                in
+                go snaps (max min_pos pos)
+                  ((Ast.element_name u.Lowering.u_element, id) :: placed)
+                  (Plan.Install
+                     { device = id; element = u.Lowering.u_element;
+                       ctx = u.Lowering.u_ctx; order = u.Lowering.u_index }
+                  :: ops)
+                  rest
+              | Error reject ->
+                tried := (id, reject) :: !tried;
+                attempt more))
       in
       attempt (candidates ~path ~min_pos u)
   in
-  match go 0 [] units with
-  | Ok placed -> Ok { path; where = List.rev placed; prog }
+  match go snaps 0 [] [] units with
   | Error f -> Error f
+  | Ok (snaps, where, ops) ->
+    let plan = Plan.v plan_name ops in
+    let finalized =
+      List.map (fun (id, s) -> (id, Targets.Resource.finalize s)) snaps
+    in
+    let times_of = Plan.times_of_devices path in
+    let deltas = snapshot_deltas ~before ~after:finalized plan in
+    Ok
+      { pln_where = where; pln_plan = plan;
+        pln_cost = Plan.cost_of ~times_of ~deltas plan;
+        pln_snaps = finalized }
 
-(** Remove a placed program from its devices. *)
-let unplace t =
-  List.iter
-    (fun (name, dev) -> ignore (Targets.Device.uninstall dev name))
-    t.where;
-  t.where <- []
+(** Plan against the devices' current state. *)
+let plan ~path prog = plan_on ~snaps:(default_snaps path) ~path prog
 
 (** Summed utilization over the path (for experiment reporting). *)
 let mean_utilization path =

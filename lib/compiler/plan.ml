@@ -4,7 +4,11 @@
 
     Per-device operations serialize; operations on different devices run
     in parallel ("synchronized reconfigurations across the network"), so
-    a plan's wall-clock duration is the maximum per-device serial time. *)
+    a plan's wall-clock duration is the maximum per-device serial time.
+
+    Plans carry no device handles — only ids — so the compiler can emit
+    them from pure searches over resource snapshots; only
+    [Runtime.Reconfig] resolves ids to live devices. *)
 
 open Flexbpf
 
@@ -21,6 +25,8 @@ type op =
   | Add_parser of { device : string; rule : Ast.parser_rule }
   | Remove_parser of { device : string; rule_name : string }
   | Migrate_state of { from_device : string; to_device : string; map_name : string }
+  | Defragment of { device : string; moves : int }
+      (* re-pack staged elements; [moves] live relocations *)
 
 type t = { plan_name : string; ops : op list }
 
@@ -28,7 +34,7 @@ let v name ops = { plan_name = name; ops }
 
 let op_device = function
   | Install { device; _ } | Remove { device; _ } | Add_parser { device; _ }
-  | Remove_parser { device; _ } -> device
+  | Remove_parser { device; _ } | Defragment { device; _ } -> device
   | Move { to_device; _ } -> to_device
   | Migrate_state { to_device; _ } -> to_device
 
@@ -41,6 +47,7 @@ let op_name = function
   | Add_parser { rule; _ } -> "add-parser " ^ rule.Ast.pr_name
   | Remove_parser { rule_name; _ } -> "remove-parser " ^ rule_name
   | Migrate_state { map_name; _ } -> "migrate-state " ^ map_name
+  | Defragment { moves; _ } -> Printf.sprintf "defragment (%d moves)" moves
 
 (** Modelled duration of one op on the device's reconfiguration path. *)
 let op_time (times : Targets.Arch.reconfig_times) = function
@@ -49,23 +56,64 @@ let op_time (times : Targets.Arch.reconfig_times) = function
   | Move _ -> times.t_move_element
   | Add_parser _ | Remove_parser _ -> times.t_parser_change
   | Migrate_state _ -> times.t_move_element
+  | Defragment { moves; _ } -> float_of_int moves *. times.t_move_element
+
+(** Resolve a device id to its reconfiguration timing profile from a
+    device list; unknown ids get the dRMT profile. The single
+    op-serialization cost model shared by the compiler, the runtime
+    executor, and the benches. *)
+let times_of_devices devices dev_id =
+  match
+    List.find_opt (fun d -> Targets.Device.id d = dev_id) devices
+  with
+  | Some d -> Targets.Device.reconfig_times d
+  | None -> (Targets.Arch.profile_of_kind Targets.Arch.Drmt).Targets.Arch.reconfig
+
+(** Serial op time per device id in the plan. *)
+let per_device_times ~times_of t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun op ->
+      let d = op_device op in
+      let cur = Option.value (Hashtbl.find_opt tbl d) ~default:0. in
+      Hashtbl.replace tbl d (cur +. op_time (times_of d) op))
+    t.ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
 
 (** Wall-clock duration: ops on the same device serialize, devices work
     in parallel. [times_of] resolves a device id to its profile. *)
 let duration ~times_of t =
-  let per_device = Hashtbl.create 8 in
-  List.iter
-    (fun op ->
-      let d = op_device op in
-      let cur = Option.value (Hashtbl.find_opt per_device d) ~default:0. in
-      Hashtbl.replace per_device d (cur +. op_time (times_of d) op))
-    t.ops;
-  Hashtbl.fold (fun _ v acc -> Float.max v acc) per_device 0.
+  List.fold_left
+    (fun acc (_, v) -> Float.max acc v)
+    0.
+    (per_device_times ~times_of t)
 
 (** Total serial work (sum of all op times) — the "intrusiveness" metric
     used by the incremental-compilation experiments. *)
 let total_work ~times_of t =
   List.fold_left (fun acc op -> acc +. op_time (times_of (op_device op)) op) 0. t.ops
+
+(** The cost annotation a pure planner attaches to a plan: predicted
+    intrusiveness, wall-clock, and per-device resource deltas (occupied
+    after − occupied before, over the predicted snapshots). *)
+type cost = {
+  c_total_work : float;
+  c_duration : float;
+  c_deltas : (string * Targets.Resource.t) list;
+}
+
+let cost_of ~times_of ~deltas t =
+  { c_total_work = total_work ~times_of t;
+    c_duration = duration ~times_of t;
+    c_deltas = deltas }
+
+let pp_cost ppf c =
+  Fmt.pf ppf "@[<v>work=%.3fs duration=%.3fs%a@]" c.c_total_work c.c_duration
+    (fun ppf deltas ->
+      List.iter
+        (fun (d, r) -> Fmt.pf ppf "@ %s: %a" d Targets.Resource.pp r)
+        deltas)
+    c.c_deltas
 
 let size t = List.length t.ops
 

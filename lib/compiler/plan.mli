@@ -3,7 +3,9 @@
     runtime executes it hitlessly (or via drain, for the compile-time
     baseline). Per-device operations serialize; different devices work
     in parallel, so a plan's wall-clock is the max per-device serial
-    time. *)
+    time. Plans carry device {e ids}, not handles: the compiler emits
+    them from pure searches over resource snapshots, and only
+    [Runtime.Reconfig] resolves ids to live devices. *)
 
 type op =
   | Install of {
@@ -23,6 +25,8 @@ type op =
   | Add_parser of { device : string; rule : Flexbpf.Ast.parser_rule }
   | Remove_parser of { device : string; rule_name : string }
   | Migrate_state of { from_device : string; to_device : string; map_name : string }
+  | Defragment of { device : string; moves : int }
+      (* re-pack staged elements; [moves] live relocations *)
 
 type t = { plan_name : string; ops : op list }
 
@@ -36,6 +40,18 @@ val op_name : op -> string
 (** Modelled duration of one op given its device's timing profile. *)
 val op_time : Targets.Arch.reconfig_times -> op -> float
 
+(** Resolve a device id to its reconfiguration timing profile from a
+    device list (unknown ids get the dRMT profile) — the single
+    op-serialization cost model shared by compiler, runtime, and
+    benches. *)
+val times_of_devices :
+  Targets.Device.t list -> string -> Targets.Arch.reconfig_times
+
+(** Serial op time per device id in the plan. *)
+val per_device_times :
+  times_of:(string -> Targets.Arch.reconfig_times) -> t ->
+  (string * float) list
+
 (** Wall-clock duration: per-device serialization, cross-device
     parallelism. [times_of] resolves a device id to its profile. *)
 val duration : times_of:(string -> Targets.Arch.reconfig_times) -> t -> float
@@ -43,6 +59,21 @@ val duration : times_of:(string -> Targets.Arch.reconfig_times) -> t -> float
 (** Total serial work — the "intrusiveness" metric of the incremental
     compilation experiments. *)
 val total_work : times_of:(string -> Targets.Arch.reconfig_times) -> t -> float
+
+(** Cost annotation attached by the pure planner: predicted
+    intrusiveness, wall-clock, and per-device resource deltas
+    (occupied after − before over the predicted snapshots). *)
+type cost = {
+  c_total_work : float;
+  c_duration : float;
+  c_deltas : (string * Targets.Resource.t) list;
+}
+
+val cost_of :
+  times_of:(string -> Targets.Arch.reconfig_times) ->
+  deltas:(string * Targets.Resource.t) list -> t -> cost
+
+val pp_cost : Format.formatter -> cost -> unit
 
 val size : t -> int
 val pp : Format.formatter -> t -> unit

@@ -114,37 +114,59 @@ let find_device t dev_id =
   List.find_opt (fun d -> Targets.Device.id d = dev_id) (devices t)
 
 (** Inject an app's elements onto a specific device (defense summoning,
-    replica creation). *)
+    replica creation). Builds one install plan and hands it to the
+    reconfiguration engine, so a partial failure rolls the whole
+    injection back. *)
 let inject_on t uri ~device =
   match lookup t uri with
   | None -> Error Unknown_app
   | Some app ->
-    let rec install_all order = function
-      | [] -> Ok ()
-      | el :: rest ->
-        (match Targets.Device.install device ~ctx:app.program ~order el with
-         | Ok _ -> install_all (order + 1) rest
-         | Error r ->
-           Error (Operation_failed (Targets.Device.reject_to_string r)))
-    in
-    (match install_all 1000 app.program.Ast.pipeline with
-     | Error _ as e -> e
-     | Ok () ->
-       app.replicas <- device :: app.replicas;
-       journal t
-         (Printf.sprintf "inject %s on %s" (Uri.to_string uri)
-            (Targets.Device.id device));
-       Ok ())
+    let installed = Targets.Device.installed_names device in
+    (match
+       List.find_opt
+         (fun el -> List.mem (Ast.element_name el) installed)
+         app.program.Ast.pipeline
+     with
+     | Some el ->
+       Error
+         (Operation_failed
+            ("already installed: " ^ Ast.element_name el))
+     | None ->
+       let plan =
+         Compiler.Plan.v
+           (Printf.sprintf "inject-%s" (Uri.to_string uri))
+           (List.mapi
+              (fun i el ->
+                Compiler.Plan.Install
+                  { device = Targets.Device.id device; element = el;
+                    ctx = app.program; order = 1000 + i })
+              app.program.Ast.pipeline)
+       in
+       (match Runtime.Reconfig.run_plan ~devices:[ device ] plan with
+        | Error e -> Error (Operation_failed e)
+        | Ok () ->
+          app.replicas <- device :: app.replicas;
+          journal t
+            (Printf.sprintf "inject %s on %s" (Uri.to_string uri)
+               (Targets.Device.id device));
+          Ok ()))
 
 (** Retire an app replica from a device (defense retirement, scale-in). *)
 let retire_from t uri ~device =
   match lookup t uri with
   | None -> Error Unknown_app
   | Some app ->
-    List.iter
-      (fun el ->
-        ignore (Targets.Device.uninstall device (Ast.element_name el)))
-      app.program.Ast.pipeline;
+    let plan =
+      Compiler.Plan.v
+        (Printf.sprintf "retire-%s" (Uri.to_string uri))
+        (List.map
+           (fun el ->
+             Compiler.Plan.Remove
+               { device = Targets.Device.id device;
+                 element_name = Ast.element_name el })
+           app.program.Ast.pipeline)
+    in
+    ignore (Runtime.Reconfig.run_plan ~devices:[ device ] plan);
     app.replicas <-
       List.filter
         (fun d -> Targets.Device.id d <> Targets.Device.id device)
@@ -226,16 +248,21 @@ let handle_device_restart t dev_id =
              (fun d -> Targets.Device.id d = dev_id)
              app.replicas
          then
+           (* one single-op plan per missing element: a rejected
+              element must not block re-resolving its siblings *)
            List.iteri
              (fun i el ->
                let name = Ast.element_name el in
                if not (List.mem name (Targets.Device.installed_names dev))
                then
                  match
-                   Targets.Device.install dev ~ctx:app.program
-                     ~order:(1000 + i) el
+                   Runtime.Reconfig.run_plan ~devices:[ dev ]
+                     (Compiler.Plan.v "reresolve"
+                        [ Compiler.Plan.Install
+                            { device = dev_id; element = el;
+                              ctx = app.program; order = 1000 + i } ])
                  with
-                 | Ok _ -> t.reresolutions <- t.reresolutions + 1
+                 | Ok () -> t.reresolutions <- t.reresolutions + 1
                  | Error _ -> ())
              app.program.Ast.pipeline)
        (all_apps t));

@@ -55,3 +55,30 @@ let stop t = t.running <- false
 let replicas t = t.replicas
 let events t = List.rev t.events
 let name t = t.name
+
+(** A [scale_to] actuator driving a registered controller app over a
+    fixed device list through the plan path: replica i lives on the
+    i-th device, so scaling to [n] injects the app (via
+    [Controller.inject_on], i.e. a plan through the reconfiguration
+    engine) on devices [0..n-1] missing it and retires it from the
+    rest. [on_retire] runs just before a replica is removed — e.g. to
+    harvest counters before the uninstall releases the maps;
+    [on_inject] just after one comes up. *)
+let app_actuator ?(on_inject = fun (_ : Targets.Device.t) -> ())
+    ?(on_retire = fun (_ : Targets.Device.t) -> ()) ~controller ~uri ~devices
+    () =
+  fun n ->
+    let current = Controller.app_locations controller uri in
+    List.iteri
+      (fun i dev ->
+        let present = List.mem (Targets.Device.id dev) current in
+        if i < n && not present then begin
+          match Controller.inject_on controller uri ~device:dev with
+          | Ok () -> on_inject dev
+          | Error _ -> ()
+        end
+        else if i >= n && present then begin
+          on_retire dev;
+          ignore (Controller.retire_from controller uri ~device:dev)
+        end)
+      devices

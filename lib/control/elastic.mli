@@ -19,3 +19,15 @@ val replicas : t -> int
 val events : t -> (float * int) list
 
 val name : t -> string
+
+(** A [scale_to] actuator driving a registered controller app over a
+    fixed device list through the plan path: scaling to [n] injects the
+    app on the first [n] devices missing it and retires it from the
+    rest. [on_retire] runs just before a replica is removed (harvest
+    counters before the uninstall releases its maps), [on_inject] just
+    after one comes up. *)
+val app_actuator :
+  ?on_inject:(Targets.Device.t -> unit) ->
+  ?on_retire:(Targets.Device.t -> unit) ->
+  controller:Controller.t -> uri:Uri.t -> devices:Targets.Device.t list ->
+  unit -> int -> unit

@@ -113,7 +113,7 @@ let admit t (ext : Ast.program) =
            injection_patch ~tenant_name
              ~base:t.deployment.Compiler.Incremental.dep_prog guarded
          in
-         (match Compiler.Incremental.apply_patch t.deployment patch with
+         (match Runtime.Reconfig.apply_patch t.deployment patch with
           | Error e ->
             t.rejected <- t.rejected + 1;
             Error (Compilation e)
@@ -162,7 +162,7 @@ let depart t tenant_name =
           tenant.map_names
     in
     let patch = Patch.v ~owner:tenant_name (tenant_name ^ "-departure") ops in
-    (match Compiler.Incremental.apply_patch t.deployment patch with
+    (match Runtime.Reconfig.apply_patch t.deployment patch with
      | Error e ->
        Error (Departure_failed (Fmt.str "%a" Compiler.Incremental.pp_error e))
      | Ok (report, _) ->

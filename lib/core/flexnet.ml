@@ -110,7 +110,7 @@ let drpc t = t.drpc
 (** Deploy the L2/L3 infrastructure program over the fungible datapath
     and populate routing rules on the devices that host the tables. *)
 let deploy_infrastructure ?(program = Apps.L2l3.program ()) t =
-  match Compiler.Incremental.deploy ~path:t.path program with
+  match Runtime.Reconfig.deploy ~path:t.path program with
   | Error f -> Error (Fmt.str "%a" Compiler.Placement.pp_failure f)
   | Ok deployment ->
     t.deployment <- Some deployment;
@@ -152,22 +152,22 @@ let add_tenant t ext = Control.Tenants.admit (tenants_exn t) ext
 (** Tenant departure (live removal + resource release). *)
 let remove_tenant t name = Control.Tenants.depart (tenants_exn t) name
 
-(** Apply a runtime patch to the infrastructure program through the
-    incremental compiler. *)
+(** Apply a runtime patch to the infrastructure program: plan over
+    snapshots, execute through the reconfiguration engine. *)
 let patch_infrastructure t patch =
-  Compiler.Incremental.apply_patch (deployment_exn t) patch
+  Runtime.Reconfig.apply_patch (deployment_exn t) patch
 
 (** Apply a patch hitlessly over simulated time: every device is frozen
-    (keeps serving the old program), the incremental compiler mutates
-    the deployment, and each touched device flips to the new program
-    atomically when its modeled op batch completes. *)
+    (keeps serving the old program), the planned ops are executed
+    through the engine, and each touched device flips to the new
+    program atomically when its modeled op batch completes. *)
 let patch_hitless ?(on_done = fun (_ : Compiler.Incremental.report) -> ()) t
     patch =
   let dep = deployment_exn t in
   List.iter (fun w -> Targets.Device.freeze w.Runtime.Wiring.device) t.wireds;
-  match Compiler.Incremental.apply_patch dep patch with
+  match Runtime.Reconfig.apply_patch dep patch with
   | Error _ as e ->
-    List.iter (fun w -> Targets.Device.thaw w.Runtime.Wiring.device) t.wireds;
+    List.iter (fun w -> Targets.Device.rollback w.Runtime.Wiring.device) t.wireds;
     e
   | Ok (report, diff) ->
     let times = Runtime.Reconfig.per_device_times report.plan t.wireds in

@@ -37,13 +37,22 @@ let exec t ~now_us pkt =
    | None -> ());
   r
 
+(* Each map's transfer is a [Migrate_state] op executed by the engine —
+   state migration goes through the same plan path as every other
+   reconfiguration. One single-op plan per map so a map the destination
+   does not declare skips without blocking the rest. *)
 let transfer_snapshot ~src ~dst map_names =
   List.iter
     (fun name ->
       match Targets.Device.map_state src name with
       | None -> ()
-      | Some st ->
-        ignore (Targets.Device.load_map_snapshot dst name (Flexbpf.State.snapshot st)))
+      | Some _ ->
+        ignore
+          (Reconfig.run_plan ~devices:[ src; dst ]
+             (Compiler.Plan.v "state-transfer"
+                [ Compiler.Plan.Migrate_state
+                    { from_device = Targets.Device.id src;
+                      to_device = Targets.Device.id dst; map_name = name } ])))
     map_names
 
 type report = {

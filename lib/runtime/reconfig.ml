@@ -1,6 +1,10 @@
-(** Reconfiguration execution over simulated time.
+(** The one reconfiguration engine: every change to a live datapath —
+    deploy, patch, recompile, GC/defragment, state migration — arrives
+    here as a [Compiler.Plan.t] and is executed against the devices
+    under two-version windows. The compiler never touches a device; it
+    plans over resource snapshots and this module interprets the ops.
 
-    Two modes, matching §1's contrast:
+    Two timed modes, matching §1's contrast:
 
     - [Hitless] (runtime programmable): the touched devices keep
       serving traffic with their old program while the change is
@@ -13,11 +17,6 @@
       path has no alternates), reflashed with the full program, then
       redeployed. Loss is proportional to drain + reflash time.
 
-    The caller provides [apply], which performs the actual device
-    mutations (e.g. running the incremental compiler). Mutations happen
-    under freeze, so traffic observes old-program semantics until the
-    modelled completion time.
-
     Failure handling (Hitless): the op batch is acknowledged
     per device at the end of the window — a device that crashed
     mid-batch restarts on its old program (Targets.Device rolls the
@@ -26,9 +25,14 @@
     exponential backoff. When the retry budget runs out the plan aborts
     atomically: every touched device ends on its old program. Either
     way each device runs old-XOR-new, never a mix. [apply] is re-run on
-    retries, so it must be idempotent over already-converged devices
-    (element installs are: re-installing an installed element is
-    rejected and ignored). *)
+    retries, so it must be idempotent over already-converged devices.
+
+    [run_plan] is the untimed entry point used by the control plane: it
+    freezes the touched devices, interprets the ops, thaws, and — when
+    the planner supplied predicted snapshots — reconciles the actual
+    device state against the prediction. *)
+
+open Flexbpf
 
 type mode = Hitless | Drain
 
@@ -46,30 +50,29 @@ let wired_for wireds dev_id =
     (fun w -> Targets.Device.id w.Wiring.device = dev_id)
     wireds
 
-(* Serial op time per device in the plan. *)
+(* Serial op time per wired device in the plan (ops on devices outside
+   the wired set — host stacks — are free here, as before; the cost
+   model itself lives in [Compiler.Plan.times_of_devices]). *)
 let per_device_times plan wireds =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun op ->
-      let d = Compiler.Plan.op_device op in
-      match wired_for wireds d with
-      | None -> ()
-      | Some w ->
-        let times = Targets.Device.reconfig_times w.Wiring.device in
-        let cur = Option.value (Hashtbl.find_opt tbl d) ~default:0. in
-        Hashtbl.replace tbl d (cur +. Compiler.Plan.op_time times op))
-    plan.Compiler.Plan.ops;
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  let devices = List.map (fun w -> w.Wiring.device) wireds in
+  let wired_ids = List.map Targets.Device.id devices in
+  let wired_ops =
+    List.filter
+      (fun op -> List.mem (Compiler.Plan.op_device op) wired_ids)
+      plan.Compiler.Plan.ops
+  in
+  Compiler.Plan.per_device_times
+    ~times_of:(Compiler.Plan.times_of_devices devices)
+    { plan with Compiler.Plan.ops = wired_ops }
 
-(** Execute [plan] starting now. [apply] performs the compiler-side
-    mutations immediately (under freeze); visibility and loss follow
-    the mode's timing model. [on_done] fires when every device finished
-    (or the plan aborted). Hitless runs survive mid-batch device
-    crashes: the plan is re-driven up to [max_retries] times with
-    exponential backoff starting at [retry_backoff] seconds, then
-    aborted with every touched device rolled back to its old program.
-    [stats] (if given) counts "reconfig.retries" and
-    "reconfig.gaveups". *)
+(** Execute [plan] starting now. [apply] performs the device mutations
+    immediately (under freeze); visibility and loss follow the mode's
+    timing model. [on_done] fires when every device finished (or the
+    plan aborted). Hitless runs survive mid-batch device crashes: the
+    plan is re-driven up to [max_retries] times with exponential
+    backoff starting at [retry_backoff] seconds, then aborted with
+    every touched device rolled back to its old program. [stats] (if
+    given) counts "reconfig.retries" and "reconfig.gaveups". *)
 let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
     ?(retry_backoff = 0.05) ?stats ~sim ~mode ~wireds ~plan apply =
   let count name =
@@ -194,7 +197,295 @@ let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
 
 (** Modelled completion latency of a plan in hitless mode (no sim). *)
 let hitless_latency ~devices plan =
-  Compiler.Plan.duration plan ~times_of:(fun d ->
-      match List.find_opt (fun dev -> Targets.Device.id dev = d) devices with
-      | Some dev -> Targets.Device.reconfig_times dev
-      | None -> (Targets.Arch.profile_of_kind Targets.Arch.Drmt).Targets.Arch.reconfig)
+  Compiler.Plan.duration plan ~times_of:(Compiler.Plan.times_of_devices devices)
+
+(* -- The op interpreter ------------------------------------------------ *)
+
+let find_device devices id =
+  List.find_opt (fun d -> Targets.Device.id d = id) devices
+
+let snapshot_maps dev element =
+  Compose.element_maps element
+  |> List.sort_uniq compare
+  |> List.filter_map (fun name ->
+         Option.map
+           (fun st -> (name, State.snapshot st))
+           (Targets.Device.map_state dev name))
+
+let restore_maps dev snaps =
+  List.iter
+    (fun (name, snap) ->
+      ignore (Targets.Device.load_map_snapshot dev name snap))
+    snaps
+
+(** Interpret one op against live devices. [Install] of an
+    already-installed name is a replacement: the element's map state is
+    carried across the uninstall/reinstall. *)
+let apply_op devices op =
+  let dev id =
+    match find_device devices id with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "unknown device %s" id)
+  in
+  match op with
+  | Compiler.Plan.Install { device; element; ctx; order } ->
+    Result.bind (dev device) (fun d ->
+        let name = Ast.element_name element in
+        let carried =
+          if List.mem name (Targets.Device.installed_names d) then begin
+            let c = snapshot_maps d element in
+            ignore (Targets.Device.uninstall d name);
+            c
+          end
+          else []
+        in
+        match Targets.Device.install d ~ctx ~order element with
+        | Ok _ -> restore_maps d carried; Ok ()
+        | Error r ->
+          Error
+            (Printf.sprintf "install %s on %s: %s" name device
+               (Targets.Device.reject_to_string r)))
+  | Remove { device; element_name } ->
+    Result.bind (dev device) (fun d ->
+        ignore (Targets.Device.uninstall d element_name);
+        Ok ())
+  | Move { from_device; to_device; element; ctx; order } ->
+    Result.bind (dev from_device) (fun src ->
+        Result.bind (dev to_device) (fun dst ->
+            let name = Ast.element_name element in
+            let carried = snapshot_maps src element in
+            ignore (Targets.Device.uninstall src name);
+            match Targets.Device.install dst ~ctx ~order element with
+            | Ok _ -> restore_maps dst carried; Ok ()
+            | Error r ->
+              Error
+                (Printf.sprintf "move %s to %s: %s" name to_device
+                   (Targets.Device.reject_to_string r))))
+  | Add_parser { device; rule } ->
+    Result.bind (dev device) (fun d ->
+        (* tolerated: the planner may emit rules a host already has *)
+        (match Targets.Device.add_parser_rule d rule with
+         | Ok () | Error _ -> ());
+        Ok ())
+  | Remove_parser { device; rule_name } ->
+    Result.bind (dev device) (fun d ->
+        ignore (Targets.Device.remove_parser_rule d rule_name);
+        Ok ())
+  | Migrate_state { from_device; to_device; map_name } ->
+    Result.bind (dev from_device) (fun src ->
+        Result.bind (dev to_device) (fun dst ->
+            match Targets.Device.map_state src map_name with
+            | None ->
+              Error
+                (Printf.sprintf "migrate-state: no map %s on %s" map_name
+                   from_device)
+            | Some st ->
+              if
+                Targets.Device.load_map_snapshot dst map_name
+                  (State.snapshot st)
+              then Ok ()
+              else
+                Error
+                  (Printf.sprintf "migrate-state: map %s not declared on %s"
+                     map_name to_device)))
+  | Defragment { device; moves = _ } ->
+    Result.bind (dev device) (fun d ->
+        ignore (Targets.Device.defragment d);
+        Ok ())
+
+let apply_ops devices plan =
+  let rec go = function
+    | [] -> Ok ()
+    | op :: rest ->
+      (match apply_op devices op with Ok () -> go rest | Error e -> Error e)
+  in
+  go plan.Compiler.Plan.ops
+
+(* Devices whose structural state an op mutates (state migration only
+   copies map contents; it needs no two-version window). *)
+let structural_op_devices = function
+  | Compiler.Plan.Migrate_state _ -> []
+  | Compiler.Plan.Move { from_device; to_device; _ } ->
+    [ from_device; to_device ]
+  | op -> [ Compiler.Plan.op_device op ]
+
+(** Untimed plan execution: freeze the touched devices (those not
+    already inside a caller-held window), interpret the ops, thaw. An
+    op failure rolls the self-frozen devices back and returns the
+    error, so the plan is transactional over the devices this call
+    froze. With [predicted] (the planner's post-execution snapshots),
+    the actual device state is reconciled against the prediction after
+    the thaw; devices still inside a caller-held window are skipped —
+    their deferred cleanups have not run yet. *)
+let run_plan ?predicted ~devices plan =
+  let touched_ids =
+    List.sort_uniq compare
+      (List.concat_map structural_op_devices plan.Compiler.Plan.ops)
+  in
+  let structural = List.filter_map (find_device devices) touched_ids in
+  let self_frozen =
+    List.filter (fun d -> not (Targets.Device.is_frozen d)) structural
+  in
+  List.iter Targets.Device.freeze self_frozen;
+  match apply_ops devices plan with
+  | Error e ->
+    List.iter Targets.Device.rollback self_frozen;
+    Error e
+  | Ok () ->
+    List.iter Targets.Device.thaw self_frozen;
+    (match predicted with
+     | None -> Ok ()
+     | Some preds ->
+       let mismatches =
+         List.concat_map
+           (fun (id, snap) ->
+             match find_device devices id with
+             | None -> []
+             | Some d ->
+               if Targets.Device.is_frozen d then []
+               else
+                 List.map
+                   (fun m -> id ^ ": " ^ m)
+                   (Targets.Resource.diff snap (Targets.Device.snapshot d)))
+           preds
+       in
+       if mismatches = [] then Ok ()
+       else
+         Error
+           ("reconciliation failed: " ^ String.concat "; " mismatches))
+
+(** [execute] with the op interpreter as [apply] — the timed plan-only
+    path used by experiments. *)
+let execute_plan ?on_done ?max_retries ?retry_backoff ?stats ~sim ~mode
+    ~wireds ~plan () =
+  let devices = List.map (fun w -> w.Wiring.device) wireds in
+  execute ?on_done ?max_retries ?retry_backoff ?stats ~sim ~mode ~wireds ~plan
+    (fun () -> ignore (apply_ops devices plan))
+
+(* -- Plan-then-execute entry points ------------------------------------ *)
+
+let placement_of ~path ~prog where_ids =
+  { Compiler.Placement.path; prog;
+    where =
+      List.filter_map
+        (fun (n, id) -> Option.map (fun d -> (n, d)) (find_device path id))
+        where_ids }
+
+(** Plan and execute a fresh placement. Planning failures are reported;
+    an execution failure of a freshly planned op means planner and
+    device admission disagree — an invariant violation. *)
+let place ~path prog =
+  match Compiler.Placement.plan ~path prog with
+  | Error f -> Error f
+  | Ok pl ->
+    (match
+       run_plan ~predicted:pl.Compiler.Placement.pln_snaps ~devices:path
+         pl.Compiler.Placement.pln_plan
+     with
+     | Ok () -> Ok (placement_of ~path ~prog pl.Compiler.Placement.pln_where)
+     | Error e -> failwith ("deploy execution failed: " ^ e))
+
+(** Remove a placed program from its devices. *)
+let unplace (p : Compiler.Placement.t) =
+  let ops =
+    List.map
+      (fun (name, dev) ->
+        Compiler.Plan.Remove
+          { device = Targets.Device.id dev; element_name = name })
+      p.Compiler.Placement.where
+  in
+  (match
+     run_plan ~devices:p.Compiler.Placement.path (Compiler.Plan.v "unplace" ops)
+   with
+   | Ok () | Error _ -> ());
+  p.Compiler.Placement.where <- []
+
+(** Deploy a program fresh onto a path. *)
+let deploy ~path prog =
+  Result.map
+    (fun placement ->
+      { Compiler.Incremental.dep_prog = prog; dep_placement = placement })
+    (place ~path prog)
+
+let commit_deployment (dep : Compiler.Incremental.deployment)
+    (pc : Compiler.Incremental.planned_change) =
+  let path = dep.dep_placement.Compiler.Placement.path in
+  dep.dep_prog <- pc.Compiler.Incremental.ch_prog;
+  dep.dep_placement.Compiler.Placement.where <-
+    List.filter_map
+      (fun (n, id) -> Option.map (fun d -> (n, d)) (find_device path id))
+      pc.Compiler.Incremental.ch_where
+
+(** Plan a patch ([Compiler.Incremental.plan_patch], with candidate
+    search), execute the winning plan, reconcile against the predicted
+    snapshots, and commit the new program/placement. The deployment is
+    untouched on any error. *)
+let apply_patch ?candidates ?prefer_adjacent
+    (dep : Compiler.Incremental.deployment) patch =
+  match Compiler.Incremental.plan_patch ?candidates ?prefer_adjacent dep patch with
+  | Error e -> Error e
+  | Ok (pc, diff) ->
+    let path = dep.dep_placement.Compiler.Placement.path in
+    (match
+       run_plan ~predicted:pc.Compiler.Incremental.ch_snaps ~devices:path
+         pc.Compiler.Incremental.ch_report.Compiler.Incremental.plan
+     with
+     | Error e -> Error (Compiler.Incremental.Exec_error e)
+     | Ok () ->
+       commit_deployment dep pc;
+       Ok (pc.Compiler.Incremental.ch_report, diff))
+
+(** Plan and execute the compile-time baseline (full teardown and
+    redeploy). *)
+let full_recompile (dep : Compiler.Incremental.deployment) new_prog =
+  match Compiler.Incremental.plan_full_recompile dep new_prog with
+  | Error e -> Error e
+  | Ok pc ->
+    let path = dep.dep_placement.Compiler.Placement.path in
+    (match
+       run_plan ~predicted:pc.Compiler.Incremental.ch_snaps ~devices:path
+         pc.Compiler.Incremental.ch_report.Compiler.Incremental.plan
+     with
+     | Error e -> Error (Compiler.Incremental.Exec_error e)
+     | Ok () ->
+       commit_deployment dep pc;
+       Ok pc.Compiler.Incremental.ch_report)
+
+(* -- Fungible compilation, executed ------------------------------------ *)
+
+type fungible_outcome = {
+  placement : Compiler.Placement.t option;
+  iterations : int; (* placement attempts *)
+  gc_removed : string list;
+  defrag_moves : int;
+  failure : Compiler.Placement.failure option;
+}
+
+let run_fungible ~path ~prog (o : Compiler.Fungible.outcome) =
+  let placement =
+    match o.Compiler.Fungible.planned with
+    | None -> None
+    | Some pl ->
+      (match
+         run_plan ~predicted:pl.Compiler.Placement.pln_snaps ~devices:path
+           pl.Compiler.Placement.pln_plan
+       with
+       | Ok () ->
+         Some (placement_of ~path ~prog pl.Compiler.Placement.pln_where)
+       | Error e -> failwith ("fungible execution failed: " ^ e))
+  in
+  { placement; iterations = o.Compiler.Fungible.iterations;
+    gc_removed = o.Compiler.Fungible.gc_removed;
+    defrag_moves = o.Compiler.Fungible.defrag_moves;
+    failure = o.Compiler.Fungible.failure }
+
+(** One-shot bin-packing baseline, planned then executed. *)
+let place_once ~path prog =
+  run_fungible ~path ~prog (Compiler.Fungible.place_once ~path prog)
+
+(** The fungible compilation loop (GC + defragmentation), planned then
+    executed as a single plan. On failure nothing was executed, so the
+    devices are untouched. *)
+let place_with_gc ?max_iterations ~path ~removable prog =
+  run_fungible ~path ~prog
+    (Compiler.Fungible.place_with_gc ?max_iterations ~path ~removable prog)

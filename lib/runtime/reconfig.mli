@@ -1,4 +1,7 @@
-(** Reconfiguration execution over simulated time.
+(** The one reconfiguration engine: every change to a live datapath —
+    deploy, patch, recompile, GC/defragment, state migration — arrives
+    here as a [Compiler.Plan.t] and is executed against the devices
+    under two-version windows.
 
     - [Hitless] (runtime programmable): touched devices keep serving
       traffic with their old program; the new one becomes visible
@@ -7,11 +10,6 @@
     - [Drain] (compile-time baseline): each touched device is isolated,
       reflashed with the full program, then redeployed; loss is
       proportional to drain + reflash time.
-
-    The caller provides [apply], which performs the actual device
-    mutations (e.g. running the incremental compiler); mutations happen
-    under freeze, so traffic observes old-program semantics until the
-    modelled completion time.
 
     Failure handling (Hitless): the op batch is acknowledged per device
     at the end of the window. A device that crashed mid-batch restarts
@@ -30,7 +28,8 @@ type outcome = {
   rolled_back : bool; (* true: plan aborted, all devices on old program *)
 }
 
-(** Serial op time per device id in the plan. *)
+(** Serial op time per wired device id in the plan (delegates to
+    {!Compiler.Plan.per_device_times}). *)
 val per_device_times :
   Compiler.Plan.t -> Wiring.wired list -> (string * float) list
 
@@ -48,3 +47,95 @@ val execute :
 
 (** Modelled completion latency of a plan in hitless mode. *)
 val hitless_latency : devices:Targets.Device.t list -> Compiler.Plan.t -> float
+
+(** {2 The op interpreter} *)
+
+(** Interpret one op against live devices. [Install] of an
+    already-installed name replaces it, carrying the element's map
+    state across. *)
+val apply_op :
+  Targets.Device.t list -> Compiler.Plan.op -> (unit, string) result
+
+(** Interpret every op in order; stops at the first failure. *)
+val apply_ops :
+  Targets.Device.t list -> Compiler.Plan.t -> (unit, string) result
+
+(** Untimed plan execution: freeze the touched devices (unless already
+    inside a caller-held window), interpret the ops, thaw. An op
+    failure rolls the self-frozen devices back and reports the error.
+    With [predicted] (the planner's post-execution snapshots), actual
+    device state is reconciled against the prediction after the thaw
+    ([Targets.Resource.diff]); devices still inside a caller-held
+    window are skipped. *)
+val run_plan :
+  ?predicted:(string * Targets.Resource.snapshot) list ->
+  devices:Targets.Device.t list -> Compiler.Plan.t -> (unit, string) result
+
+(** [execute] with {!apply_ops} as the mutation step — the timed
+    plan-only path used by experiments. *)
+val execute_plan :
+  ?on_done:(outcome -> unit) -> ?max_retries:int -> ?retry_backoff:float ->
+  ?stats:Netsim.Stats.Counters.t -> sim:Netsim.Sim.t -> mode:mode ->
+  wireds:Wiring.wired list -> plan:Compiler.Plan.t -> unit -> unit
+
+(** {2 Plan-then-execute entry points}
+
+    These are the only call sites that install or remove elements on
+    devices during deploy/patch: each plans with the pure compiler,
+    executes the winning plan, and reconciles predicted snapshots
+    against the actual device state. *)
+
+(** Plan and execute a fresh placement of the program on the path.
+    @raise Failure if a freshly planned op is rejected by a device —
+    planner and device admission disagreeing is an invariant
+    violation. *)
+val place :
+  path:Targets.Device.t list -> Flexbpf.Ast.program ->
+  (Compiler.Placement.t, Compiler.Placement.failure) result
+
+(** Remove a placed program from its devices. *)
+val unplace : Compiler.Placement.t -> unit
+
+(** Deploy a program fresh onto a path. *)
+val deploy :
+  path:Targets.Device.t list -> Flexbpf.Ast.program ->
+  (Compiler.Incremental.deployment, Compiler.Placement.failure) result
+
+(** Plan a patch (candidate search over snapshots, see
+    {!Compiler.Incremental.plan_patch}), execute the winning plan,
+    reconcile, and commit the new program/placement. The deployment is
+    untouched on error. *)
+val apply_patch :
+  ?candidates:int -> ?prefer_adjacent:bool ->
+  Compiler.Incremental.deployment -> Flexbpf.Patch.t ->
+  (Compiler.Incremental.report * Flexbpf.Patch.diff,
+   Compiler.Incremental.error)
+  result
+
+(** Plan and execute the compile-time baseline: full teardown and
+    redeploy. *)
+val full_recompile :
+  Compiler.Incremental.deployment -> Flexbpf.Ast.program ->
+  (Compiler.Incremental.report, Compiler.Incremental.error) result
+
+(** {2 Fungible compilation, executed} *)
+
+type fungible_outcome = {
+  placement : Compiler.Placement.t option;
+  iterations : int; (* placement attempts *)
+  gc_removed : string list;
+  defrag_moves : int;
+  failure : Compiler.Placement.failure option;
+}
+
+(** One-shot bin-packing baseline, planned then executed. *)
+val place_once :
+  path:Targets.Device.t list -> Flexbpf.Ast.program -> fungible_outcome
+
+(** The fungible compilation loop (GC + defragmentation over
+    snapshots), executed as a single plan; on planning failure the
+    devices are untouched. *)
+val place_with_gc :
+  ?max_iterations:int -> path:Targets.Device.t list ->
+  removable:(Targets.Device.t -> string list) -> Flexbpf.Ast.program ->
+  fungible_outcome

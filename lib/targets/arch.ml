@@ -37,12 +37,9 @@ let is_switch = function
   | Rmt | Drmt | Tiles | Elastic_pipe -> true
   | Smartnic | Fpga | Host_ebpf -> false
 
-type tile_kind = Hash_tile | Index_tile | Tcam_tile
+type tile_kind = Resource.tile_kind = Hash_tile | Index_tile | Tcam_tile
 
-let tile_kind_to_string = function
-  | Hash_tile -> "hash"
-  | Index_tile -> "index"
-  | Tcam_tile -> "tcam"
+let tile_kind_to_string = Resource.tile_kind_to_string
 
 type reconfig_times = {
   t_add_table : float; (* seconds to add/populate a table live *)

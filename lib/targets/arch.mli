@@ -24,7 +24,7 @@ type kind =
 val kind_to_string : kind -> string
 val is_switch : kind -> bool
 
-type tile_kind = Hash_tile | Index_tile | Tcam_tile
+type tile_kind = Resource.tile_kind = Hash_tile | Index_tile | Tcam_tile
 
 val tile_kind_to_string : tile_kind -> string
 

@@ -10,17 +10,13 @@
 
 open Flexbpf
 
-type slot =
+type slot = Resource.slot =
   | In_stage of int
   | In_tiles of Arch.tile_kind * int (* tile kind, number of tiles *)
   | In_pool
   | In_pem
 
-let slot_to_string = function
-  | In_stage s -> Printf.sprintf "stage%d" s
-  | In_tiles (k, n) -> Printf.sprintf "%d %s tiles" n (Arch.tile_kind_to_string k)
-  | In_pool -> "pool"
-  | In_pem -> "pem"
+let slot_to_string = Resource.slot_to_string
 
 type installed = {
   inst_element : Ast.element;
@@ -32,13 +28,11 @@ type installed = {
   mutable active : bool; (* controller-maintained "in use" bit *)
 }
 
-type reject =
+type reject = Resource.reject =
   | No_capacity of string
   | Unsupported of string
 
-let reject_to_string = function
-  | No_capacity s -> "no capacity: " ^ s
-  | Unsupported s -> "unsupported: " ^ s
+let reject_to_string = Resource.reject_to_string
 
 type t = {
   dev_id : string;
@@ -139,8 +133,46 @@ let find_installed t name =
 let tiles_in_use t kind =
   Option.value (Hashtbl.find_opt t.tiles_used kind) ~default:0
 
-let tile_capacity t kind =
-  Option.value (List.assoc_opt kind t.profile.tiles) ~default:0
+(* -- Resource snapshot ------------------------------------------------ *)
+
+let shape_of_profile (p : Arch.profile) : Resource.shape =
+  match p.kind with
+  | Arch.Rmt -> Resource.Sh_staged { stages = p.stages; per_stage = p.per_stage }
+  | Arch.Elastic_pipe ->
+    Resource.Sh_staged_pem
+      { stages = p.stages; per_stage = p.per_stage; pem_slots = p.pem_slots }
+  | Arch.Tiles ->
+    Resource.Sh_tiled
+      { tiles = p.tiles; tile_bytes = p.tile_bytes; pool = p.pool }
+  | Arch.Drmt | Arch.Smartnic | Arch.Fpga | Arch.Host_ebpf ->
+    Resource.Sh_pooled { pool = p.pool }
+
+(** An immutable copy of this device's resource state: what the
+    compiler plans against, and what [admit] below checks installs
+    against, so planning and live admission share one model. *)
+let snapshot t : Resource.snapshot =
+  { Resource.snap_device = t.dev_id;
+    shape = shape_of_profile t.profile;
+    max_block_cycles = t.profile.max_block_cycles;
+    parser_capacity = t.profile.parser_capacity;
+    stage_used = Array.copy t.stage_used;
+    pool_used = t.pool_used;
+    tiles_used =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tiles_used []);
+    pem_used = t.pem_used;
+    placed =
+      List.map
+        (fun i ->
+          { Resource.pl_name = Ast.element_name i.inst_element;
+            pl_order = i.order; pl_slot = i.slot; pl_demand = i.demand;
+            pl_element = i.inst_element })
+        t.elements;
+    parser_rules = List.map (fun r -> r.Ast.pr_name) t.parser;
+    map_refs =
+      List.sort compare
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.map_refs []);
+    pending_unref = [] }
 
 (* -- Demand computation --------------------------------------------- *)
 
@@ -148,128 +180,11 @@ let tile_capacity t kind =
     including the maps it references that are not yet present on this
     device (first referencing element pays for the map). *)
 let element_demand t ~(ctx : Ast.program) element =
-  let fp = Analysis.element_footprint ctx element in
-  let new_maps =
-    Compose.element_maps element
-    |> List.sort_uniq compare
-    |> List.filter_map (fun name ->
-           if Hashtbl.mem t.map_refs name then None
-           else
-             Option.map
-               (fun decl -> (name, Analysis.map_bytes decl))
-               (Ast.find_map ctx name))
-  in
-  let map_bytes = List.fold_left (fun acc (_, b) -> acc + b) 0 new_maps in
-  let demand =
-    Resource.add (Resource.of_footprint fp)
-      (Resource.v ~sram_bytes:map_bytes ())
-  in
-  (demand, new_maps)
+  Resource.element_demand (snapshot t) ~ctx element
 
 (* -- Admission ------------------------------------------------------- *)
 
 let stage_free t s = Resource.sub t.profile.per_stage t.stage_used.(s)
-
-(** Minimum admissible stage given pipeline-order dependencies: an
-    element must sit no earlier than every element that precedes it in
-    program order (RMT's defining constraint). *)
-let min_stage t ~order =
-  List.fold_left
-    (fun acc i ->
-      match i.slot with
-      | In_stage s when i.order < order -> max acc s
-      | _ -> acc)
-    0 t.elements
-
-let block_cycles element = Analysis.element_cost element
-
-let admit_slot t ~(ctx : Ast.program) ~order element demand =
-  let is_block = match element with Ast.Block _ -> true | Ast.Table _ -> false in
-  if is_block && block_cycles element > t.profile.max_block_cycles then
-    Error
-      (Unsupported
-         (Printf.sprintf "block of %d cycles exceeds target limit %d"
-            (block_cycles element) t.profile.max_block_cycles))
-  else
-    match t.profile.kind with
-    | Arch.Rmt ->
-      let rec try_stage s =
-        if s >= t.profile.stages then
-          Error (No_capacity "no stage fits the element")
-        else if Resource.fits demand (stage_free t s) then Ok (In_stage s)
-        else try_stage (s + 1)
-      in
-      try_stage (min_stage t ~order)
-    | Arch.Elastic_pipe ->
-      if is_block then begin
-        if t.pem_used < t.profile.pem_slots then Ok In_pem
-        else Error (No_capacity "PEM slots exhausted")
-      end
-      else begin
-        let rec try_stage s =
-          if s >= t.profile.stages then
-            Error (No_capacity "no stage fits the element")
-          else if Resource.fits demand (stage_free t s) then Ok (In_stage s)
-          else try_stage (s + 1)
-        in
-        try_stage (min_stage t ~order)
-      end
-    | Arch.Tiles ->
-      (match element with
-       | Ast.Block _ ->
-         (* block state (maps) lives in index tiles; compute/action
-            budget comes from the pool *)
-         let bytes = demand.Resource.sram_bytes + demand.Resource.tcam_bytes in
-         let pool_demand =
-           Resource.v ~action_slots:demand.Resource.action_slots
-             ~instructions:demand.Resource.instructions ()
-         in
-         let pool_free = Resource.sub t.profile.pool t.pool_used in
-         if not (Resource.fits pool_demand pool_free) then
-           Error (No_capacity "action/instruction pool exhausted")
-         else if bytes = 0 then Ok In_pool
-         else begin
-           let tiles_needed =
-             max 1 ((bytes + t.profile.tile_bytes - 1) / t.profile.tile_bytes)
-           in
-           let free_tiles =
-             tile_capacity t Arch.Index_tile - tiles_in_use t Arch.Index_tile
-           in
-           if tiles_needed > free_tiles then
-             Error
-               (No_capacity
-                  (Printf.sprintf "needs %d index tiles, %d free" tiles_needed
-                     free_tiles))
-           else Ok (In_tiles (Arch.Index_tile, tiles_needed))
-         end
-       | Ast.Table tbl ->
-         let tile_kind =
-           if Analysis.table_needs_tcam tbl then Arch.Tcam_tile
-           else Arch.Hash_tile
-         in
-         let bytes = demand.Resource.sram_bytes + demand.Resource.tcam_bytes in
-         let tiles_needed =
-           max 1 ((bytes + t.profile.tile_bytes - 1) / t.profile.tile_bytes)
-         in
-         let free_tiles = tile_capacity t tile_kind - tiles_in_use t tile_kind in
-         let pool_free = Resource.sub t.profile.pool t.pool_used in
-         let pool_demand =
-           Resource.v ~action_slots:demand.Resource.action_slots
-             ~instructions:demand.Resource.instructions ()
-         in
-         if tiles_needed > free_tiles then
-           Error
-             (No_capacity
-                (Printf.sprintf "needs %d %s tiles, %d free" tiles_needed
-                   (Arch.tile_kind_to_string tile_kind) free_tiles))
-         else if not (Resource.fits pool_demand pool_free) then
-           Error (No_capacity "action/instruction pool exhausted")
-         else Ok (In_tiles (tile_kind, tiles_needed)))
-    | Arch.Drmt | Arch.Smartnic | Arch.Fpga | Arch.Host_ebpf ->
-      let free = Resource.sub t.profile.pool t.pool_used in
-      if Resource.fits demand free then Ok In_pool
-      else Error (No_capacity "pool exhausted");
-  [@@warning "-27"]
 
 (* -- Occupancy bookkeeping ------------------------------------------- *)
 
@@ -377,34 +292,34 @@ let instantiate_maps t (ctx : Ast.program) element =
               t.map_decls <- t.map_decls @ [ decl ];
               Hashtbl.replace t.map_refs name 1))
 
-(** Install one element of [ctx] at pipeline position [order]. *)
+(** Install one element of [ctx] at pipeline position [order].
+    Admission is delegated to [Resource.admit] over a snapshot — the
+    same check the compiler runs when planning — then the side effects
+    (charging, parser/header merge, map instantiation) are applied to
+    the live device. *)
 let install t ~(ctx : Ast.program) ~order element =
-  let name = Ast.element_name element in
-  if find_installed t name <> None then
-    Error (Unsupported (Printf.sprintf "element %s already installed" name))
-  else begin
-    let demand, new_maps = element_demand t ~ctx element in
-    match admit_slot t ~ctx ~order element demand with
-    | Error _ as e -> e
-    | Ok slot ->
-      (match merge_parser t ctx with
-       | Error e -> Error e
-       | Ok () ->
-      charge t slot demand;
-      merge_headers t ctx;
-      instantiate_maps t ctx element;
-      (match element with
-       | Ast.Table tbl -> Interp.register_table t.env tbl
-       | Ast.Block _ -> ());
-      let inst =
-        { inst_element = element; inst_owner = ctx.owner; demand;
-          maps_charged = new_maps; slot; order; active = true }
-      in
-      t.elements <-
-        List.sort (fun a b -> compare a.order b.order) (inst :: t.elements);
-      rebuild_program t;
-      Ok slot)
-  end
+  let snap = snapshot t in
+  match Resource.admit snap ~ctx ~order element with
+  | Error _ as e -> e
+  | Ok (slot, _predicted) ->
+    let demand, new_maps = Resource.element_demand snap ~ctx element in
+    (match merge_parser t ctx with
+     | Error e -> Error e (* unreachable: [admit] checked the capacity *)
+     | Ok () ->
+       charge t slot demand;
+       merge_headers t ctx;
+       instantiate_maps t ctx element;
+       (match element with
+        | Ast.Table tbl -> Interp.register_table t.env tbl
+        | Ast.Block _ -> ());
+       let inst =
+         { inst_element = element; inst_owner = ctx.owner; demand;
+           maps_charged = new_maps; slot; order; active = true }
+       in
+       t.elements <-
+         List.sort (fun a b -> compare a.order b.order) (inst :: t.elements);
+       rebuild_program t;
+       Ok slot)
 
 let defer t cleanup =
   match t.frozen with

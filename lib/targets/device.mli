@@ -12,7 +12,7 @@
     program while mutations are applied; [thaw] makes the new program
     visible atomically and runs deferred cleanups. *)
 
-type slot =
+type slot = Resource.slot =
   | In_stage of int
   | In_tiles of Arch.tile_kind * int (* tile kind, number of tiles *)
   | In_pool
@@ -20,13 +20,18 @@ type slot =
 
 val slot_to_string : slot -> string
 
-type reject =
+type reject = Resource.reject =
   | No_capacity of string
   | Unsupported of string
 
 val reject_to_string : reject -> string
 
 type t
+
+(** An immutable copy of the device's resource state — what the
+    compiler plans against ([Resource.admit] over a snapshot is exactly
+    the admission [install] performs on the live device). *)
+val snapshot : t -> Resource.snapshot
 
 (** The compiler's state-encoding selection (§3.1): each architecture
     class has a natural physical encoding for logical maps. *)

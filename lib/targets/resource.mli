@@ -1,6 +1,9 @@
-(** Resource vectors used for placement accounting. The same vector
-    type describes a capacity (what a stage, tile pool, or device
-    offers) and a demand (what a program element needs). *)
+(** Resource vectors and device resource snapshots. The vector type
+    [t] describes both a capacity (what a stage, tile pool, or device
+    offers) and a demand (what a program element needs); a [snapshot]
+    is an immutable copy of one device's resource state that [admit]
+    and friends update purely, so the compiler can plan placements
+    without touching hardware. *)
 
 type t = {
   sram_bytes : int;
@@ -30,3 +33,112 @@ val utilization : used:t -> capacity:t -> float
 val of_footprint : Flexbpf.Analysis.footprint -> t
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Slots and rejections} *)
+
+type tile_kind = Hash_tile | Index_tile | Tcam_tile
+
+val tile_kind_to_string : tile_kind -> string
+
+type slot =
+  | In_stage of int
+  | In_tiles of tile_kind * int (* tile kind, number of tiles *)
+  | In_pool
+  | In_pem
+
+val slot_to_string : slot -> string
+
+type reject =
+  | No_capacity of string
+  | Unsupported of string
+
+val reject_to_string : reject -> string
+
+(** {2 Snapshots} *)
+
+(** How a device partitions its resources — the fungibility taxonomy
+    (§3.3): per-stage (RMT), stages + PEM (elastic pipe), typed tiles
+    over a shared pool (Trident4-class), or one fungible pool (dRMT,
+    NIC, FPGA, host). *)
+type shape =
+  | Sh_staged of { stages : int; per_stage : t }
+  | Sh_staged_pem of { stages : int; per_stage : t; pem_slots : int }
+  | Sh_tiled of { tiles : (tile_kind * int) list; tile_bytes : int; pool : t }
+  | Sh_pooled of { pool : t }
+
+type placed = {
+  pl_name : string;
+  pl_order : int;
+  pl_slot : slot;
+  pl_demand : t;
+  pl_element : Flexbpf.Ast.element;
+}
+
+type snapshot = {
+  snap_device : string;
+  shape : shape;
+  max_block_cycles : int;
+  parser_capacity : int;
+  stage_used : t array; (* never mutated: copied on update *)
+  pool_used : t;
+  tiles_used : (tile_kind * int) list;
+  pem_used : int;
+  placed : placed list; (* sorted by pl_order *)
+  parser_rules : string list; (* rule names, in device order *)
+  map_refs : (string * int) list;
+  pending_unref : string list; (* deferred refcount drops, see [finalize] *)
+}
+
+val find_placed : snapshot -> string -> placed option
+
+(** Demand of an element within context [ctx], including map bytes for
+    maps not yet referenced in the snapshot (first referencing element
+    pays). Returns (demand, newly charged maps). *)
+val element_demand :
+  snapshot -> ctx:Flexbpf.Ast.program -> Flexbpf.Ast.element ->
+  t * (string * int) list
+
+(** Minimum admissible stage for pipeline position [order] on a staged
+    shape (an element sits no earlier than its program-order
+    predecessors). *)
+val min_stage : snapshot -> order:int -> int
+
+(** Full install-time admission of one element of [ctx] at pipeline
+    position [order]: block-cycle bound, demand, architecture-specific
+    slotting, parser capacity for missing context rules. On success
+    returns the chosen slot and the post-install snapshot — exactly
+    what [Targets.Device.install] would do to the live device. *)
+val admit :
+  snapshot -> ctx:Flexbpf.Ast.program -> order:int -> Flexbpf.Ast.element ->
+  (slot * snapshot, reject) result
+
+(** Release a placed element: demand refunded now, map-reference drop
+    deferred to [finalize] (the device's frozen-window semantics, under
+    which all plans execute). [None] if absent. *)
+val release : snapshot -> string -> (slot * snapshot) option
+
+(** Process deferred map unrefs — the snapshot counterpart of the
+    device's thaw-time cleanup. *)
+val finalize : snapshot -> snapshot
+
+val add_parser_rule :
+  snapshot -> Flexbpf.Ast.parser_rule -> (snapshot, reject) result
+
+(** [None] if the rule is not present. *)
+val remove_parser_rule : snapshot -> string -> snapshot option
+
+(** Re-pack staged elements first-fit in pipeline order (the snapshot
+    counterpart of [Targets.Device.defragment], same first-fit, so a
+    planned defrag predicts the device's slots). Returns (moves, new
+    snapshot). *)
+val defragment : snapshot -> int * snapshot
+
+(** Occupied resources summed over the shape's partitions; tiles count
+    as whole tiles of SRAM. *)
+val used : snapshot -> t
+
+(** Structural differences between a predicted and an observed
+    snapshot — empty when the planner's model matched the device. *)
+val diff : snapshot -> snapshot -> string list
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

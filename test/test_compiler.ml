@@ -60,7 +60,7 @@ let test_vertical_split () =
   let prog =
     program "vert" [ small_table "t1"; heavy_block "offload"; small_table "t2" ]
   in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Error f -> Alcotest.failf "place: %a" Compiler.Placement.pp_failure f
   | Ok placement ->
     (* t1 prefers a switch *)
@@ -80,12 +80,12 @@ let test_vertical_split () =
 let test_order_preserved_along_path () =
   let path = mk_path () in
   let prog = program "o" (List.init 6 (fun i -> small_table (Printf.sprintf "t%d" i))) in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Error f -> Alcotest.failf "place: %a" Compiler.Placement.pp_failure f
   | Ok placement ->
     let pos name =
       let dev = Option.get (Compiler.Placement.where placement name) in
-      Compiler.Placement.device_position path dev
+      Option.get (Compiler.Placement.device_position path dev)
     in
     let ok = ref true in
     for i = 0 to 4 do
@@ -98,7 +98,7 @@ let test_placement_rollback () =
   (* an unplaceable program must leave the path untouched *)
   let path = [ Targets.Device.create ~id:"s0" Targets.Arch.drmt ] in
   let prog = program "bad" [ small_table "t"; heavy_block "won't-fit" ] in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Ok _ -> Alcotest.fail "expected failure: no offload target on path"
   | Error f ->
     check "failure names the block" true
@@ -112,10 +112,10 @@ let test_placement_rollback () =
 let test_unplace () =
   let path = mk_path () in
   let prog = program "p" [ small_table "t1"; small_table "t2" ] in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Error _ -> Alcotest.fail "place"
   | Ok placement ->
-    Compiler.Placement.unplace placement;
+    Runtime.Reconfig.unplace placement;
     check "everything removed" true
       (List.for_all (fun d -> Targets.Device.installed_names d = []) path)
 
@@ -135,38 +135,38 @@ let test_gc_enables_placement () =
   (* fill every stage with one big idle table *)
   let idle_names = List.init 12 (fun i -> Printf.sprintf "idle%d" i) in
   let idle_prog = program "idle" (List.map big_table idle_names) in
-  (match Compiler.Placement.place ~path idle_prog with
+  (match Runtime.Reconfig.place ~path idle_prog with
    | Ok _ -> ()
    | Error f -> Alcotest.failf "prefill: %a" Compiler.Placement.pp_failure f);
   let new_prog = program "new" [ big_table "fresh" ] in
   (* one-shot compilation fails *)
-  let once = Compiler.Fungible.place_once ~path new_prog in
-  check "bin-packing baseline fails" true (once.Compiler.Fungible.placement = None);
+  let once = Runtime.Reconfig.place_once ~path new_prog in
+  check "bin-packing baseline fails" true (once.Runtime.Reconfig.placement = None);
   (* fungible loop GCs the idle apps and succeeds *)
   let removable dev =
     List.filter
       (fun n -> String.length n >= 4 && String.sub n 0 4 = "idle")
       (Targets.Device.installed_names dev)
   in
-  let outcome = Compiler.Fungible.place_with_gc ~path ~removable new_prog in
+  let outcome = Runtime.Reconfig.place_with_gc ~path ~removable new_prog in
   check "fungible loop succeeds" true
-    (outcome.Compiler.Fungible.placement <> None);
-  check "iterated" true (outcome.Compiler.Fungible.iterations > 1);
-  check "reclaimed idle apps" true (outcome.Compiler.Fungible.gc_removed <> [])
+    (outcome.Runtime.Reconfig.placement <> None);
+  check "iterated" true (outcome.Runtime.Reconfig.iterations > 1);
+  check "reclaimed idle apps" true (outcome.Runtime.Reconfig.gc_removed <> [])
 
 let test_gc_loop_terminates () =
   (* nothing removable and nothing fits: loop must stop *)
   let sw = Targets.Device.create ~id:"s0" Targets.Arch.rmt in
   let path = [ sw ] in
   let pinned = program "pinned" (List.init 12 (fun i -> big_table (Printf.sprintf "p%d" i))) in
-  ignore (Compiler.Placement.place ~path pinned);
+  ignore (Runtime.Reconfig.place ~path pinned);
   let outcome =
-    Compiler.Fungible.place_with_gc ~path
+    Runtime.Reconfig.place_with_gc ~path
       ~removable:(fun _ -> [])
       (program "new" [ big_table "fresh" ])
   in
-  check "fails cleanly" true (outcome.Compiler.Fungible.placement = None);
-  check "did not spin" true (outcome.Compiler.Fungible.iterations <= 4)
+  check "fails cleanly" true (outcome.Runtime.Reconfig.placement = None);
+  check "did not spin" true (outcome.Runtime.Reconfig.iterations <= 4)
 
 (* -- Incremental recompilation -------------------------------------------------- *)
 
@@ -174,7 +174,7 @@ let base_prog = Apps.L2l3.program ()
 
 let test_deploy_and_patch_few_moves () =
   let path = mk_path () in
-  match Compiler.Incremental.deploy ~path base_prog with
+  match Runtime.Reconfig.deploy ~path base_prog with
   | Error f -> Alcotest.failf "deploy: %a" Compiler.Placement.pp_failure f
   | Ok dep ->
     let installed_before =
@@ -188,7 +188,7 @@ let test_deploy_and_patch_few_moves () =
             (Flexbpf.Patch.Before (Flexbpf.Patch.Sel_name "ipv4_lpm"),
              Apps.Firewall.block ~boundary:100 ()) ]
     in
-    (match Compiler.Incremental.apply_patch dep patch with
+    (match Runtime.Reconfig.apply_patch dep patch with
      | Error e -> Alcotest.failf "patch: %a" Compiler.Incremental.pp_error e
      | Ok (report, _diff) ->
        check_int "exactly one element moved" 1
@@ -203,7 +203,7 @@ let test_adjacent_placement () =
   (* the inserted element lands on the same device as its pipeline
      neighbours (maximal adjacency) *)
   let path = mk_path () in
-  match Compiler.Incremental.deploy ~path base_prog with
+  match Runtime.Reconfig.deploy ~path base_prog with
   | Error _ -> Alcotest.fail "deploy"
   | Ok dep ->
     let lpm_dev =
@@ -215,7 +215,7 @@ let test_adjacent_placement () =
             (Flexbpf.Patch.Before (Flexbpf.Patch.Sel_name "ipv4_lpm"),
              small_table "inserted") ]
     in
-    (match Compiler.Incremental.apply_patch dep patch with
+    (match Runtime.Reconfig.apply_patch dep patch with
      | Error e -> Alcotest.failf "patch: %a" Compiler.Incremental.pp_error e
      | Ok _ ->
        let ins_dev =
@@ -227,14 +227,14 @@ let test_adjacent_placement () =
 
 let test_remove_patch_releases () =
   let path = mk_path () in
-  match Compiler.Incremental.deploy ~path base_prog with
+  match Runtime.Reconfig.deploy ~path base_prog with
   | Error _ -> Alcotest.fail "deploy"
   | Ok dep ->
     let patch =
       Flexbpf.Patch.v "rm-acl"
         [ Flexbpf.Patch.Remove_element (Flexbpf.Patch.Sel_name "acl") ]
     in
-    (match Compiler.Incremental.apply_patch dep patch with
+    (match Runtime.Reconfig.apply_patch dep patch with
      | Error e -> Alcotest.failf "patch: %a" Compiler.Incremental.pp_error e
      | Ok (report, _) ->
        check "acl uninstalled everywhere" true
@@ -252,7 +252,7 @@ let test_replace_carries_state () =
   let prog =
     program "stateful" ~maps:[ map_decl ~key_arity:1 ~size:16 "hits" ] [ counter ]
   in
-  match Compiler.Incremental.deploy ~path prog with
+  match Runtime.Reconfig.deploy ~path prog with
   | Error _ -> Alcotest.fail "deploy"
   | Ok dep ->
     let dev = Option.get (Compiler.Placement.where dep.Compiler.Incremental.dep_placement "cnt") in
@@ -264,7 +264,7 @@ let test_replace_carries_state () =
       Flexbpf.Patch.v "swap"
         [ Flexbpf.Patch.Replace_element (Flexbpf.Patch.Sel_name "cnt", counter2) ]
     in
-    (match Compiler.Incremental.apply_patch dep patch with
+    (match Runtime.Reconfig.apply_patch dep patch with
      | Error e -> Alcotest.failf "patch: %a" Compiler.Incremental.pp_error e
      | Ok _ ->
        let dev' =
@@ -277,7 +277,7 @@ let test_replace_carries_state () =
 
 let test_incremental_beats_full_recompile () =
   let path = mk_path () in
-  match Compiler.Incremental.deploy ~path base_prog with
+  match Runtime.Reconfig.deploy ~path base_prog with
   | Error _ -> Alcotest.fail "deploy"
   | Ok dep ->
     let patch =
@@ -285,17 +285,17 @@ let test_incremental_beats_full_recompile () =
         [ Flexbpf.Patch.Add_element (Flexbpf.Patch.At_end, small_table "extra") ]
     in
     let inc_report =
-      match Compiler.Incremental.apply_patch dep patch with
+      match Runtime.Reconfig.apply_patch dep patch with
       | Ok (r, _) -> r
       | Error e -> Alcotest.failf "patch: %a" Compiler.Incremental.pp_error e
     in
     (* second path, same starting deployment, full recompile *)
     let path2 = mk_path () in
-    (match Compiler.Incremental.deploy ~path:path2 base_prog with
+    (match Runtime.Reconfig.deploy ~path:path2 base_prog with
      | Error _ -> Alcotest.fail "deploy2"
      | Ok dep2 ->
        let new_prog = dep.Compiler.Incremental.dep_prog in
-       (match Compiler.Incremental.full_recompile dep2 new_prog with
+       (match Runtime.Reconfig.full_recompile dep2 new_prog with
         | Error e -> Alcotest.failf "recompile: %a" Compiler.Incremental.pp_error e
         | Ok full_report ->
           check "incremental moves fewer elements" true
@@ -307,7 +307,7 @@ let test_incremental_beats_full_recompile () =
 
 let test_parser_patch_propagates () =
   let path = mk_path () in
-  match Compiler.Incremental.deploy ~path base_prog with
+  match Runtime.Reconfig.deploy ~path base_prog with
   | Error _ -> Alcotest.fail "deploy"
   | Ok dep ->
     let patch =
@@ -315,7 +315,7 @@ let test_parser_patch_propagates () =
         [ Flexbpf.Patch.Add_header (header "gre" [ ("proto", 16) ]);
           Flexbpf.Patch.Add_parser_rule (parser_rule "parse_gre" [ "ethernet"; "gre" ]) ]
     in
-    (match Compiler.Incremental.apply_patch dep patch with
+    (match Runtime.Reconfig.apply_patch dep patch with
      | Error e -> Alcotest.failf "patch: %a" Compiler.Incremental.pp_error e
      | Ok (report, diff) ->
        check "diff flags parser" true diff.Flexbpf.Patch.parser_changed;
@@ -394,7 +394,7 @@ let test_merge_chain () =
 let test_sla_estimate_and_certify () =
   let path = mk_path () in
   let prog = program "p" [ small_table "t" ] in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Error _ -> Alcotest.fail "place"
   | Ok placement ->
     let e = Compiler.Sla.estimate placement in
@@ -416,7 +416,7 @@ let test_sla_penalizes_host_placement () =
   let host_path = [ Targets.Device.create ~id:"h" Targets.Arch.host_ebpf ] in
   let prog = program "p" [ small_table "t" ] in
   let est path =
-    match Compiler.Placement.place ~path prog with
+    match Runtime.Reconfig.place ~path prog with
     | Ok p -> Compiler.Sla.estimate p
     | Error _ -> Alcotest.fail "place"
   in
@@ -433,7 +433,7 @@ let test_consolidation_powers_off () =
     program "spread"
       [ small_table "t0"; heavy_block "ob0"; small_table "t1" ]
   in
-  match Compiler.Placement.place ~path prog with
+  match Runtime.Reconfig.place ~path prog with
   | Error f -> Alcotest.failf "place: %a" Compiler.Placement.pp_failure f
   | Ok placement ->
     let report = Compiler.Energy.consolidate placement in

@@ -84,7 +84,7 @@ let mk_deployment () =
       Targets.Device.create ~id:"s1" Targets.Arch.drmt;
       Targets.Device.create ~id:"h1" Targets.Arch.host_ebpf ]
   in
-  match Compiler.Incremental.deploy ~path (Apps.L2l3.program ()) with
+  match Runtime.Reconfig.deploy ~path (Apps.L2l3.program ()) with
   | Ok dep -> (path, dep)
   | Error f -> Alcotest.failf "deploy: %a" Compiler.Placement.pp_failure f
 

@@ -197,10 +197,9 @@ let reconfig_under_crash ~restart_after ~max_retries =
   in
   let outcome = ref None in
   Netsim.Sim.at sim 1.0 (fun () ->
-      Runtime.Reconfig.execute ~sim ~mode:Runtime.Reconfig.Hitless ~wireds
+      Runtime.Reconfig.execute_plan ~sim ~mode:Runtime.Reconfig.Hitless ~wireds
         ~plan ~max_retries ~retry_backoff:0.02
-        ~on_done:(fun o -> outcome := Some o)
-        (fun () -> ignore (Targets.Device.install dev ~ctx:prog ~order:0 counter)));
+        ~on_done:(fun o -> outcome := Some o) ());
   ignore (Netsim.Sim.run sim);
   (dev, Option.get !outcome)
 
@@ -222,6 +221,86 @@ let test_reconfig_atomic_abort () =
   check "element absent after abort" false
     (List.mem "cnt" (Targets.Device.installed_names dev));
   check "device not left frozen" false (Targets.Device.is_frozen dev)
+
+(* -- Deploy (not patch) under a crash: the whole placement plan comes
+   from the pure planner and runs through the same engine, so a crash
+   mid-deploy must leave every device hosting its full planned element
+   set or none of it -------------------------------------------------- *)
+
+let deploy_under_crash ~restart_after ~max_retries =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches:2 () in
+  let topo = built.Netsim.Topology.topo in
+  let devs =
+    List.mapi
+      (fun i _ ->
+        Targets.Device.create ~id:(Printf.sprintf "s%d" i) Targets.Arch.drmt)
+      built.Netsim.Topology.switch_list
+  in
+  let wireds =
+    List.map2
+      (fun n d -> Runtime.Wiring.attach topo n d)
+      built.Netsim.Topology.switch_list devs
+  in
+  let faults =
+    Netsim.Faults.create ~sim ~seed:3
+      [ Netsim.Faults.Device_crash { device = "s0"; at = 1.02; restart_after } ]
+  in
+  List.iter (Runtime.Wiring.bind_faults faults) wireds;
+  let prog =
+    program "d"
+      ~maps:[ map_decl ~key_arity:1 ~size:4 "hits" ]
+      [ block "acl" [ set_meta "ok" (const 1) ];
+        block "route" [ set_meta "port" (const 2) ];
+        block "cnt" [ map_incr "hits" [ const 0 ] ] ]
+  in
+  let planned =
+    match Compiler.Placement.plan ~path:devs prog with
+    | Ok p -> p
+    | Error _ -> Alcotest.fail "deploy planning failed"
+  in
+  let plan = planned.Compiler.Placement.pln_plan in
+  let outcome = ref None in
+  Netsim.Sim.at sim 1.0 (fun () ->
+      Runtime.Reconfig.execute_plan ~sim ~mode:Runtime.Reconfig.Hitless ~wireds
+        ~plan ~max_retries ~retry_backoff:0.02
+        ~on_done:(fun o -> outcome := Some o) ());
+  ignore (Netsim.Sim.run sim);
+  (devs, plan, Option.get !outcome)
+
+(* every device hosts its full planned element set or none of it, in
+   agreement with the engine's verdict, and ends thawed *)
+let deploy_old_xor_new devs plan (o : Runtime.Reconfig.outcome) =
+  List.for_all
+    (fun d ->
+      let id = Targets.Device.id d in
+      let planned_here =
+        List.filter_map
+          (function
+            | Compiler.Plan.Install { device; element; _ } when device = id ->
+              Some (Flexbpf.Ast.element_name element)
+            | _ -> None)
+          plan.Compiler.Plan.ops
+      in
+      let inst = Targets.Device.installed_names d in
+      let present = List.filter (fun n -> List.mem n inst) planned_here in
+      (not (Targets.Device.is_frozen d))
+      && (present = [] || List.length present = List.length planned_here)
+      && (planned_here = []
+          || (present <> []) = not o.Runtime.Reconfig.rolled_back))
+    devs
+
+let test_deploy_crash_redrive () =
+  let devs, plan, o = deploy_under_crash ~restart_after:0.01 ~max_retries:3 in
+  check "deploy completed" false o.Runtime.Reconfig.rolled_back;
+  check "took a re-drive" true (o.Runtime.Reconfig.attempts > 1);
+  check "old-XOR-new on every device" true (deploy_old_xor_new devs plan o);
+  check_int "one crash injected" 1 (Targets.Device.crashes (List.hd devs))
+
+let test_deploy_crash_atomic_abort () =
+  let devs, plan, o = deploy_under_crash ~restart_after:30.0 ~max_retries:2 in
+  check "deploy rolled back" true o.Runtime.Reconfig.rolled_back;
+  check "old-XOR-new on every device" true (deploy_old_xor_new devs plan o)
 
 (* -- qcheck: old-XOR-new under arbitrary seeded fault plans -------------- *)
 
@@ -408,6 +487,10 @@ let () =
         [ Alcotest.test_case "re-drive after crash" `Quick
             test_reconfig_redrive_after_crash;
           Alcotest.test_case "atomic abort" `Quick test_reconfig_atomic_abort;
+          Alcotest.test_case "deploy crash: re-drive lands full plan" `Quick
+            test_deploy_crash_redrive;
+          Alcotest.test_case "deploy crash: atomic abort" `Quick
+            test_deploy_crash_atomic_abort;
           to_alcotest prop_fault_plan_old_xor_new ] );
       ( "control",
         [ Alcotest.test_case "replication failover+rejoin" `Quick

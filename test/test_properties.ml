@@ -292,7 +292,7 @@ let prop_placement_all_or_nothing =
           (fun acc d -> acc + List.length (Targets.Device.installed_names d))
           0 path
       in
-      match Compiler.Placement.place ~path prog with
+      match Runtime.Reconfig.place ~path prog with
       | Ok _ -> installed () = n
       | Error _ -> installed () = 0)
 

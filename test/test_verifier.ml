@@ -255,7 +255,7 @@ let test_tenant_diagnostics_recorded () =
       Targets.Device.create ~id:"h1" Targets.Arch.host_ebpf ]
   in
   let dep =
-    match Compiler.Incremental.deploy ~path (Apps.L2l3.program ()) with
+    match Runtime.Reconfig.deploy ~path (Apps.L2l3.program ()) with
     | Ok dep -> dep
     | Error f -> Alcotest.failf "deploy: %a" Compiler.Placement.pp_failure f
   in
