@@ -490,6 +490,93 @@ let demo_cmd =
        ~doc:"Deploy a network, run traffic, and apply a hitless runtime patch")
     Term.(const run $ arch_arg $ switches_arg)
 
+(* -- metrics / trace ----------------------------------------------------- *)
+
+(* Shared observed workload for the metrics/trace subcommands: the demo
+   scenario (deploy, CBR traffic, a hitless telemetry patch at t=1)
+   plus a burst of dRPC calls, so every instrumented layer contributes
+   series and spans. *)
+let observed_workload ~arch ~switches =
+  let net = Flexnet.create ~arch ~switches () in
+  (match Flexnet.deploy_infrastructure net with
+   | Ok _ -> ()
+   | Error e -> failwith e);
+  let sim = Flexnet.sim net in
+  let h0 = Flexnet.h0 net and h1 = Flexnet.h1 net in
+  let gen = Netsim.Traffic.create sim in
+  Netsim.Traffic.cbr gen ~rate_pps:1000. ~start:0. ~stop:2.0 ~send:(fun () ->
+      Flexnet.send_h0 net
+        (Netsim.Traffic.tcp_packet ~src:h0.Netsim.Node.id
+           ~dst:h1.Netsim.Node.id ~sport:1234 ~dport:80
+           ~born:(Netsim.Sim.now sim) ()));
+  let patch =
+    Flexbpf.Patch.v "add-telemetry"
+      [ Flexbpf.Patch.Add_map Apps.Telemetry.flow_bytes_map;
+        Flexbpf.Patch.Add_element
+          (Flexbpf.Patch.Before (Flexbpf.Patch.Sel_name "ipv4_lpm"),
+           Apps.Telemetry.flow_counter) ]
+  in
+  Netsim.Sim.at sim 1.0 (fun () ->
+      match Flexnet.patch_hitless net patch with
+      | Ok _ -> ()
+      | Error e -> Fmt.epr "patch failed: %a@." Compiler.Incremental.pp_error e);
+  let drpc = Flexnet.drpc net in
+  Runtime.Drpc.register_standard drpc ~fleet:(Flexnet.path net)
+    ~map_name:"flow_bytes";
+  Netsim.Sim.at sim 1.5 (fun () ->
+      for _ = 1 to 5 do
+        Runtime.Drpc.invoke_dataplane drpc "heartbeat" [] ~k:(fun _ -> ())
+      done);
+  Flexnet.run net ~until:3.0;
+  Flexnet.obs net
+
+let metrics_cmd =
+  let metrics_format_arg =
+    Arg.(value
+         & opt (enum [ ("table", `Table); ("prometheus", `Prometheus) ]) `Table
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:
+               "Output format: human $(b,table) or $(b,prometheus) text \
+                exposition")
+  in
+  let run arch switches format =
+    let scope = observed_workload ~arch ~switches in
+    let m = Obs.Scope.metrics scope in
+    print_string
+      (match format with
+       | `Table -> Obs.Export.metrics_table m
+       | `Prometheus -> Obs.Export.prometheus m)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run the demo workload and export the unified metrics registry \
+          (counters, gauges, latency histograms)")
+    Term.(const run $ arch_arg $ switches_arg $ metrics_format_arg)
+
+let trace_cmd =
+  let trace_format_arg =
+    Arg.(value & opt (enum [ ("jsonl", `Jsonl); ("table", `Table) ]) `Jsonl
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:
+               "Output format: one JSON object per span ($(b,jsonl)) or a \
+                human $(b,table)")
+  in
+  let run arch switches format =
+    let scope = observed_workload ~arch ~switches in
+    let tr = Obs.Scope.trace scope in
+    print_string
+      (match format with
+       | `Jsonl -> Obs.Export.trace_jsonl tr
+       | `Table -> Obs.Export.trace_table tr)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run the demo workload and dump the reconfiguration/dRPC span \
+          trace (deterministic under a fixed seed)")
+    Term.(const run $ arch_arg $ switches_arg $ trace_format_arg)
+
 (* -- attack ------------------------------------------------------------- *)
 
 let peak_arg =
@@ -618,4 +705,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; lint_cmd; inject_cmd;
-          demo_cmd; plan_cmd; attack_cmd; migrate_cmd ]))
+          demo_cmd; plan_cmd; metrics_cmd; trace_cmd; attack_cmd;
+          migrate_cmd ]))

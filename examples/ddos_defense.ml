@@ -123,13 +123,28 @@ let () =
 
   Flexnet.run net ~until:8.5;
 
+  (* attack summary via the unified registry: fold the scenario's own
+     outcomes in next to what the stack recorded on its own
+     (elastic.scale_events, device reconfigs, link counters), and let
+     the exporter render one deterministic table *)
   let total_scrubbed = !scrubbed_acc + live_scrubbed () in
-  pf "@.attack summary:@.";
-  pf "  spoofed SYNs scrubbed in-network: %d@." total_scrubbed;
-  pf "  spoofed SYNs reaching the victim: %d@."
-    (!syn_arrivals - !legit_delivered);
-  pf "  legitimate SYNs delivered: %d / %d@." !legit_delivered !legit_sent;
-  pf "  defense footprint after attack: %d replicas (expected 0)@." !replicas;
+  let metrics = Obs.Scope.metrics (Flexnet.obs net) in
+  Obs.Metrics.incr metrics ~by:total_scrubbed "ddos.scrubbed";
+  Obs.Metrics.incr metrics ~by:(!syn_arrivals - !legit_delivered)
+    "ddos.victim_syns";
+  Obs.Metrics.incr metrics ~by:!legit_delivered "ddos.legit_delivered";
+  Obs.Metrics.incr metrics ~by:!legit_sent "ddos.legit_sent";
+  Obs.Metrics.set_gauge metrics "ddos.final_replicas" (float_of_int !replicas);
+  pf "@.attack summary (obs registry, ddos.* and elastic.*):@.";
+  List.iter
+    (fun line ->
+      if
+        String.starts_with ~prefix:"ddos." line
+        || String.starts_with ~prefix:"elastic." line
+        || String.starts_with ~prefix:"metric" line
+      then pf "  %s@." line)
+    (String.split_on_char '\n' (Obs.Export.metrics_table metrics));
   assert (!replicas = 0);
   assert (total_scrubbed > 0);
+  assert (Obs.Metrics.get_counter metrics "ddos.scrubbed" > 0);
   pf "@.ddos defense OK@."

@@ -35,6 +35,9 @@ type t = {
 
 let devices t = List.map (fun w -> w.Runtime.Wiring.device) t.wireds
 
+(* every management operation traces into the simulation's scope *)
+let obs t = Netsim.Sim.obs t.sim
+
 let create ~sim ~topo ~wireds =
   let t =
     { sim; topo; wireds; apps = Hashtbl.create 16; apis = Hashtbl.create 16;
@@ -142,14 +145,24 @@ let inject_on t uri ~device =
                     ctx = app.program; order = 1000 + i })
               app.program.Ast.pipeline)
        in
-       (match Runtime.Reconfig.run_plan ~devices:[ device ] plan with
-        | Error e -> Error (Operation_failed e)
-        | Ok () ->
-          app.replicas <- device :: app.replicas;
-          journal t
-            (Printf.sprintf "inject %s on %s" (Uri.to_string uri)
-               (Targets.Device.id device));
-          Ok ()))
+       Obs.Trace.with_span
+         (Obs.Scope.trace (obs t))
+         "controller.inject"
+         ~attrs:
+           [ ("app", Obs.Trace.S (Uri.to_string uri));
+             ("device", Obs.Trace.S (Targets.Device.id device)) ]
+         (fun parent ->
+           match
+             Runtime.Reconfig.run_plan ~obs:(obs t) ~parent
+               ~devices:[ device ] plan
+           with
+           | Error e -> Error (Operation_failed e)
+           | Ok () ->
+             app.replicas <- device :: app.replicas;
+             journal t
+               (Printf.sprintf "inject %s on %s" (Uri.to_string uri)
+                  (Targets.Device.id device));
+             Ok ()))
 
 (** Retire an app replica from a device (defense retirement, scale-in). *)
 let retire_from t uri ~device =
@@ -166,7 +179,16 @@ let retire_from t uri ~device =
                  element_name = Ast.element_name el })
            app.program.Ast.pipeline)
     in
-    ignore (Runtime.Reconfig.run_plan ~devices:[ device ] plan);
+    Obs.Trace.with_span
+      (Obs.Scope.trace (obs t))
+      "controller.retire"
+      ~attrs:
+        [ ("app", Obs.Trace.S (Uri.to_string uri));
+          ("device", Obs.Trace.S (Targets.Device.id device)) ]
+      (fun parent ->
+        ignore
+          (Runtime.Reconfig.run_plan ~obs:(obs t) ~parent ~devices:[ device ]
+             plan));
     app.replicas <-
       List.filter
         (fun d -> Targets.Device.id d <> Targets.Device.id device)
@@ -256,7 +278,7 @@ let handle_device_restart t dev_id =
                if not (List.mem name (Targets.Device.installed_names dev))
                then
                  match
-                   Runtime.Reconfig.run_plan ~devices:[ dev ]
+                   Runtime.Reconfig.run_plan ~obs:(obs t) ~devices:[ dev ]
                      (Compiler.Plan.v "reresolve"
                         [ Compiler.Plan.Install
                             { device = dev_id; element = el;

@@ -33,10 +33,20 @@ let step t =
   let want = desired t load in
   let now = Netsim.Sim.now t.sim in
   if want <> t.replicas && now -. t.last_change >= t.cooldown then begin
+    let from = t.replicas in
     t.replicas <- want;
     t.last_change <- now;
     t.events <- (now, want) :: t.events;
-    t.scale_to want
+    let scope = Netsim.Sim.obs t.sim in
+    Obs.Metrics.incr (Obs.Scope.metrics scope)
+      ~labels:[ ("policy", t.name) ]
+      "elastic.scale_events";
+    Obs.Trace.with_span (Obs.Scope.trace scope) "elastic.scale"
+      ~attrs:
+        [ ("policy", Obs.Trace.S t.name);
+          ("from", Obs.Trace.I from);
+          ("to", Obs.Trace.I want) ]
+      (fun _ -> t.scale_to want)
   end
 
 let create ?(min_replicas = 0) ?(max_replicas = 8) ?(cooldown = 0.2)

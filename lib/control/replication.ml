@@ -23,8 +23,12 @@ type t = {
   mutable running : bool;
 }
 
+let count t name =
+  Obs.Metrics.incr (Obs.Scope.metrics (Netsim.Sim.obs t.sim)) name
+
 let sync_once t =
   t.syncs <- t.syncs + 1;
+  count t "replication.syncs";
   t.last_sync <- Netsim.Sim.now t.sim;
   List.iter
     (fun b ->
@@ -60,6 +64,7 @@ let failover t =
     t.primary <- b;
     t.backups <- rest;
     t.failovers <- t.failovers + 1;
+    count t "replication.failovers";
     Some b
 
 (** Entries that existed on the primary but are missing/stale on a
@@ -107,6 +112,7 @@ let rejoin t dev =
   then begin
     t.backups <- t.backups @ [ dev ];
     t.rejoins <- t.rejoins + 1;
+    count t "replication.rejoins";
     if t.running then sync_once t
   end
 

@@ -39,6 +39,11 @@ let create ?(exports = []) ~sim deployment =
   { sim; deployment; exports; tenants = []; next_vlan = 100; admitted = 0;
     rejected = 0; departed = 0 }
 
+(* lifecycle counters mirror the record fields into the simulation's
+   unified registry *)
+let count t name =
+  Obs.Metrics.incr (Obs.Scope.metrics (Netsim.Sim.obs t.sim)) name
+
 let find t name = List.find_opt (fun x -> x.tenant_name = name) t.tenants
 
 type admission_error =
@@ -87,49 +92,65 @@ let injection_patch ~tenant_name ~base (ext : Ast.program) =
     live-patched and the tenant is registered. *)
 let admit t (ext : Ast.program) =
   let tenant_name = ext.Ast.owner in
-  if find t tenant_name <> None then begin
-    t.rejected <- t.rejected + 1;
-    Error Already_present
-  end
-  else
-    match Analysis.certify ext with
-    | Error r ->
-      t.rejected <- t.rejected + 1;
-      Error (Certification r)
-    | Ok cert ->
-      let namespaced = Compose.namespace ext in
-      (match Compose.check_access ~exports:t.exports namespaced with
-       | _ :: _ as violations ->
-         t.rejected <- t.rejected + 1;
-         Error (Access_control violations)
-       | [] ->
-         let vlan = t.next_vlan in
-         let guarded =
-           { namespaced with
-             Ast.pipeline =
-               List.map (Compose.guard_element ~vlan) namespaced.Ast.pipeline }
-         in
-         let patch =
-           injection_patch ~tenant_name
-             ~base:t.deployment.Compiler.Incremental.dep_prog guarded
-         in
-         (match Runtime.Reconfig.apply_patch t.deployment patch with
-          | Error e ->
+  let scope = Netsim.Sim.obs t.sim in
+  let result =
+    Obs.Trace.with_span (Obs.Scope.trace scope) "tenant.admit"
+      ~attrs:[ ("tenant", Obs.Trace.S tenant_name) ]
+      (fun span ->
+        let result =
+          if find t tenant_name <> None then begin
             t.rejected <- t.rejected + 1;
-            Error (Compilation e)
-          | Ok (report, _diff) ->
-            t.next_vlan <- t.next_vlan + 1;
-            let tenant =
-              { tenant_name; vlan; arrived_at = Netsim.Sim.now t.sim;
-                element_names = List.map Ast.element_name guarded.Ast.pipeline;
-                map_names =
-                  List.map (fun (m : Ast.map_decl) -> m.map_name)
-                    guarded.Ast.maps;
-                diagnostics = cert.Analysis.cert_warnings }
-            in
-            t.tenants <- tenant :: t.tenants;
-            t.admitted <- t.admitted + 1;
-            Ok (tenant, report)))
+            Error Already_present
+          end
+          else
+            match Analysis.certify ext with
+            | Error r ->
+              t.rejected <- t.rejected + 1;
+              Error (Certification r)
+            | Ok cert ->
+              let namespaced = Compose.namespace ext in
+              (match Compose.check_access ~exports:t.exports namespaced with
+               | _ :: _ as violations ->
+                 t.rejected <- t.rejected + 1;
+                 Error (Access_control violations)
+               | [] ->
+                 let vlan = t.next_vlan in
+                 let guarded =
+                   { namespaced with
+                     Ast.pipeline =
+                       List.map (Compose.guard_element ~vlan)
+                         namespaced.Ast.pipeline }
+                 in
+                 let patch =
+                   injection_patch ~tenant_name
+                     ~base:t.deployment.Compiler.Incremental.dep_prog guarded
+                 in
+                 (match
+                    Runtime.Reconfig.apply_patch ~obs:scope t.deployment patch
+                  with
+                  | Error e ->
+                    t.rejected <- t.rejected + 1;
+                    Error (Compilation e)
+                  | Ok (report, _diff) ->
+                    t.next_vlan <- t.next_vlan + 1;
+                    let tenant =
+                      { tenant_name; vlan; arrived_at = Netsim.Sim.now t.sim;
+                        element_names =
+                          List.map Ast.element_name guarded.Ast.pipeline;
+                        map_names =
+                          List.map (fun (m : Ast.map_decl) -> m.map_name)
+                            guarded.Ast.maps;
+                        diagnostics = cert.Analysis.cert_warnings }
+                    in
+                    t.tenants <- tenant :: t.tenants;
+                    t.admitted <- t.admitted + 1;
+                    Ok (tenant, report)))
+        in
+        Obs.Trace.add_attr span "ok" (Obs.Trace.B (Result.is_ok result));
+        result)
+  in
+  count t (if Result.is_ok result then "tenants.admitted" else "tenants.rejected");
+  result
 
 (** Tenant departure: remove every element, map, and parser rule the
     tenant owns, releasing the resources. *)
@@ -162,13 +183,21 @@ let depart t tenant_name =
           tenant.map_names
     in
     let patch = Patch.v ~owner:tenant_name (tenant_name ^ "-departure") ops in
-    (match Runtime.Reconfig.apply_patch t.deployment patch with
-     | Error e ->
-       Error (Departure_failed (Fmt.str "%a" Compiler.Incremental.pp_error e))
-     | Ok (report, _) ->
-       t.tenants <- List.filter (fun x -> x != tenant) t.tenants;
-       t.departed <- t.departed + 1;
-       Ok report)
+    let scope = Netsim.Sim.obs t.sim in
+    Obs.Trace.with_span (Obs.Scope.trace scope) "tenant.depart"
+      ~attrs:[ ("tenant", Obs.Trace.S tenant_name) ]
+      (fun span ->
+        match Runtime.Reconfig.apply_patch ~obs:scope t.deployment patch with
+        | Error e ->
+          Obs.Trace.add_attr span "ok" (Obs.Trace.B false);
+          Error
+            (Departure_failed (Fmt.str "%a" Compiler.Incremental.pp_error e))
+        | Ok (report, _) ->
+          t.tenants <- List.filter (fun x -> x != tenant) t.tenants;
+          t.departed <- t.departed + 1;
+          count t "tenants.departed";
+          Obs.Trace.add_attr span "ok" (Obs.Trace.B true);
+          Ok report)
 
 let active_count t = List.length t.tenants
 

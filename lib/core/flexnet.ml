@@ -97,6 +97,11 @@ let create ?(arch = Targets.Arch.Drmt) ?(switches = 3) ?(link_bandwidth = 10e9)
     @ [ Runtime.Wiring.attach topo nic1 nic1_dev ]
   in
   let path = (host0_dev :: nic0_dev :: sw_devs) @ [ nic1_dev; host1_dev ] in
+  (* host-stack devices are placement targets but not wired; give them
+     the simulation's observability scope explicitly *)
+  List.iter
+    (fun d -> Targets.Device.set_obs d (Some (Netsim.Sim.obs sim)))
+    [ host0_dev; host1_dev ];
   let controller = Control.Controller.create ~sim ~topo ~wireds in
   let drpc = Runtime.Drpc.create sim in
   List.iter (fun d -> Runtime.Drpc.bind_device drpc d) path;
@@ -107,10 +112,14 @@ let h0 t = t.h0
 let h1 t = t.h1
 let drpc t = t.drpc
 
+(** The network's observability scope (the simulation's): unified
+    metrics registry and span tracer for everything running in it. *)
+let obs t = Netsim.Sim.obs t.sim
+
 (** Deploy the L2/L3 infrastructure program over the fungible datapath
     and populate routing rules on the devices that host the tables. *)
 let deploy_infrastructure ?(program = Apps.L2l3.program ()) t =
-  match Runtime.Reconfig.deploy ~path:t.path program with
+  match Runtime.Reconfig.deploy ~obs:(obs t) ~path:t.path program with
   | Error f -> Error (Fmt.str "%a" Compiler.Placement.pp_failure f)
   | Ok deployment ->
     t.deployment <- Some deployment;
@@ -155,7 +164,7 @@ let remove_tenant t name = Control.Tenants.depart (tenants_exn t) name
 (** Apply a runtime patch to the infrastructure program: plan over
     snapshots, execute through the reconfiguration engine. *)
 let patch_infrastructure t patch =
-  Runtime.Reconfig.apply_patch (deployment_exn t) patch
+  Runtime.Reconfig.apply_patch ~obs:(obs t) (deployment_exn t) patch
 
 (** Apply a patch hitlessly over simulated time: every device is frozen
     (keeps serving the old program), the planned ops are executed
@@ -165,7 +174,7 @@ let patch_hitless ?(on_done = fun (_ : Compiler.Incremental.report) -> ()) t
     patch =
   let dep = deployment_exn t in
   List.iter (fun w -> Targets.Device.freeze w.Runtime.Wiring.device) t.wireds;
-  match Runtime.Reconfig.apply_patch dep patch with
+  match Runtime.Reconfig.apply_patch ~obs:(obs t) dep patch with
   | Error _ as e ->
     List.iter (fun w -> Targets.Device.rollback w.Runtime.Wiring.device) t.wireds;
     e

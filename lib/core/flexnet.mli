@@ -54,6 +54,10 @@ val h0 : t -> Netsim.Node.t
 val h1 : t -> Netsim.Node.t
 val drpc : t -> Runtime.Drpc.t
 
+(** The network's observability scope (the simulation's): unified
+    metrics registry and span tracer for everything running in it. *)
+val obs : t -> Obs.Scope.t
+
 (** Deploy the L2/L3 infrastructure program over the fungible datapath
     and populate routes on the devices hosting the tables. Must be
     called before tenant/patch operations. *)

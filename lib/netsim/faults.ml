@@ -54,8 +54,11 @@ type t = {
 }
 
 let create ~sim ~seed plan =
+  (* injection counters live in the simulation's unified registry *)
   { sim; rng = Random.State.make [| seed |]; plan;
-    counters = Stats.Counters.create (); subscribers = [] }
+    counters = Obs.Scope.metrics (Sim.obs sim); subscribers = [] }
+
+let tracer t = Obs.Scope.trace (Sim.obs t.sim)
 
 let plan t = t.plan
 let counters t = t.counters
@@ -91,23 +94,41 @@ let bind_link t link =
   List.iter
     (function
       | Link_window l when glob_matches l.link name ->
-        let on, off =
+        let kind, arm, clear =
           match l.what with
           | Loss p ->
-            ( (fun () ->
+            ( "loss",
+              (fun () ->
                 Stats.Counters.incr t.counters "faults.link.loss_windows";
                 Link.set_loss link ~rng:t.rng p),
               fun () -> Link.set_loss link 0. )
           | Extra_delay d ->
-            ( (fun () ->
+            ( "delay",
+              (fun () ->
                 Stats.Counters.incr t.counters "faults.link.delay_windows";
                 Link.set_extra_delay link d),
               fun () -> Link.set_extra_delay link 0. )
           | Down ->
-            ( (fun () ->
+            ( "partition",
+              (fun () ->
                 Stats.Counters.incr t.counters "faults.link.partitions";
                 Link.set_up link false),
               fun () -> Link.set_up link true )
+        in
+        (* the window span opens when the fault arms and closes when it
+           clears; the ref threads it between the two scheduled events *)
+        let window = ref None in
+        let on () =
+          window :=
+            Some
+              (Obs.Trace.start (tracer t) "fault.link_window"
+                 ~attrs:[ ("link", Obs.Trace.S name); ("kind", Obs.Trace.S kind) ]);
+          arm ()
+        and off () =
+          clear ();
+          match !window with
+          | Some span -> Obs.Trace.finish (tracer t) span
+          | None -> ()
         in
         schedule_window t ~start:l.start ~stop:l.stop ~on ~off
       | _ -> ())
@@ -130,12 +151,21 @@ let register_device t id ~crash ~restart =
       | Device_crash d when d.device = id ->
         let now = Sim.now t.sim in
         if d.at >= now then begin
+          (* downtime span: crash opens it, restart closes it *)
+          let window = ref None in
           Sim.at t.sim d.at (fun () ->
               Stats.Counters.incr t.counters "faults.device.crashes";
+              window :=
+                Some
+                  (Obs.Trace.start (tracer t) "fault.device_crash"
+                     ~attrs:[ ("device", Obs.Trace.S id) ]);
               crash ();
               List.iter (fun f -> f id `Crash) t.subscribers);
           Sim.at t.sim (d.at +. d.restart_after) (fun () ->
               restart ();
+              (match !window with
+               | Some span -> Obs.Trace.finish (tracer t) span
+               | None -> ());
               List.iter (fun f -> f id `Restart) t.subscribers)
         end
       | _ -> ())

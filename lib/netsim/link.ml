@@ -22,21 +22,27 @@ type t = {
   mutable loss_prob : float;
   mutable loss_rng : Random.State.t option;
   mutable extra_delay : float;
-  (* statistics *)
-  mutable tx_packets : int;
-  mutable tx_bytes : int;
-  mutable drops : int;
-  mutable fault_drops : int;
-  mutable ecn_marks : int;
+  (* statistics: handles into the simulation's unified registry,
+     labeled by link name *)
+  tx_packets : int ref;
+  tx_bytes : int ref;
+  drops : int ref;
+  fault_drops : int ref;
+  ecn_marks : int ref;
   depth_series : Stats.Series.t;
 }
 
 let create ~sim ~name ?(bandwidth = 10e9) ?(delay = 1e-6) ?(queue_capacity = 256)
     ?(ecn_threshold = 0) ?(deliver = fun _ -> ()) () =
+  let metrics = Obs.Scope.metrics (Sim.obs sim) in
+  let labels = [ ("link", name) ] in
+  let c n = Obs.Metrics.counter metrics ~labels n in
   { sim; name; bandwidth; delay; queue_capacity; ecn_threshold; deliver;
     busy_until = 0.; depth = 0; up = true; loss_prob = 0.; loss_rng = None;
-    extra_delay = 0.; tx_packets = 0; tx_bytes = 0; drops = 0;
-    fault_drops = 0; ecn_marks = 0; depth_series = Stats.Series.create () }
+    extra_delay = 0.; tx_packets = c "link.tx_packets";
+    tx_bytes = c "link.tx_bytes"; drops = c "link.drops";
+    fault_drops = c "link.fault_drops"; ecn_marks = c "link.ecn_marks";
+    depth_series = Stats.Series.create () }
 
 let name t = t.name
 let set_deliver t f = t.deliver <- f
@@ -52,11 +58,11 @@ let set_loss t ?rng prob =
 let set_extra_delay t d = t.extra_delay <- d
 
 let depth t = t.depth
-let drops t = t.drops
-let fault_drops t = t.fault_drops
-let tx_packets t = t.tx_packets
-let tx_bytes t = t.tx_bytes
-let ecn_marks t = t.ecn_marks
+let drops t = !(t.drops)
+let fault_drops t = !(t.fault_drops)
+let tx_packets t = !(t.tx_packets)
+let tx_bytes t = !(t.tx_bytes)
+let ecn_marks t = !(t.ecn_marks)
 let depth_series t = t.depth_series
 
 let serialization_time t (pkt : Packet.t) =
@@ -67,11 +73,11 @@ let serialization_time t (pkt : Packet.t) =
 let transmit t pkt =
   let now = Sim.now t.sim in
   if not t.up then begin
-    t.drops <- t.drops + 1;
+    incr t.drops;
     false
   end
   else if t.depth >= t.queue_capacity then begin
-    t.drops <- t.drops + 1;
+    incr t.drops;
     false
   end
   else if
@@ -80,8 +86,8 @@ let transmit t pkt =
         | Some rng -> Random.State.float rng 1.0 < t.loss_prob
         | None -> false)
   then begin
-    t.drops <- t.drops + 1;
-    t.fault_drops <- t.fault_drops + 1;
+    incr t.drops;
+    incr t.fault_drops;
     false
   end
   else begin
@@ -89,7 +95,7 @@ let transmit t pkt =
        && Packet.has_header pkt "ipv4"
     then begin
       Packet.set_field pkt "ipv4" "ecn" 1L;
-      t.ecn_marks <- t.ecn_marks + 1
+      incr t.ecn_marks
     end;
     let start = Float.max now t.busy_until in
     let departure = start +. serialization_time t pkt in
@@ -98,8 +104,8 @@ let transmit t pkt =
     Stats.Series.add t.depth_series ~time:now ~value:(float_of_int t.depth);
     Sim.at t.sim departure (fun () ->
         t.depth <- t.depth - 1;
-        t.tx_packets <- t.tx_packets + 1;
-        t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+        incr t.tx_packets;
+        t.tx_bytes := !(t.tx_bytes) + pkt.Packet.size;
         let arrival = departure +. t.delay +. t.extra_delay in
         Sim.at t.sim arrival (fun () -> if t.up then t.deliver pkt));
     true

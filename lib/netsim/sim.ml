@@ -10,11 +10,27 @@ type t = {
   queue : Event_queue.t;
   mutable seq : int;
   mutable stopped : bool;
+  obs : Obs.Scope.t;
+  events_c : int ref; (* handle for "sim.events" *)
 }
 
-let create () = { now = 0.; queue = Event_queue.create (); seq = 0; stopped = false }
+let create () =
+  let obs = Obs.Scope.create () in
+  let t =
+    { now = 0.;
+      queue = Event_queue.create ();
+      seq = 0;
+      stopped = false;
+      obs;
+      events_c = Obs.Metrics.counter (Obs.Scope.metrics obs) "sim.events" }
+  in
+  (* The tracer clock must read the clock cell that only exists once the
+     record is built, so it is wired after construction. *)
+  Obs.Scope.set_clock obs (fun () -> t.now);
+  t
 
 let now t = t.now
+let obs t = t.obs
 
 (** [at t time f] schedules [f] to run at absolute virtual [time].
     Scheduling in the past raises [Invalid_argument]. *)
@@ -50,6 +66,7 @@ let run ?until t =
          ignore (Event_queue.pop t.queue);
          t.now <- ev.Event_queue.time;
          ev.Event_queue.thunk ();
+         incr t.events_c;
          incr executed)
   done;
   !executed

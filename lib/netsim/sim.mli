@@ -12,6 +12,11 @@ val create : unit -> t
 (** Current virtual time, seconds. *)
 val now : t -> float
 
+(** The simulation's observability scope: a unified metrics registry and
+    span tracer whose clock is this simulation's virtual clock. All
+    components running in the simulation instrument against it. *)
+val obs : t -> Obs.Scope.t
+
 (** [at t time f] schedules [f] at absolute virtual [time].
     @raise Invalid_argument if [time] is in the past. *)
 val at : t -> float -> (unit -> unit) -> unit

@@ -28,9 +28,13 @@ module Reservoir : sig
   val median : t -> float
 end
 
-(** Named monotone counters. *)
+(** Named monotone counters — an adapter over the unified
+    [Obs.Metrics] registry. The type equality is exposed so a
+    simulation's registry ([Obs.Scope.metrics (Sim.obs sim)]) can be
+    passed anywhere a [Counters.t] is expected, unifying per-component
+    accounting into one exportable registry. *)
 module Counters : sig
-  type t
+  type t = Obs.Metrics.t
 
   val create : unit -> t
   val incr : ?by:int -> t -> string -> unit

@@ -1,0 +1,181 @@
+(** Metrics registry: counters, gauges, and log-scale histograms keyed
+    by name + label set. See the interface for the design notes. *)
+
+type labels = (string * string) list
+
+(* Log-scale histogram: geometric buckets with ratio [base], centred so
+   bucket [mid] covers [1, base). 256 buckets at base = 2^(1/4) span
+   roughly [2e-10, 4e9] — ample for durations in seconds and counts.
+   Values outside clamp to the edge buckets; <= 0 lands in [zero]. *)
+type histogram = {
+  buckets : int array;
+  mutable zero : int;
+  mutable h_count : int;
+  mutable h_sum : float;
+}
+
+let h_base = Float.pow 2. 0.25
+let h_buckets = 256
+let h_mid = h_buckets / 2
+let log_base = Float.log h_base
+
+let bucket_index v =
+  let i = h_mid + int_of_float (Float.floor (Float.log v /. log_base)) in
+  if i < 0 then 0 else if i >= h_buckets then h_buckets - 1 else i
+
+(* upper bound of bucket [i] *)
+let bucket_hi i = Float.pow h_base (float_of_int (i - h_mid + 1))
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of float ref
+  | M_histogram of histogram
+
+type series = { s_name : string; s_labels : labels; s_metric : metric }
+
+type t = { tbl : (string, series) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let reset t = Hashtbl.reset t.tbl
+
+let canon_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let key name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let b = Buffer.create 48 in
+    Buffer.add_string b name;
+    Buffer.add_char b '{';
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string b k;
+        Buffer.add_char b '=';
+        Buffer.add_string b v;
+        Buffer.add_char b ',')
+      labels;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+let kind_name = function
+  | M_counter _ -> "counter"
+  | M_gauge _ -> "gauge"
+  | M_histogram _ -> "histogram"
+
+let find_or_create t ?(labels = []) name make =
+  let labels = canon_labels labels in
+  let k = key name labels in
+  match Hashtbl.find_opt t.tbl k with
+  | Some s -> s.s_metric
+  | None ->
+    let m = make () in
+    Hashtbl.replace t.tbl k { s_name = name; s_labels = labels; s_metric = m };
+    m
+
+let wrong_kind name m want =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %s is a %s, not a %s" name (kind_name m) want)
+
+let counter t ?labels name =
+  match find_or_create t ?labels name (fun () -> M_counter (ref 0)) with
+  | M_counter r -> r
+  | m -> wrong_kind name m "counter"
+
+let gauge t ?labels name =
+  match find_or_create t ?labels name (fun () -> M_gauge (ref 0.)) with
+  | M_gauge r -> r
+  | m -> wrong_kind name m "gauge"
+
+let histogram t ?labels name =
+  let make () =
+    M_histogram
+      { buckets = Array.make h_buckets 0; zero = 0; h_count = 0; h_sum = 0. }
+  in
+  match find_or_create t ?labels name make with
+  | M_histogram h -> h
+  | m -> wrong_kind name m "histogram"
+
+let incr t ?labels ?(by = 1) name =
+  let r = counter t ?labels name in
+  r := !r + by
+
+let set_gauge t ?labels name v = gauge t ?labels name := v
+
+let get_counter t ?(labels = []) name =
+  match Hashtbl.find_opt t.tbl (key name (canon_labels labels)) with
+  | Some { s_metric = M_counter r; _ } -> !r
+  | _ -> 0
+
+module Histogram = struct
+  let base = h_base
+
+  let observe h v =
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum +. v;
+    if v <= 0. then h.zero <- h.zero + 1
+    else begin
+      let i = bucket_index v in
+      h.buckets.(i) <- h.buckets.(i) + 1
+    end
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+
+  let quantile h q =
+    if h.h_count = 0 then 0.
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+        if r < 1 then 1 else if r > h.h_count then h.h_count else r
+      in
+      if rank <= h.zero then 0.
+      else begin
+        let acc = ref h.zero in
+        let result = ref 0. in
+        (try
+           for i = 0 to h_buckets - 1 do
+             acc := !acc + h.buckets.(i);
+             if !acc >= rank then begin
+               result := bucket_hi i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !result
+      end
+    end
+end
+
+let observe t ?labels name v = Histogram.observe (histogram t ?labels name) v
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Summary of { count : int; sum : float; q50 : float; q90 : float; q99 : float }
+
+let to_list t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      let v =
+        match s.s_metric with
+        | M_counter r -> Counter !r
+        | M_gauge r -> Gauge !r
+        | M_histogram h ->
+          Summary
+            { count = h.h_count; sum = h.h_sum;
+              q50 = Histogram.quantile h 0.5; q90 = Histogram.quantile h 0.9;
+              q99 = Histogram.quantile h 0.99 }
+      in
+      (s.s_name, s.s_labels, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+
+let counters_list t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      match s.s_metric, s.s_labels with
+      | M_counter r, [] -> (s.s_name, !r) :: acc
+      | _ -> acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -1,0 +1,15 @@
+(** An observability scope: one metrics registry plus one tracer
+    sharing a clock. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let create ?clock () =
+  { metrics = Metrics.create (); trace = Trace.create ?clock () }
+
+let set_clock t clock = Trace.set_clock t.trace clock
+let metrics t = t.metrics
+let trace t = t.trace
+
+let reset t =
+  Metrics.reset t.metrics;
+  Trace.reset t.trace

@@ -1,0 +1,19 @@
+(** An observability scope: one metrics registry plus one tracer
+    sharing a clock. Each simulation owns a scope wired to its virtual
+    clock ([Netsim.Sim.obs]); components instrument against the scope
+    of the simulation they run in, so a whole-network experiment
+    produces one unified registry and one trace. *)
+
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+val create : ?clock:(unit -> float) -> unit -> t
+
+(** Re-wire the tracer clock (used by [Netsim.Sim.create], which must
+    build the scope before the clock cell exists). *)
+val set_clock : t -> (unit -> float) -> unit
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+
+(** Clear both the registry and the trace. *)
+val reset : t -> unit

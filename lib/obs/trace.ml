@@ -1,0 +1,62 @@
+(** Structured span tracing. See the interface for the model. *)
+
+type value = S of string | I of int | F of float | B of bool
+
+type span = {
+  id : int;
+  parent_id : int; (* 0 = no parent *)
+  span_name : string;
+  start_time : float;
+  mutable end_time : float option;
+  mutable attrs : (string * value) list;
+}
+
+type t = {
+  mutable clock : unit -> float;
+  mutable next_id : int;
+  mutable rev_spans : span list; (* newest first *)
+}
+
+let create ?(clock = fun () -> 0.) () = { clock; next_id = 1; rev_spans = [] }
+let set_clock t clock = t.clock <- clock
+
+let start t ?parent ?(attrs = []) name =
+  let span =
+    { id = t.next_id;
+      parent_id = (match parent with Some p -> p.id | None -> 0);
+      span_name = name;
+      start_time = t.clock ();
+      end_time = None;
+      attrs }
+  in
+  t.next_id <- t.next_id + 1;
+  t.rev_spans <- span :: t.rev_spans;
+  span
+
+let add_attr span k v = span.attrs <- span.attrs @ [ (k, v) ]
+
+let finish t ?(attrs = []) span =
+  List.iter (fun (k, v) -> add_attr span k v) attrs;
+  if span.end_time = None then span.end_time <- Some (t.clock ())
+
+let with_span t ?parent ?attrs name f =
+  let span = start t ?parent ?attrs name in
+  match f span with
+  | v ->
+    finish t span;
+    v
+  | exception e ->
+    finish t ~attrs:[ ("error", B true) ] span;
+    raise e
+
+let spans t = List.rev t.rev_spans
+let by_name t name = List.filter (fun s -> s.span_name = name) (spans t)
+
+let duration span =
+  match span.end_time with Some e -> e -. span.start_time | None -> 0.
+
+let count t = List.length t.rev_spans
+
+let reset t =
+  t.next_id <- 1;
+  t.rev_spans <- []

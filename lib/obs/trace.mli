@@ -1,0 +1,61 @@
+(** Structured span tracing.
+
+    A span is a named, attributed interval of (virtual) time with an
+    optional parent, so reconfigurations, migration windows, dRPC calls
+    and fault windows nest into trees. Span ids are assigned in start
+    order from a per-tracer sequence, and the clock is injected (the
+    simulation's virtual clock in practice), so a deterministic run
+    produces a byte-identical trace.
+
+    Two usage styles:
+    - [with_span] for synchronous work (well-nested by construction);
+    - [start] / [finish] for windows that close in a later simulator
+      event (reconfig windows, async dRPC calls, fault windows). *)
+
+type value = S of string | I of int | F of float | B of bool
+
+type span = {
+  id : int;
+  parent_id : int; (* 0 = no parent *)
+  span_name : string;
+  start_time : float;
+  mutable end_time : float option; (* [None] while the span is open *)
+  mutable attrs : (string * value) list; (* in insertion order *)
+}
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+
+(** Replace the clock (wired to a simulation after creation). *)
+val set_clock : t -> (unit -> float) -> unit
+
+(** Open a span at the current clock time. *)
+val start : t -> ?parent:span -> ?attrs:(string * value) list -> string -> span
+
+(** Append attributes to an open or finished span. *)
+val add_attr : span -> string -> value -> unit
+
+(** Close a span at the current clock time, optionally appending
+    attributes. Finishing twice keeps the first end time. *)
+val finish : t -> ?attrs:(string * value) list -> span -> unit
+
+(** [with_span t name f] runs [f] inside a fresh span; the span is
+    finished when [f] returns (or raises). *)
+val with_span :
+  t -> ?parent:span -> ?attrs:(string * value) list -> string ->
+  (span -> 'a) -> 'a
+
+(** All spans in id (start) order. *)
+val spans : t -> span list
+
+(** Spans with the given name, in id order. *)
+val by_name : t -> string -> span list
+
+(** [end_time - start_time]; 0 while the span is open. *)
+val duration : span -> float
+
+val count : t -> int
+
+(** Drop all spans and restart ids (test isolation). *)
+val reset : t -> unit

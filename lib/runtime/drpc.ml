@@ -27,16 +27,20 @@ type t = {
   sim : Netsim.Sim.t;
   services : (string, service) Hashtbl.t;
   controlplane_rtt : float;
-  mutable dp_invocations : int;
-  mutable cp_invocations : int;
+  dp_invocations : int ref; (* "drpc.dp_invocations" registry handle *)
+  cp_invocations : int ref; (* "drpc.cp_invocations" registry handle *)
   mutable faults : Netsim.Faults.t option;
-  stats : Netsim.Stats.Counters.t;
+  stats : Netsim.Stats.Counters.t; (* the sim's unified registry *)
 }
 
 let create ?(controlplane_rtt = 0.002) sim =
-  { sim; services = Hashtbl.create 16; controlplane_rtt; dp_invocations = 0;
-    cp_invocations = 0; faults = None;
-    stats = Netsim.Stats.Counters.create () }
+  let stats = Obs.Scope.metrics (Netsim.Sim.obs sim) in
+  { sim; services = Hashtbl.create 16; controlplane_rtt;
+    dp_invocations = Netsim.Stats.Counters.handle stats "drpc.dp_invocations";
+    cp_invocations = Netsim.Stats.Counters.handle stats "drpc.cp_invocations";
+    faults = None; stats }
+
+let tracer t = Obs.Scope.trace (Netsim.Sim.obs t.sim)
 
 (** Bind (or clear) a fault injector; [Drpc_window] entries of its plan
     then apply to every invocation through this registry. *)
@@ -75,7 +79,7 @@ let invoke_inline t name args =
   match Hashtbl.find_opt t.services name with
   | None -> 0L
   | Some svc ->
-    t.dp_invocations <- t.dp_invocations + 1;
+    incr t.dp_invocations;
     svc.handler args
 
 (* Shared async invocation skeleton. Each attempt either delivers (the
@@ -85,11 +89,24 @@ let invoke_inline t name args =
    retries, after which the caller sees [None]. With no fault injector
    bound, the first attempt always delivers — the happy path is
    unchanged. *)
-let invoke_async t ~count ~latency ~timeout ~max_retries name svc args ~k =
+let invoke_async t ~count ~plane ~latency ~timeout ~max_retries name svc args ~k
+    =
+  (* one span per logical call, covering all attempts up to the result
+     callback (or the give-up) *)
+  let span =
+    Obs.Trace.start (tracer t) "drpc.call"
+      ~attrs:[ ("service", Obs.Trace.S name); ("plane", Obs.Trace.S plane) ]
+  in
+  let settle ~attempts ~ok result =
+    Obs.Trace.finish (tracer t) span
+      ~attrs:[ ("attempts", Obs.Trace.I attempts); ("ok", Obs.Trace.B ok) ];
+    k result
+  in
   let rec attempt n =
     count ();
     if delivered t name then
-      Netsim.Sim.after t.sim latency (fun () -> k (Some (svc.handler args)))
+      Netsim.Sim.after t.sim latency (fun () ->
+          settle ~attempts:(n + 1) ~ok:true (Some (svc.handler args)))
     else
       Netsim.Sim.after t.sim timeout (fun () ->
           if n < max_retries then begin
@@ -101,7 +118,7 @@ let invoke_async t ~count ~latency ~timeout ~max_retries name svc args ~k =
           end
           else begin
             Netsim.Stats.Counters.incr t.stats "drpc.gaveups";
-            k None
+            settle ~attempts:(n + 1) ~ok:false None
           end)
   in
   attempt 0
@@ -117,8 +134,9 @@ let invoke_dataplane t ?timeout ?(max_retries = 3) name args ~k =
       match timeout with Some s -> s | None -> 8. *. svc.dataplane_latency
     in
     invoke_async t
-      ~count:(fun () -> t.dp_invocations <- t.dp_invocations + 1)
-      ~latency:svc.dataplane_latency ~timeout ~max_retries name svc args ~k
+      ~count:(fun () -> incr t.dp_invocations)
+      ~plane:"dp" ~latency:svc.dataplane_latency ~timeout ~max_retries name svc
+      args ~k
 
 (** The same operation via the controller: one control-plane RTT per
     invocation (the baseline for the E11 experiment). [timeout]
@@ -131,16 +149,17 @@ let invoke_controlplane t ?timeout ?(max_retries = 3) name args ~k =
       match timeout with Some s -> s | None -> 2. *. t.controlplane_rtt
     in
     invoke_async t
-      ~count:(fun () -> t.cp_invocations <- t.cp_invocations + 1)
-      ~latency:t.controlplane_rtt ~timeout ~max_retries name svc args ~k
+      ~count:(fun () -> incr t.cp_invocations)
+      ~plane:"cp" ~latency:t.controlplane_rtt ~timeout ~max_retries name svc
+      args ~k
 
 (** Bind this registry as the dRPC backend of a device's interpreter
     environment, so [Call] statements in installed programs reach it. *)
 let bind_device t device =
   (Targets.Device.env device).Flexbpf.Interp.drpc <- invoke_inline t
 
-let dp_invocations t = t.dp_invocations
-let cp_invocations t = t.cp_invocations
+let dp_invocations t = !(t.dp_invocations)
+let cp_invocations t = !(t.cp_invocations)
 
 (* Stock infra services ------------------------------------------------ *)
 

@@ -21,7 +21,9 @@ val create : ?controlplane_rtt:float -> Netsim.Sim.t -> t
 val set_faults : t -> Netsim.Faults.t option -> unit
 
 (** Retry machinery counters: "drpc.drops" (injected losses),
-    "drpc.retries", "drpc.gaveups". *)
+    "drpc.retries", "drpc.gaveups". This is the simulation's unified
+    registry ([Obs.Scope.metrics (Sim.obs sim)]), which also carries
+    "drpc.dp_invocations" / "drpc.cp_invocations". *)
 val stats : t -> Netsim.Stats.Counters.t
 
 val register :

@@ -72,9 +72,25 @@ let entries_of src map_names =
 (** Control-plane migration: snapshot now, cut over after the copy
     window. [entries_per_second] models controller API throughput
     (table reads/writes over P4Runtime-style RPC). *)
+let migration_span ~sim ~protocol ~src ~dst =
+  let scope = Netsim.Sim.obs sim in
+  Obs.Trace.start (Obs.Scope.trace scope) ("migration." ^ protocol)
+    ~attrs:
+      [ ("src", Obs.Trace.S (Targets.Device.id src));
+        ("dst", Obs.Trace.S (Targets.Device.id dst)) ]
+
+let finish_migration ~sim span (r : report) =
+  let scope = Netsim.Sim.obs sim in
+  Netsim.Stats.Counters.incr (Obs.Scope.metrics scope) "migration.migrations";
+  Obs.Trace.finish (Obs.Scope.trace scope) span
+    ~attrs:
+      [ ("entries_moved", Obs.Trace.I r.entries_moved);
+        ("window", Obs.Trace.F r.window) ]
+
 let freeze_copy ?(entries_per_second = 20_000.) ?(on_done = fun (_ : report) -> ())
     ~sim t ~dst ~map_names () =
   let src = t.active in
+  let span = migration_span ~sim ~protocol:"freeze_copy" ~src ~dst in
   let entries = entries_of src map_names in
   let snaps =
     List.filter_map
@@ -92,7 +108,9 @@ let freeze_copy ?(entries_per_second = 20_000.) ?(on_done = fun (_ : report) -> 
         snaps;
       t.active <- dst;
       t.migrations <- t.migrations + 1;
-      on_done { protocol = "freeze-copy"; window; entries_moved = entries })
+      let r = { protocol = "freeze-copy"; window; entries_moved = entries } in
+      finish_migration ~sim span r;
+      on_done r)
 
 (** Data-plane migration: install the snapshot immediately, mirror
     updates for [mirror_window] (packets shuttle state at line rate),
@@ -100,6 +118,7 @@ let freeze_copy ?(entries_per_second = 20_000.) ?(on_done = fun (_ : report) -> 
 let swing ?(mirror_window = 0.005) ?(on_done = fun (_ : report) -> ()) ~sim t
     ~dst ~map_names () =
   let src = t.active in
+  let span = migration_span ~sim ~protocol:"swing" ~src ~dst in
   let entries = entries_of src map_names in
   transfer_snapshot ~src ~dst map_names;
   t.mirror <- Some dst;
@@ -107,7 +126,11 @@ let swing ?(mirror_window = 0.005) ?(on_done = fun (_ : report) -> ()) ~sim t
       t.active <- dst;
       t.mirror <- None;
       t.migrations <- t.migrations + 1;
-      on_done { protocol = "swing"; window = mirror_window; entries_moved = entries })
+      let r =
+        { protocol = "swing"; window = mirror_window; entries_moved = entries }
+      in
+      finish_migration ~sim span r;
+      on_done r)
 
 (** Sum of all values in [map] on [dev] — the update-loss metric used by
     the migration experiments (for counting apps, lost updates =

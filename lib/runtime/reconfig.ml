@@ -75,15 +75,34 @@ let per_device_times plan wireds =
     given) counts "reconfig.retries" and "reconfig.gaveups". *)
 let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
     ?(retry_backoff = 0.05) ?stats ~sim ~mode ~wireds ~plan apply =
+  let registry = Obs.Scope.metrics (Netsim.Sim.obs sim) in
+  let tr = Obs.Scope.trace (Netsim.Sim.obs sim) in
   let count name =
+    Netsim.Stats.Counters.incr registry name;
+    (* a caller-supplied counter set keeps working; physical equality
+       guards against double counting when it IS the sim registry *)
     match stats with
-    | Some c -> Netsim.Stats.Counters.incr c name
-    | None -> ()
+    | Some c when c != registry -> Netsim.Stats.Counters.incr c name
+    | _ -> ()
   in
   let start = Netsim.Sim.now sim in
   let times = per_device_times plan wireds in
   let touched () =
     List.filter_map (fun (d, _) -> wired_for wireds d) times
+  in
+  let exec_span =
+    Obs.Trace.start tr "reconfig.execute"
+      ~attrs:
+        [ ("plan", Obs.Trace.S plan.Compiler.Plan.plan_name);
+          ("mode", Obs.Trace.S (match mode with Hitless -> "hitless" | Drain -> "drain"));
+          ("devices", Obs.Trace.I (List.length times)) ]
+  in
+  let on_done outcome =
+    Obs.Trace.finish tr exec_span
+      ~attrs:
+        [ ("attempts", Obs.Trace.I outcome.attempts);
+          ("rolled_back", Obs.Trace.B outcome.rolled_back) ];
+    on_done outcome
   in
   match mode with
   | Hitless ->
@@ -92,9 +111,19 @@ let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
        touched device survived the window; otherwise roll the survivors
        back (crashed devices roll back at restart) and re-drive. *)
     let rec attempt k =
+      let att_span =
+        Obs.Trace.start tr ~parent:exec_span "reconfig.attempt"
+          ~attrs:[ ("n", Obs.Trace.I (k + 1)) ]
+      in
+      let close_attempt ok =
+        Obs.Trace.finish tr att_span ~attrs:[ ("ok", Obs.Trace.B ok) ]
+      in
       let ws = touched () in
       if not (List.for_all (fun w -> Targets.Device.powered_on w.Wiring.device) ws)
-      then retry_or_abort k (* a device is still down: back off, retry *)
+      then begin
+        close_attempt false;
+        retry_or_abort k (* a device is still down: back off, retry *)
+      end
       else begin
         let attempt_start = Netsim.Sim.now sim in
         let marks =
@@ -120,6 +149,7 @@ let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
             in
             if List.for_all acked marks then begin
               List.iter (fun w -> Targets.Device.thaw w.Wiring.device) ws;
+              close_attempt true;
               on_done
                 { started_at = start; finished_at = Netsim.Sim.now sim; mode;
                   per_device_done =
@@ -134,6 +164,7 @@ let execute ?(on_done = fun (_ : outcome) -> ()) ?(max_retries = 2)
                   if Targets.Device.powered_on w.Wiring.device then
                     Targets.Device.rollback w.Wiring.device)
                 ws;
+              close_attempt false;
               retry_or_abort k
             end)
       end
@@ -317,7 +348,27 @@ let structural_op_devices = function
     the actual device state is reconciled against the prediction after
     the thaw; devices still inside a caller-held window are skipped —
     their deferred cleanups have not run yet. *)
-let run_plan ?predicted ~devices plan =
+let run_plan ?obs ?parent ?predicted ~devices plan =
+  (* untimed: the span records structure (plan name, op count, outcome)
+     under the caller's virtual clock; start = end unless the caller's
+     clock advances, which it cannot here *)
+  let span =
+    Option.map
+      (fun scope ->
+        Obs.Trace.start (Obs.Scope.trace scope) ?parent "reconfig.run_plan"
+          ~attrs:
+            [ ("plan", Obs.Trace.S plan.Compiler.Plan.plan_name);
+              ("ops", Obs.Trace.I (List.length plan.Compiler.Plan.ops)) ])
+      obs
+  in
+  let finish result =
+    (match obs, span with
+     | Some scope, Some span ->
+       Obs.Trace.finish (Obs.Scope.trace scope) span
+         ~attrs:[ ("ok", Obs.Trace.B (Result.is_ok result)) ]
+     | _ -> ());
+    result
+  in
   let touched_ids =
     List.sort_uniq compare
       (List.concat_map structural_op_devices plan.Compiler.Plan.ops)
@@ -327,32 +378,33 @@ let run_plan ?predicted ~devices plan =
     List.filter (fun d -> not (Targets.Device.is_frozen d)) structural
   in
   List.iter Targets.Device.freeze self_frozen;
-  match apply_ops devices plan with
-  | Error e ->
-    List.iter Targets.Device.rollback self_frozen;
-    Error e
-  | Ok () ->
-    List.iter Targets.Device.thaw self_frozen;
-    (match predicted with
-     | None -> Ok ()
-     | Some preds ->
-       let mismatches =
-         List.concat_map
-           (fun (id, snap) ->
-             match find_device devices id with
-             | None -> []
-             | Some d ->
-               if Targets.Device.is_frozen d then []
-               else
-                 List.map
-                   (fun m -> id ^ ": " ^ m)
-                   (Targets.Resource.diff snap (Targets.Device.snapshot d)))
-           preds
-       in
-       if mismatches = [] then Ok ()
-       else
-         Error
-           ("reconciliation failed: " ^ String.concat "; " mismatches))
+  finish
+    (match apply_ops devices plan with
+     | Error e ->
+       List.iter Targets.Device.rollback self_frozen;
+       Error e
+     | Ok () ->
+       List.iter Targets.Device.thaw self_frozen;
+       (match predicted with
+        | None -> Ok ()
+        | Some preds ->
+          let mismatches =
+            List.concat_map
+              (fun (id, snap) ->
+                match find_device devices id with
+                | None -> []
+                | Some d ->
+                  if Targets.Device.is_frozen d then []
+                  else
+                    List.map
+                      (fun m -> id ^ ": " ^ m)
+                      (Targets.Resource.diff snap (Targets.Device.snapshot d)))
+              preds
+          in
+          if mismatches = [] then Ok ()
+          else
+            Error
+              ("reconciliation failed: " ^ String.concat "; " mismatches)))
 
 (** [execute] with the op interpreter as [apply] — the timed plan-only
     path used by experiments. *)
@@ -364,6 +416,15 @@ let execute_plan ?on_done ?max_retries ?retry_backoff ?stats ~sim ~mode
 
 (* -- Plan-then-execute entry points ------------------------------------ *)
 
+(* Run [f] under a named span when an observability scope was supplied;
+   [f] gets the span (or [None]) to parent the inner [run_plan] span. *)
+let with_obs_span obs name attrs f =
+  match obs with
+  | None -> f None
+  | Some scope ->
+    Obs.Trace.with_span (Obs.Scope.trace scope) name ~attrs (fun span ->
+        f (Some span))
+
 let placement_of ~path ~prog where_ids =
   { Compiler.Placement.path; prog;
     where =
@@ -374,19 +435,22 @@ let placement_of ~path ~prog where_ids =
 (** Plan and execute a fresh placement. Planning failures are reported;
     an execution failure of a freshly planned op means planner and
     device admission disagree — an invariant violation. *)
-let place ~path prog =
-  match Compiler.Placement.plan ~path prog with
-  | Error f -> Error f
-  | Ok pl ->
-    (match
-       run_plan ~predicted:pl.Compiler.Placement.pln_snaps ~devices:path
-         pl.Compiler.Placement.pln_plan
-     with
-     | Ok () -> Ok (placement_of ~path ~prog pl.Compiler.Placement.pln_where)
-     | Error e -> failwith ("deploy execution failed: " ^ e))
+let place ?obs ~path prog =
+  with_obs_span obs "reconfig.deploy"
+    [ ("program", Obs.Trace.S prog.Flexbpf.Ast.prog_name) ]
+    (fun parent ->
+      match Compiler.Placement.plan ~path prog with
+      | Error f -> Error f
+      | Ok pl ->
+        (match
+           run_plan ?obs ?parent ~predicted:pl.Compiler.Placement.pln_snaps
+             ~devices:path pl.Compiler.Placement.pln_plan
+         with
+         | Ok () -> Ok (placement_of ~path ~prog pl.Compiler.Placement.pln_where)
+         | Error e -> failwith ("deploy execution failed: " ^ e)))
 
 (** Remove a placed program from its devices. *)
-let unplace (p : Compiler.Placement.t) =
+let unplace ?obs (p : Compiler.Placement.t) =
   let ops =
     List.map
       (fun (name, dev) ->
@@ -395,17 +459,18 @@ let unplace (p : Compiler.Placement.t) =
       p.Compiler.Placement.where
   in
   (match
-     run_plan ~devices:p.Compiler.Placement.path (Compiler.Plan.v "unplace" ops)
+     run_plan ?obs ~devices:p.Compiler.Placement.path
+       (Compiler.Plan.v "unplace" ops)
    with
    | Ok () | Error _ -> ());
   p.Compiler.Placement.where <- []
 
 (** Deploy a program fresh onto a path. *)
-let deploy ~path prog =
+let deploy ?obs ~path prog =
   Result.map
     (fun placement ->
       { Compiler.Incremental.dep_prog = prog; dep_placement = placement })
-    (place ~path prog)
+    (place ?obs ~path prog)
 
 let commit_deployment (dep : Compiler.Incremental.deployment)
     (pc : Compiler.Incremental.planned_change) =
@@ -420,36 +485,46 @@ let commit_deployment (dep : Compiler.Incremental.deployment)
     search), execute the winning plan, reconcile against the predicted
     snapshots, and commit the new program/placement. The deployment is
     untouched on any error. *)
-let apply_patch ?candidates ?prefer_adjacent
+let apply_patch ?obs ?candidates ?prefer_adjacent
     (dep : Compiler.Incremental.deployment) patch =
-  match Compiler.Incremental.plan_patch ?candidates ?prefer_adjacent dep patch with
-  | Error e -> Error e
-  | Ok (pc, diff) ->
-    let path = dep.dep_placement.Compiler.Placement.path in
-    (match
-       run_plan ~predicted:pc.Compiler.Incremental.ch_snaps ~devices:path
-         pc.Compiler.Incremental.ch_report.Compiler.Incremental.plan
-     with
-     | Error e -> Error (Compiler.Incremental.Exec_error e)
-     | Ok () ->
-       commit_deployment dep pc;
-       Ok (pc.Compiler.Incremental.ch_report, diff))
+  with_obs_span obs "reconfig.patch"
+    [ ("program", Obs.Trace.S dep.Compiler.Incremental.dep_prog.Flexbpf.Ast.prog_name) ]
+    (fun parent ->
+      match
+        Compiler.Incremental.plan_patch ?candidates ?prefer_adjacent dep patch
+      with
+      | Error e -> Error e
+      | Ok (pc, diff) ->
+        let path = dep.dep_placement.Compiler.Placement.path in
+        (match
+           run_plan ?obs ?parent ~predicted:pc.Compiler.Incremental.ch_snaps
+             ~devices:path
+             pc.Compiler.Incremental.ch_report.Compiler.Incremental.plan
+         with
+         | Error e -> Error (Compiler.Incremental.Exec_error e)
+         | Ok () ->
+           commit_deployment dep pc;
+           Ok (pc.Compiler.Incremental.ch_report, diff)))
 
 (** Plan and execute the compile-time baseline (full teardown and
     redeploy). *)
-let full_recompile (dep : Compiler.Incremental.deployment) new_prog =
-  match Compiler.Incremental.plan_full_recompile dep new_prog with
-  | Error e -> Error e
-  | Ok pc ->
-    let path = dep.dep_placement.Compiler.Placement.path in
-    (match
-       run_plan ~predicted:pc.Compiler.Incremental.ch_snaps ~devices:path
-         pc.Compiler.Incremental.ch_report.Compiler.Incremental.plan
-     with
-     | Error e -> Error (Compiler.Incremental.Exec_error e)
-     | Ok () ->
-       commit_deployment dep pc;
-       Ok pc.Compiler.Incremental.ch_report)
+let full_recompile ?obs (dep : Compiler.Incremental.deployment) new_prog =
+  with_obs_span obs "reconfig.full_recompile"
+    [ ("program", Obs.Trace.S new_prog.Flexbpf.Ast.prog_name) ]
+    (fun parent ->
+      match Compiler.Incremental.plan_full_recompile dep new_prog with
+      | Error e -> Error e
+      | Ok pc ->
+        let path = dep.dep_placement.Compiler.Placement.path in
+        (match
+           run_plan ?obs ?parent ~predicted:pc.Compiler.Incremental.ch_snaps
+             ~devices:path
+             pc.Compiler.Incremental.ch_report.Compiler.Incremental.plan
+         with
+         | Error e -> Error (Compiler.Incremental.Exec_error e)
+         | Ok () ->
+           commit_deployment dep pc;
+           Ok pc.Compiler.Incremental.ch_report))
 
 (* -- Fungible compilation, executed ------------------------------------ *)
 
@@ -461,13 +536,13 @@ type fungible_outcome = {
   failure : Compiler.Placement.failure option;
 }
 
-let run_fungible ~path ~prog (o : Compiler.Fungible.outcome) =
+let run_fungible ?obs ~path ~prog (o : Compiler.Fungible.outcome) =
   let placement =
     match o.Compiler.Fungible.planned with
     | None -> None
     | Some pl ->
       (match
-         run_plan ~predicted:pl.Compiler.Placement.pln_snaps ~devices:path
+         run_plan ?obs ~predicted:pl.Compiler.Placement.pln_snaps ~devices:path
            pl.Compiler.Placement.pln_plan
        with
        | Ok () ->
@@ -480,12 +555,12 @@ let run_fungible ~path ~prog (o : Compiler.Fungible.outcome) =
     failure = o.Compiler.Fungible.failure }
 
 (** One-shot bin-packing baseline, planned then executed. *)
-let place_once ~path prog =
-  run_fungible ~path ~prog (Compiler.Fungible.place_once ~path prog)
+let place_once ?obs ~path prog =
+  run_fungible ?obs ~path ~prog (Compiler.Fungible.place_once ~path prog)
 
 (** The fungible compilation loop (GC + defragmentation), planned then
     executed as a single plan. On failure nothing was executed, so the
     devices are untouched. *)
-let place_with_gc ?max_iterations ~path ~removable prog =
-  run_fungible ~path ~prog
+let place_with_gc ?obs ?max_iterations ~path ~removable prog =
+  run_fungible ?obs ~path ~prog
     (Compiler.Fungible.place_with_gc ?max_iterations ~path ~removable prog)

@@ -38,8 +38,13 @@ val per_device_times :
     crashes: up to [max_retries] re-drives (default 2) with exponential
     backoff from [retry_backoff] seconds (default 0.05), then an atomic
     abort. [apply] is re-run on retries and must be idempotent over
-    already-converged devices. [stats] counts "reconfig.retries" /
-    "reconfig.gaveups". *)
+    already-converged devices.
+
+    Observability: a "reconfig.execute" span (with "reconfig.attempt"
+    children per Hitless attempt) is recorded on the simulation's
+    tracer, and "reconfig.retries" / "reconfig.gaveups" are counted in
+    the simulation's registry. A caller-supplied [stats] still receives
+    the same counts (skipped when it is the sim registry itself). *)
 val execute :
   ?on_done:(outcome -> unit) -> ?max_retries:int -> ?retry_backoff:float ->
   ?stats:Netsim.Stats.Counters.t -> sim:Netsim.Sim.t -> mode:mode ->
@@ -66,8 +71,10 @@ val apply_ops :
     With [predicted] (the planner's post-execution snapshots), actual
     device state is reconciled against the prediction after the thaw
     ([Targets.Resource.diff]); devices still inside a caller-held
-    window are skipped. *)
+    window are skipped. With [obs], a "reconfig.run_plan" span (plan
+    name, op count, outcome) is recorded, parented under [parent]. *)
 val run_plan :
+  ?obs:Obs.Scope.t -> ?parent:Obs.Trace.span ->
   ?predicted:(string * Targets.Resource.snapshot) list ->
   devices:Targets.Device.t list -> Compiler.Plan.t -> (unit, string) result
 
@@ -90,32 +97,36 @@ val execute_plan :
     planner and device admission disagreeing is an invariant
     violation. *)
 val place :
-  path:Targets.Device.t list -> Flexbpf.Ast.program ->
+  ?obs:Obs.Scope.t -> path:Targets.Device.t list -> Flexbpf.Ast.program ->
   (Compiler.Placement.t, Compiler.Placement.failure) result
 
 (** Remove a placed program from its devices. *)
-val unplace : Compiler.Placement.t -> unit
+val unplace : ?obs:Obs.Scope.t -> Compiler.Placement.t -> unit
 
-(** Deploy a program fresh onto a path. *)
+(** Deploy a program fresh onto a path. With [obs], the whole operation
+    runs under a "reconfig.deploy" span. *)
 val deploy :
-  path:Targets.Device.t list -> Flexbpf.Ast.program ->
+  ?obs:Obs.Scope.t -> path:Targets.Device.t list -> Flexbpf.Ast.program ->
   (Compiler.Incremental.deployment, Compiler.Placement.failure) result
 
 (** Plan a patch (candidate search over snapshots, see
     {!Compiler.Incremental.plan_patch}), execute the winning plan,
     reconcile, and commit the new program/placement. The deployment is
-    untouched on error. *)
+    untouched on error. With [obs], runs under a "reconfig.patch"
+    span. *)
 val apply_patch :
-  ?candidates:int -> ?prefer_adjacent:bool ->
+  ?obs:Obs.Scope.t -> ?candidates:int -> ?prefer_adjacent:bool ->
   Compiler.Incremental.deployment -> Flexbpf.Patch.t ->
   (Compiler.Incremental.report * Flexbpf.Patch.diff,
    Compiler.Incremental.error)
   result
 
 (** Plan and execute the compile-time baseline: full teardown and
-    redeploy. *)
+    redeploy. With [obs], runs under a "reconfig.full_recompile"
+    span. *)
 val full_recompile :
-  Compiler.Incremental.deployment -> Flexbpf.Ast.program ->
+  ?obs:Obs.Scope.t -> Compiler.Incremental.deployment ->
+  Flexbpf.Ast.program ->
   (Compiler.Incremental.report, Compiler.Incremental.error) result
 
 (** {2 Fungible compilation, executed} *)
@@ -130,12 +141,13 @@ type fungible_outcome = {
 
 (** One-shot bin-packing baseline, planned then executed. *)
 val place_once :
-  path:Targets.Device.t list -> Flexbpf.Ast.program -> fungible_outcome
+  ?obs:Obs.Scope.t -> path:Targets.Device.t list -> Flexbpf.Ast.program ->
+  fungible_outcome
 
 (** The fungible compilation loop (GC + defragmentation over
     snapshots), executed as a single plan; on planning failure the
     devices are untouched. *)
 val place_with_gc :
-  ?max_iterations:int -> path:Targets.Device.t list ->
+  ?obs:Obs.Scope.t -> ?max_iterations:int -> path:Targets.Device.t list ->
   removable:(Targets.Device.t -> string list) -> Flexbpf.Ast.program ->
   fungible_outcome

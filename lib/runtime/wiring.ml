@@ -21,6 +21,7 @@ let now_us sim = Int64.of_float (Netsim.Sim.now sim *. 1e6)
 (** Attach [device] as the packet processor of [node]. *)
 let attach topo node device =
   let sim = Netsim.Topology.sim topo in
+  Targets.Device.set_obs device (Some (Netsim.Sim.obs sim));
   let wired =
     { node; device; topo; online = true; reconfig_drops = 0; punted = [];
       on_punt = (fun _ _ -> ()) }

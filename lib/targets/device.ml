@@ -64,6 +64,12 @@ type t = {
      to its old program — old-XOR-new even under failure. *)
   mutable checkpoint : checkpoint option;
   mutable crashes : int; (* total crash events, for health checks *)
+  (* Observability: wired by [Wiring.attach] to the simulation's scope.
+     [obs_pkt] caches the per-generation packet counter handle so the
+     hot path pays one int compare + pointer bump, re-resolving only
+     when the program version changes. *)
+  mutable obs_scope : Obs.Scope.t option;
+  mutable obs_pkt : (int * int ref) option; (* version, counter handle *)
 }
 
 (** Structural state captured at [freeze]. Map {e contents} are not
@@ -118,10 +124,16 @@ let create ?(id = "dev") (profile : Arch.profile) =
     frozen = None;
     deferred = [];
     checkpoint = None;
-    crashes = 0 }
+    crashes = 0;
+    obs_scope = None;
+    obs_pkt = None }
 
 let id t = t.dev_id
 let kind t = t.profile.kind
+
+let set_obs t scope =
+  t.obs_scope <- scope;
+  t.obs_pkt <- None
 let version t = t.version
 let env t = t.env
 let processed t = t.processed
@@ -228,7 +240,17 @@ let rebuild_program t =
   in
   t.cached_program <- Some prog;
   t.compiled <- None; (* program changed: next exec stages the new one *)
-  t.version <- t.version + 1
+  t.version <- t.version + 1;
+  match t.obs_scope with
+  | None -> ()
+  | Some scope ->
+    let m = Obs.Scope.metrics scope in
+    let labels = [ ("device", t.dev_id) ] in
+    Obs.Metrics.incr m ~labels "device.reconfigs";
+    Obs.Metrics.set_gauge m ~labels "device.elements"
+      (float_of_int (List.length t.elements));
+    Obs.Metrics.set_gauge m ~labels "device.parser_rules"
+      (float_of_int (List.length t.parser))
 
 let program t =
   match t.cached_program with
@@ -569,6 +591,21 @@ let exec t ~now_us pkt =
       (c, v)
     | None -> (compiled_program t, t.version)
   in
+  (match t.obs_scope with
+   | None -> ()
+   | Some scope ->
+     let c =
+       match t.obs_pkt with
+       | Some (v, c) when v = ver -> c
+       | _ ->
+         let c =
+           Obs.Metrics.counter (Obs.Scope.metrics scope) "device.packets"
+             ~labels:[ ("device", t.dev_id); ("gen", string_of_int ver) ]
+         in
+         t.obs_pkt <- Some (ver, c);
+         c
+     in
+     incr c);
   pkt.Netsim.Packet.epoch <- ver;
   Compile.run compiled pkt
 

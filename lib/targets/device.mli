@@ -42,6 +42,13 @@ val create : ?id:string -> Arch.profile -> t
 val id : t -> string
 val kind : t -> Arch.kind
 
+(** Attach (or clear) an observability scope. Once set, the device
+    counts "device.packets" (labeled by device id and program
+    generation), "device.reconfigs", and reports "device.elements" /
+    "device.parser_rules" gauges into the scope's registry. Wired by
+    [Runtime.Wiring.attach] to the simulation's scope. *)
+val set_obs : t -> Obs.Scope.t option -> unit
+
 (** Bumped on every reconfiguration; stamped into packets as [epoch]. *)
 val version : t -> int
 
