@@ -57,6 +57,51 @@ let test_compiled_sketch_update =
   Test.make ~name:"compiled: count-min update (3 rows)" (Staged.stage (fun () ->
       ignore (Flexbpf.Compile.run compiled pkt)))
 
+(* -- Static WCET certificate vs measured work ---------------------------- *)
+
+(* Replay the interpreter benchmark pairs with the work meter
+   ([Interp.env.work], same per-statement weights as the certificate)
+   and compare per-packet executed work units against the certified
+   static WCET ([Dataflow.Cost]). The certificate is a worst-case
+   bound, so measured <= certified must hold; the ablation also checks
+   the bound is tight — within 2x of what these workloads actually
+   execute (see EXPERIMENTS.md). *)
+let static_cost_ablation () =
+  let cases =
+    [ ("l2l3 pipeline", fun () -> l2l3_env ());
+      ( "count-min update (3 rows)",
+        fun () ->
+          let prog = Apps.Cm_sketch.program ~cfg:cms_cfg () in
+          (prog, Flexbpf.Interp.create_env prog) ) ]
+  in
+  print_endline "\n-- static WCET certificate vs measured work (interp) --";
+  List.iter
+    (fun (name, mk) ->
+      let prog, env = mk () in
+      let pkt = mk_packet () in
+      let runs = 1000 in
+      let before = env.Flexbpf.Interp.work in
+      for _ = 1 to runs do
+        ignore (Flexbpf.Interp.run env prog pkt)
+      done;
+      let measured =
+        float_of_int (env.Flexbpf.Interp.work - before) /. float_of_int runs
+      in
+      let cert =
+        (Flexbpf.Dataflow.Cost.analyze prog).Flexbpf.Dataflow.Cost.cc_certified
+      in
+      let ratio = float_of_int cert /. Float.max 1e-9 measured in
+      let sound = measured <= float_of_int cert +. 1e-9 in
+      let tight = ratio <= 2.0 +. 1e-9 in
+      Printf.printf
+        "%-42s certified %3d  measured %6.1f  bound %.2fx %s\n" name cert
+        measured ratio
+        (match (sound, tight) with
+         | true, true -> "(sound, within 2x)"
+         | true, false -> "(sound, LOOSE)"
+         | false, _ -> "(UNSOUND)"))
+    cases
+
 (* (reference, compiled) benchmark names reported as speedups. *)
 let speedup_pairs =
   [ ("interp: l2l3 pipeline per packet", "compiled: l2l3 pipeline per packet");
@@ -231,6 +276,7 @@ let check_speedups ~baseline_path ~tolerance measured =
     regression gate. *)
 let run ?(quota = 0.5) ?out ?check ?(tolerance = 0.35) () =
   print_endline "\n== microbenchmarks (bechamel) ==";
+  static_cost_ablation ();
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:(Some 1000) ()

@@ -172,34 +172,67 @@ let max_severity_arg =
                  (info, warning, or error)")
 
 let format_arg =
-  Arg.(value & opt (enum [ ("text", `Text); ("tsv", `Tsv) ]) `Text
+  Arg.(value
+       & opt (enum [ ("text", `Text); ("tsv", `Tsv); ("sarif", `Sarif) ]) `Text
        & info [ "format" ] ~docv:"FMT"
-           ~doc:"Output format: human-readable $(b,text) or tab-separated \
-                 $(b,tsv) (code, severity, pass, path, message)")
+           ~doc:"Output format: human-readable $(b,text), tab-separated \
+                 $(b,tsv) (code, severity, pass, path, message), or a \
+                 $(b,sarif) 2.1.0 log for code-scanning upload")
+
+let explain_arg =
+  Arg.(value & opt (some string) None
+       & info [ "explain" ] ~docv:"CODE"
+           ~doc:"Print the explanation for one diagnostic code (e.g. \
+                 FBV051) and exit; no program file is read")
+
+let lint_file_arg =
+  Arg.(value & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"FlexBPF surface-syntax program file")
 
 let lint_cmd =
-  let run path max_sev format =
-    let src = In_channel.with_open_text path In_channel.input_all in
-    match Flexbpf.Syntax.parse_program_result src with
-    | Error e ->
-      Printf.eprintf "%s: parse error: %s\n" path e;
-      exit 2
-    | Ok p ->
-      let ds = Flexbpf.Verifier.check p in
-      (match format with
-       | `Tsv ->
-         List.iter (fun d -> print_endline (Flexbpf.Diagnostics.to_tsv d)) ds
-       | `Text ->
-         List.iter (fun d -> Fmt.pr "%s: %a@." path Flexbpf.Diagnostics.pp d) ds;
-         Fmt.pr "%s: %a@." path Flexbpf.Diagnostics.pp_summary ds);
-      exit (if Flexbpf.Diagnostics.at_least max_sev ds <> [] then 1 else 0)
+  let run file max_sev format explain =
+    match explain with
+    | Some code ->
+      (match Flexbpf.Verifier.explain code with
+       | Some (title, detail) ->
+         Printf.printf "%s: %s\n\n%s\n" (String.uppercase_ascii code) title detail;
+         exit 0
+       | None ->
+         Printf.eprintf "unknown diagnostic code %s (known: %s)\n" code
+           (String.concat ", "
+              (List.map fst Flexbpf.Verifier.explanations));
+         exit 2)
+    | None ->
+      let path =
+        match file with
+        | Some p -> p
+        | None ->
+          Printf.eprintf "lint: a program FILE is required (or --explain CODE)\n";
+          exit 2
+      in
+      let src = In_channel.with_open_text path In_channel.input_all in
+      (match Flexbpf.Syntax.parse_program_result src with
+       | Error e ->
+         Printf.eprintf "%s: parse error: %s\n" path e;
+         exit 2
+       | Ok p ->
+         let ds = Flexbpf.Verifier.check p in
+         (match format with
+          | `Tsv ->
+            List.iter (fun d -> print_endline (Flexbpf.Diagnostics.to_tsv d)) ds
+          | `Sarif ->
+            print_endline (Flexbpf.Diagnostics.to_sarif ~uri:path ds)
+          | `Text ->
+            List.iter (fun d -> Fmt.pr "%s: %a@." path Flexbpf.Diagnostics.pp d) ds;
+            Fmt.pr "%s: %a@." path Flexbpf.Diagnostics.pp_summary ds);
+         exit (if Flexbpf.Diagnostics.at_least max_sev ds <> [] then 1 else 0))
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the FlexBPF verifier over a program file. Exit 0 when clean, \
           1 when findings reach --max-severity, 2 on parse failure.")
-    Term.(const run $ file_arg $ max_severity_arg $ format_arg)
+    Term.(const run $ lint_file_arg $ max_severity_arg $ format_arg $ explain_arg)
 
 (* -- inject -------------------------------------------------------------- *)
 
@@ -378,6 +411,7 @@ let plan_cmd =
       let plan = report.Compiler.Incremental.plan in
       let times_of = Compiler.Plan.times_of_devices (Flexnet.path net) in
       let cost = report.Compiler.Incremental.cost in
+      let ck = Compiler.Plan.cost_check pc.Compiler.Incremental.ch_prog in
       (match format with
        | `Table ->
          Printf.printf "plan %s: %d ops, %d candidate(s) evaluated\n"
@@ -402,7 +436,13 @@ let plan_cmd =
                "  delta %-10s sram %+d B, tcam %+d B, actions %+d, instrs %+d\n"
                d r.Targets.Resource.sram_bytes r.Targets.Resource.tcam_bytes
                r.Targets.Resource.action_slots r.Targets.Resource.instructions)
-           cost.Compiler.Plan.c_deltas
+           cost.Compiler.Plan.c_deltas;
+         Fmt.pr "static cost check    : %a@." Compiler.Plan.pp_cost_check ck;
+         if ck.Compiler.Plan.ck_divergent then
+           Fmt.pr
+             "warning: planner heuristic diverges %.1fx from the certified \
+              WCET (statically dead branches inflate placement cost)@."
+             ck.Compiler.Plan.ck_ratio
        | `Json ->
          let ops =
            String.concat ","
@@ -429,11 +469,15 @@ let plan_cmd =
          in
          Printf.printf
            "{\"plan\":\"%s\",\"candidates\":%d,\"total_work_s\":%.6f,\
-            \"duration_s\":%.6f,\"ops\":[%s],\"deltas\":[%s]}\n"
+            \"duration_s\":%.6f,\"cost_check\":{\"certified\":%d,\
+            \"heuristic\":%d,\"ratio\":%.3f,\"divergent\":%b},\
+            \"ops\":[%s],\"deltas\":[%s]}\n"
            (json_escape plan.Compiler.Plan.plan_name)
            pc.Compiler.Incremental.ch_candidates
            report.Compiler.Incremental.total_work
-           report.Compiler.Incremental.duration ops deltas)
+           report.Compiler.Incremental.duration
+           ck.Compiler.Plan.ck_certified ck.Compiler.Plan.ck_heuristic
+           ck.Compiler.Plan.ck_ratio ck.Compiler.Plan.ck_divergent ops deltas)
   in
   Cmd.v
     (Cmd.info "plan"

@@ -115,6 +115,38 @@ let pp_cost ppf c =
         deltas)
     c.c_deltas
 
+(** Cross-check of the program's static WCET certificate
+    ([Flexbpf.Dataflow.Cost]) against the planner's syntax-directed
+    heuristic ([Flexbpf.Analysis.max_cycles]). The two agree exactly on
+    programs with no statically dead branches; a ratio of 2x or more
+    means the heuristic is budgeting for work the packet can never do,
+    and placement decisions made from it are correspondingly
+    pessimistic. *)
+type cost_check = {
+  ck_program : string;
+  ck_certified : int; (* dead branches pruned *)
+  ck_heuristic : int; (* = Analysis.max_cycles *)
+  ck_ratio : float; (* heuristic / certified; 1.0 when certified = 0 *)
+  ck_divergent : bool; (* ck_ratio >= 2.0 *)
+}
+
+let cost_check (prog : Ast.program) =
+  let c = Flexbpf.Dataflow.Cost.analyze prog in
+  let certified = c.Flexbpf.Dataflow.Cost.cc_certified in
+  let heuristic = c.Flexbpf.Dataflow.Cost.cc_heuristic in
+  let ratio =
+    if certified <= 0 then 1.0
+    else float_of_int heuristic /. float_of_int certified
+  in
+  { ck_program = prog.Ast.prog_name; ck_certified = certified;
+    ck_heuristic = heuristic; ck_ratio = ratio;
+    ck_divergent = ratio >= 2.0 }
+
+let pp_cost_check ppf ck =
+  Fmt.pf ppf "%s: certified %d, heuristic %d work units (ratio %.2f)%s"
+    ck.ck_program ck.ck_certified ck.ck_heuristic ck.ck_ratio
+    (if ck.ck_divergent then " [divergent]" else "")
+
 let size t = List.length t.ops
 
 let pp ppf t =

@@ -75,5 +75,20 @@ val cost_of :
 
 val pp_cost : Format.formatter -> cost -> unit
 
+(** Cross-check of the static WCET certificate
+    ([Flexbpf.Dataflow.Cost]) against the planner's heuristic
+    ([Flexbpf.Analysis.max_cycles]); [ck_divergent] when the heuristic
+    charges at least twice the certified worst case. *)
+type cost_check = {
+  ck_program : string;
+  ck_certified : int; (* dead branches pruned *)
+  ck_heuristic : int; (* = Analysis.max_cycles *)
+  ck_ratio : float; (* heuristic / certified; 1.0 when certified = 0 *)
+  ck_divergent : bool; (* ck_ratio >= 2.0 *)
+}
+
+val cost_check : Flexbpf.Ast.program -> cost_check
+val pp_cost_check : Format.formatter -> cost_check -> unit
+
 val size : t -> int
 val pp : Format.formatter -> t -> unit

@@ -22,6 +22,9 @@ type tenant = {
   mutable map_names : string list;
   diagnostics : Diagnostics.t list;
       (* sub-Error verifier findings recorded at admission *)
+  parallel : Dataflow.Shard_safety.t;
+      (* shard-safety certificate: how the tenant's maps shard *)
+  static_cost : Dataflow.Cost.t; (* certified per-packet WCET *)
 }
 
 type t = {
@@ -140,7 +143,9 @@ let admit t (ext : Ast.program) =
                         map_names =
                           List.map (fun (m : Ast.map_decl) -> m.map_name)
                             guarded.Ast.maps;
-                        diagnostics = cert.Analysis.cert_warnings }
+                        diagnostics = cert.Analysis.cert_warnings;
+                        parallel = cert.Analysis.cert_parallel;
+                        static_cost = cert.Analysis.cert_cost }
                     in
                     t.tenants <- tenant :: t.tenants;
                     t.admitted <- t.admitted + 1;

@@ -15,6 +15,9 @@ type tenant = {
   mutable map_names : string list;
   diagnostics : Flexbpf.Diagnostics.t list;
       (* sub-Error verifier findings recorded at admission *)
+  parallel : Flexbpf.Dataflow.Shard_safety.t;
+      (* shard-safety certificate: how the tenant's maps shard *)
+  static_cost : Flexbpf.Dataflow.Cost.t; (* certified per-packet WCET *)
 }
 
 type t = {

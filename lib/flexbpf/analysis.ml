@@ -138,11 +138,19 @@ let footprint prog =
 
 (* Certification ------------------------------------------------------ *)
 
+(* The two framework-hosted certificates, computable standalone even
+   for programs the gate below rejects (tools report them for any
+   well-formed input). *)
+let parallel_safety = Dataflow.Shard_safety.analyze
+let static_cost = Dataflow.Cost.analyze
+
 type certificate = {
   cert_program : string;
   cert_cycles : int;
   cert_footprint : footprint;
   cert_warnings : Diagnostics.t list; (* sub-Error verifier findings *)
+  cert_parallel : Dataflow.Shard_safety.t; (* shard-safety verdict *)
+  cert_cost : Dataflow.Cost.t; (* static per-packet WCET *)
 }
 
 type rejection =
@@ -178,4 +186,6 @@ let certify ?(budget = 4096) ?(verifier = true) prog =
       | _ :: _ as errs -> Error (Unsafe errs)
       | [] ->
         Ok { cert_program = prog.prog_name; cert_cycles = cycles;
-             cert_footprint = footprint prog; cert_warnings = diags }
+             cert_footprint = footprint prog; cert_warnings = diags;
+             cert_parallel = parallel_safety prog;
+             cert_cost = static_cost prog }

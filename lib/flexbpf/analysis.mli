@@ -43,11 +43,23 @@ val map_footprint : Ast.map_decl -> footprint
 (** Whole-program footprint (elements + maps + parser). *)
 val footprint : Ast.program -> footprint
 
+(** Shard-safety classification of every map the program touches
+    ([Dataflow.Shard_safety.analyze]); computable standalone, even for
+    programs [certify] rejects. *)
+val parallel_safety : Ast.program -> Dataflow.Shard_safety.t
+
+(** Static per-packet WCET certificate ([Dataflow.Cost.analyze]):
+    certified work units with statically dead branches pruned, next to
+    the unpruned planner heuristic (= [max_cycles]). *)
+val static_cost : Ast.program -> Dataflow.Cost.t
+
 type certificate = {
   cert_program : string;
   cert_cycles : int;
   cert_footprint : footprint;
   cert_warnings : Diagnostics.t list; (* sub-Error verifier findings *)
+  cert_parallel : Dataflow.Shard_safety.t; (* shard-safety verdict *)
+  cert_cost : Dataflow.Cost.t; (* static per-packet WCET *)
 }
 
 type rejection =

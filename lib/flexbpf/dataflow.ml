@@ -1,0 +1,628 @@
+(** A generic monotone dataflow / abstract-interpretation framework
+    over [Ast.program] (§2, §3.1).
+
+    The verifier's semantic passes started life as ad-hoc recursive
+    walks; this module factors the machinery they share — and that the
+    future domain-sharded datapath needs — into three layers:
+
+    - {!Cfg}: a control-flow graph per pipeline element. FlexBPF is
+      structured (no goto, statically bounded loops), so the CFG is
+      reducible by construction: every node carries the same
+      diagnostic path string the original walks used
+      (["elem/stmt.1.then.0"], ["tbl/key.2"], …) plus the static
+      iteration multipliers of its enclosing loops.
+    - {!DOMAIN}/{!Solver}: an abstract-domain signature (bottom, join,
+      widening, equality) and a worklist fixpoint solver over a CFG,
+      forward or backward, with optional widening after a visit budget,
+      an optional edge-liveness filter (for branch pruning), and an
+      acyclic mode that ignores loop back edges (for WCET longest-path
+      computations).
+    - Client analyses: {!Shard_safety} (map access classification for
+      the parallel datapath) and {!Cost} (static per-packet WCET) live
+      here; the value-range interval pass is re-hosted on the same CFG
+      and solver in [Verifier].
+
+    Everything is pure and deterministic: same program, same CFG, same
+    fixpoint — regardless of the solver's initial worklist order, which
+    only monotone transfer functions can guarantee and the property
+    tests check. *)
+
+open Ast
+
+module SMap = Map.Make (String)
+
+(* -- Constant folding -------------------------------------------------- *)
+
+(* Mirrors [Interp] exactly: total division ([x/0 = 0], [x%0 = 0]),
+   shift amounts masked to 6 bits, comparisons producing 0/1, and
+   logical operators over truthiness. Anything touching packet, map,
+   or clock state is not a constant. *)
+
+let truthy v = v <> 0L
+let of_bool b = if b then 1L else 0L
+
+let rec const_eval = function
+  | Const v -> Some v
+  | Field _ | Meta _ | Param _ | Map_get _ | Hash _ | Time -> None
+  | Un (op, e) ->
+    Option.map
+      (fun x ->
+        match op with
+        | Not -> of_bool (not (truthy x))
+        | Neg -> Int64.neg x
+        | Bnot -> Int64.lognot x)
+      (const_eval e)
+  | Bin (op, a, b) -> (
+    match const_eval a, const_eval b with
+    | Some x, Some y ->
+      Some
+        (match op with
+         | Add -> Int64.add x y
+         | Sub -> Int64.sub x y
+         | Mul -> Int64.mul x y
+         | Div -> if y = 0L then 0L else Int64.div x y
+         | Mod -> if y = 0L then 0L else Int64.rem x y
+         | Band -> Int64.logand x y
+         | Bor -> Int64.logor x y
+         | Bxor -> Int64.logxor x y
+         | Shl -> Int64.shift_left x (Int64.to_int y land 63)
+         | Shr -> Int64.shift_right_logical x (Int64.to_int y land 63)
+         | Eq -> of_bool (x = y)
+         | Neq -> of_bool (x <> y)
+         | Lt -> of_bool (x < y)
+         | Le -> of_bool (x <= y)
+         | Gt -> of_bool (x > y)
+         | Ge -> of_bool (x >= y)
+         | Land -> of_bool (truthy x && truthy y)
+         | Lor -> of_bool (truthy x || truthy y))
+    | _ -> None)
+
+let const_truth e = Option.map truthy (const_eval e)
+
+(* -- The control-flow graph -------------------------------------------- *)
+
+module Cfg = struct
+  type branch = {
+    cond : expr;
+    br_stmt : stmt; (* the whole [If] *)
+    mutable then_dst : int; (* patched once both arms are built *)
+    mutable else_dst : int;
+  }
+
+  type kind =
+    | Entry
+    | Exit
+    | Atom of stmt (* any non-control statement *)
+    | Branch of branch
+    | Join (* post-[If] merge *)
+    | Loop_head of int * stmt (* bound, the whole [Loop] *)
+    | Loop_exit
+    | Key of expr * int (* table key expression *)
+    | Action_select (* table lookup / dispatch point *)
+    | Action_entry of string
+
+  type node = {
+    id : int;
+    kind : kind;
+    path : string; (* verifier-compatible diagnostic location *)
+    vr_iters : int; (* product of [max 1 bound] of enclosing loops *)
+    cost_iters : int; (* product of [max 0 bound] of enclosing loops *)
+  }
+
+  type t = {
+    elem : string;
+    nodes : node array;
+    entry : int;
+    exit : int;
+    succs : int list array; (* forward edges only: the CFG minus back
+                               edges is a DAG in id order *)
+    preds : int list array;
+    back_succs : int list array; (* loop body end -> loop head *)
+    back_preds : int list array;
+  }
+
+  let stmt_path base i = Printf.sprintf "%s/stmt.%d" base i
+  let sub_path base tag i = Printf.sprintf "%s.%s.%d" base tag i
+
+  type builder = {
+    mutable bnodes : node list; (* reversed *)
+    mutable bn : int;
+    mutable bedges : (int * int) list; (* reversed *)
+    mutable bback : (int * int) list;
+  }
+
+  let add_node b ~kind ~path ~vr ~cost =
+    let id = b.bn in
+    b.bn <- id + 1;
+    b.bnodes <- { id; kind; path; vr_iters = vr; cost_iters = cost } :: b.bnodes;
+    id
+
+  let add_edge b src dst = b.bedges <- (src, dst) :: b.bedges
+  let add_back b src dst = b.bback <- (src, dst) :: b.bback
+
+  let rec build_stmt b ~vr ~cost ~pred ~path s =
+    match s with
+    | If (c, th, el) ->
+      let br = { cond = c; br_stmt = s; then_dst = -1; else_dst = -1 } in
+      let bid = add_node b ~kind:(Branch br) ~path ~vr ~cost in
+      add_edge b pred bid;
+      let t_end = build_branch b ~vr ~cost ~pred:bid ~base:path ~tag:"then" th in
+      let e_end = build_branch b ~vr ~cost ~pred:bid ~base:path ~tag:"else" el in
+      let join = add_node b ~kind:Join ~path ~vr ~cost in
+      if t_end = bid then br.then_dst <- join
+      else begin
+        br.then_dst <- bid + 1; (* first node of the then arm *)
+        add_edge b t_end join
+      end;
+      if e_end = bid then br.else_dst <- join
+      else begin
+        br.else_dst <- t_end + 1; (* first node of the else arm *)
+        add_edge b e_end join
+      end;
+      if t_end = bid then add_edge b bid join;
+      if e_end = bid then add_edge b bid join;
+      join
+    | Loop (n, body) ->
+      let head = add_node b ~kind:(Loop_head (n, s)) ~path ~vr ~cost in
+      add_edge b pred head;
+      let body_end =
+        build_branch b ~vr:(vr * max 1 n) ~cost:(cost * max 0 n) ~pred:head
+          ~base:path ~tag:"body" body
+      in
+      let lexit = add_node b ~kind:Loop_exit ~path ~vr ~cost in
+      if body_end = head then add_edge b head lexit
+      else begin
+        add_edge b body_end lexit;
+        add_back b body_end head
+      end;
+      lexit
+    | _ ->
+      let id = add_node b ~kind:(Atom s) ~path ~vr ~cost in
+      add_edge b pred id;
+      id
+
+  and build_seq b ~vr ~cost ~pred ~path_of stmts =
+    List.fold_left
+      (fun (pred, i) s ->
+        (build_stmt b ~vr ~cost ~pred ~path:(path_of i) s, i + 1))
+      (pred, 0) stmts
+    |> fst
+
+  and build_branch b ~vr ~cost ~pred ~base ~tag stmts =
+    build_seq b ~vr ~cost ~pred ~path_of:(sub_path base tag) stmts
+
+  let of_element el =
+    let b = { bnodes = []; bn = 0; bedges = []; bback = [] } in
+    let elem = element_name el in
+    let entry = add_node b ~kind:Entry ~path:elem ~vr:1 ~cost:1 in
+    let ends =
+      match el with
+      | Block blk ->
+        [ build_seq b ~vr:1 ~cost:1 ~pred:entry
+            ~path_of:(stmt_path blk.blk_name) blk.blk_body ]
+      | Table t ->
+        let kpred =
+          List.fold_left
+            (fun (pred, i) (e, _) ->
+              let id =
+                add_node b ~kind:(Key (e, i))
+                  ~path:(Printf.sprintf "%s/key.%d" elem i) ~vr:1 ~cost:1
+              in
+              add_edge b pred id;
+              (id, i + 1))
+            (entry, 0) t.keys
+          |> fst
+        in
+        let sel = add_node b ~kind:Action_select ~path:elem ~vr:1 ~cost:1 in
+        add_edge b kpred sel;
+        (match t.tbl_actions with
+         | [] -> [ sel ]
+         | acts ->
+           List.map
+             (fun a ->
+               let base = elem ^ "/" ^ a.act_name in
+               let ae =
+                 add_node b ~kind:(Action_entry a.act_name) ~path:base ~vr:1
+                   ~cost:1
+               in
+               add_edge b sel ae;
+               build_seq b ~vr:1 ~cost:1 ~pred:ae ~path_of:(stmt_path base)
+                 a.body)
+             acts)
+    in
+    let exit = add_node b ~kind:Exit ~path:elem ~vr:1 ~cost:1 in
+    List.iter (fun e -> add_edge b e exit) ends;
+    let n = b.bn in
+    let nodes = Array.of_list (List.rev b.bnodes) in
+    let mk edges =
+      let succs = Array.make n [] and preds = Array.make n [] in
+      List.iter
+        (fun (s, d) ->
+          succs.(s) <- d :: succs.(s);
+          preds.(d) <- s :: preds.(d))
+        edges; (* [edges] is reversed, so consing restores insert order *)
+      (succs, preds)
+    in
+    let succs, preds = mk b.bedges in
+    let back_succs, back_preds = mk b.bback in
+    { elem; nodes; entry; exit; succs; preds; back_succs; back_preds }
+
+  let of_program prog = List.map of_element prog.pipeline
+
+  (* loop heads are the only nodes with an incoming back edge *)
+  let is_widening_point cfg id = cfg.back_preds.(id) <> []
+end
+
+(* -- The solver -------------------------------------------------------- *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  (** [widen previous next] — called instead of plain propagation at
+      nodes with incoming back edges once the visit budget is spent.
+      [join] is a correct (if non-accelerating) default on finite
+      lattices. *)
+  val widen : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Solver (D : DOMAIN) = struct
+  type solution = {
+    input : D.t array; (* fixpoint state entering each node *)
+    output : D.t array; (* state leaving it: [transfer node input] *)
+    steps : int; (* worklist pops until stabilization *)
+  }
+
+  let solve ?(direction = Forward) ?(widen_after = 8) ?(include_back = true)
+      ?edge_live ?order (cfg : Cfg.t) ~init ~transfer =
+    let n = Array.length cfg.nodes in
+    let input = Array.make n D.bottom and output = Array.make n D.bottom in
+    let visits = Array.make n 0 in
+    let preds i =
+      match direction with
+      | Forward ->
+        cfg.preds.(i) @ (if include_back then cfg.back_preds.(i) else [])
+      | Backward ->
+        cfg.succs.(i) @ (if include_back then cfg.back_succs.(i) else [])
+    in
+    let succs i =
+      match direction with
+      | Forward ->
+        cfg.succs.(i) @ (if include_back then cfg.back_succs.(i) else [])
+      | Backward ->
+        cfg.preds.(i) @ (if include_back then cfg.back_preds.(i) else [])
+    in
+    let start = match direction with Forward -> cfg.entry | Backward -> cfg.exit in
+    let live p i =
+      match edge_live with
+      | None -> true
+      | Some f -> (
+        match direction with Forward -> f cfg p i | Backward -> f cfg i p)
+    in
+    let q = Queue.create () and inq = Array.make n false in
+    let push i =
+      if not inq.(i) then begin
+        inq.(i) <- true;
+        Queue.push i q
+      end
+    in
+    (match order with
+     | Some o -> Array.iter push o
+     | None -> for i = 0 to n - 1 do push i done);
+    for i = 0 to n - 1 do
+      push i (* any node the permutation missed still gets seeded *)
+    done;
+    let steps = ref 0 in
+    while not (Queue.is_empty q) do
+      incr steps;
+      let i = Queue.pop q in
+      inq.(i) <- false;
+      let inc =
+        if i = start then init
+        else
+          List.fold_left
+            (fun acc p -> if live p i then D.join acc output.(p) else acc)
+            D.bottom (preds i)
+      in
+      visits.(i) <- visits.(i) + 1;
+      let inc =
+        if visits.(i) > widen_after && Cfg.is_widening_point cfg i then
+          D.widen input.(i) inc
+        else inc
+      in
+      let out = transfer cfg.nodes.(i) inc in
+      let first = visits.(i) = 1 in
+      let changed = not (D.equal out output.(i)) in
+      input.(i) <- inc;
+      output.(i) <- out;
+      if first || changed then List.iter push (succs i)
+    done;
+    { input; output; steps = !steps }
+
+  let forward ?widen_after ?edge_live ?order cfg ~init ~transfer =
+    solve ~direction:Forward ?widen_after ?edge_live ?order cfg ~init ~transfer
+
+  let backward ?widen_after ?edge_live ?order cfg ~init ~transfer =
+    solve ~direction:Backward ?widen_after ?edge_live ?order cfg ~init
+      ~transfer
+
+  (** Longest-path style solve over the loop-free skeleton: back edges
+      are ignored, so loop bodies are charged through the static
+      [cost_iters] multiplier on their nodes instead of by iteration. *)
+  let acyclic ?edge_live ?order cfg ~init ~transfer =
+    solve ~direction:Forward ~include_back:false ?edge_live ?order cfg ~init
+      ~transfer
+end
+
+(* -- Shard-safety: map access classification --------------------------- *)
+
+module Shard_safety = struct
+  type access = Read | Incr | Put | Del
+
+  type site = {
+    s_access : access;
+    s_path : string;
+    s_rmw : bool;
+        (* written value derives from a read of the same map *)
+  }
+
+  module SiteSet = Set.Make (struct
+    type t = site
+
+    let compare = Stdlib.compare
+  end)
+
+  (* The abstract domain: per-map sets of access sites, a finite union
+     lattice (bottom = no accesses observed). *)
+  module Facts = struct
+    type t = SiteSet.t SMap.t
+
+    let bottom = SMap.empty
+    let equal = SMap.equal SiteSet.equal
+    let join = SMap.union (fun _ a b -> Some (SiteSet.union a b))
+    let widen = join
+  end
+
+  module FSolver = Solver (Facts)
+
+  let add m site facts =
+    SMap.update m
+      (function
+        | None -> Some (SiteSet.singleton site)
+        | Some s -> Some (SiteSet.add site s))
+      facts
+
+  let rec reads_of ~path facts e =
+    match e with
+    | Const _ | Field _ | Meta _ | Param _ | Time -> facts
+    | Map_get (m, keys) ->
+      add m { s_access = Read; s_path = path; s_rmw = false }
+        (List.fold_left (reads_of ~path) facts keys)
+    | Bin (_, a, b) -> reads_of ~path (reads_of ~path facts a) b
+    | Un (_, e) -> reads_of ~path facts e
+    | Hash (_, es) -> List.fold_left (reads_of ~path) facts es
+
+  let rec mentions_get m = function
+    | Map_get (m', keys) -> m' = m || List.exists (mentions_get m) keys
+    | Bin (_, a, b) -> mentions_get m a || mentions_get m b
+    | Un (_, e) -> mentions_get m e
+    | Hash (_, es) -> List.exists (mentions_get m) es
+    | Const _ | Field _ | Meta _ | Param _ | Time -> false
+
+  let stmt_facts ~path facts = function
+    | Nop | Drop | Punt _ | Push_header _ | Pop_header _ -> facts
+    | Set_field (_, _, e) | Set_meta (_, e) | Forward e ->
+      reads_of ~path facts e
+    | Call (_, args) -> List.fold_left (reads_of ~path) facts args
+    | Map_put (m, keys, v) ->
+      let facts = List.fold_left (reads_of ~path) facts keys in
+      let facts = reads_of ~path facts v in
+      add m { s_access = Put; s_path = path; s_rmw = mentions_get m v } facts
+    | Map_incr (m, keys, v) ->
+      let facts = List.fold_left (reads_of ~path) facts keys in
+      let facts = reads_of ~path facts v in
+      add m { s_access = Incr; s_path = path; s_rmw = mentions_get m v } facts
+    | Map_del (m, keys) ->
+      let facts = List.fold_left (reads_of ~path) facts keys in
+      add m { s_access = Del; s_path = path; s_rmw = false } facts
+    | If _ | Loop _ -> facts (* handled by their own CFG nodes *)
+
+  let transfer (node : Cfg.node) facts =
+    match node.kind with
+    | Cfg.Atom s -> stmt_facts ~path:node.path facts s
+    | Cfg.Branch b -> reads_of ~path:node.path facts b.Cfg.cond
+    | Cfg.Key (e, _) -> reads_of ~path:node.path facts e
+    | Cfg.Entry | Cfg.Exit | Cfg.Join | Cfg.Loop_head _ | Cfg.Loop_exit
+    | Cfg.Action_select | Cfg.Action_entry _ -> facts
+
+  let facts_of_element cfg =
+    let sol = FSolver.forward cfg ~init:Facts.bottom ~transfer in
+    sol.FSolver.output.(cfg.Cfg.exit)
+
+  (** How a map behaves under domain sharding (§3.4): [Read_only]
+      replicas need no coordination; [Commutative] (every datapath
+      write is an increment, no self-referential values) shard-local
+      replicas merge by sum; [Exclusive] (puts, deletes, or
+      read-modify-write) needs a single owner shard per keyspace. *)
+  type map_class = Read_only | Commutative | Exclusive
+
+  let class_rank = function Read_only -> 0 | Commutative -> 1 | Exclusive -> 2
+
+  let class_to_string = function
+    | Read_only -> "read-only"
+    | Commutative -> "commutative"
+    | Exclusive -> "exclusive"
+
+  type map_report = {
+    mr_map : string;
+    mr_class : map_class;
+    mr_sites : site list; (* deterministic (set) order *)
+  }
+
+  type t = {
+    ps_program : string;
+    ps_owner : string;
+    ps_maps : map_report list; (* declared maps in declaration order,
+                                  then accessed-but-undeclared maps *)
+    ps_verdict : map_class; (* worst class over all maps *)
+  }
+
+  let classify sites =
+    let has p = SiteSet.exists p sites in
+    if has (fun s -> s.s_rmw || s.s_access = Put || s.s_access = Del) then
+      Exclusive
+    else if has (fun s -> s.s_access = Incr) then Commutative
+    else Read_only
+
+  let analyze (prog : program) =
+    let facts =
+      List.fold_left
+        (fun acc cfg -> Facts.join acc (facts_of_element cfg))
+        Facts.bottom (Cfg.of_program prog)
+    in
+    let report name =
+      let sites =
+        Option.value (SMap.find_opt name facts) ~default:SiteSet.empty
+      in
+      { mr_map = name; mr_class = classify sites;
+        mr_sites = SiteSet.elements sites }
+    in
+    let declared = List.map (fun (m : map_decl) -> m.map_name) prog.maps in
+    let undeclared =
+      SMap.fold
+        (fun m _ acc -> if List.mem m declared then acc else m :: acc)
+        facts []
+      |> List.sort String.compare
+    in
+    let ps_maps = List.map report (declared @ undeclared) in
+    let ps_verdict =
+      List.fold_left
+        (fun acc mr ->
+          if class_rank mr.mr_class > class_rank acc then mr.mr_class else acc)
+        Read_only ps_maps
+    in
+    { ps_program = prog.prog_name; ps_owner = prog.owner; ps_maps; ps_verdict }
+
+  let pp_verdict ppf c = Fmt.string ppf (class_to_string c)
+
+  let pp ppf t =
+    Fmt.pf ppf "%s: %s%a" t.ps_program
+      (class_to_string t.ps_verdict)
+      (Fmt.list ~sep:Fmt.nop (fun ppf mr ->
+           Fmt.pf ppf "@.  map %-16s %s" mr.mr_map
+             (class_to_string mr.mr_class)))
+      t.ps_maps
+end
+
+(* -- Static per-packet cost (WCET) ------------------------------------- *)
+
+module Cost = struct
+  (* The abstract domain: worst-case work units accumulated along any
+     path from entry, [Unreach] for nodes no live path reaches. *)
+  type work = Unreach | Work of int
+
+  module W = struct
+    type t = work
+
+    let bottom = Unreach
+    let equal = ( = )
+
+    let join a b =
+      match a, b with
+      | Unreach, x | x, Unreach -> x
+      | Work a, Work b -> Work (max a b)
+
+    let widen = join
+  end
+
+  module WSolver = Solver (W)
+
+  (* Per-statement work units, identical to the planner heuristic in
+     [Analysis.stmt_cost] (control statements are charged 1 on their
+     Branch/Loop_head node). *)
+  let atom_cost = function
+    | Nop -> 0
+    | Set_field _ | Set_meta _ | Forward _ | Drop | Punt _ | Push_header _
+    | Pop_header _ -> 1
+    | Map_put _ | Map_incr _ | Map_del _ -> 2 (* hash + write *)
+    | Call _ -> 4 (* marshalling + invocation *)
+    | If _ | Loop _ -> 0 (* never an Atom *)
+
+  let node_cost (n : Cfg.node) =
+    match n.kind with
+    | Cfg.Atom s -> atom_cost s * n.cost_iters
+    | Cfg.Branch _ | Cfg.Loop_head _ -> n.cost_iters
+    | Cfg.Key _ | Cfg.Action_select -> 1
+    | Cfg.Entry | Cfg.Exit | Cfg.Join | Cfg.Loop_exit | Cfg.Action_entry _ -> 0
+
+  let transfer n = function
+    | Unreach -> Unreach
+    | Work w -> Work (w + node_cost n)
+
+  (* Branch edges whose condition folds to a constant: only the taken
+     arm is live, so statically dead code contributes no certified
+     work. *)
+  let live_edge (cfg : Cfg.t) src dst =
+    match cfg.Cfg.nodes.(src).Cfg.kind with
+    | Cfg.Branch b -> (
+      match const_truth b.Cfg.cond with
+      | Some true -> dst = b.Cfg.then_dst
+      | Some false -> dst = b.Cfg.else_dst
+      | None -> true)
+    | _ -> true
+
+  let element_wcet ?edge_live cfg =
+    let sol = WSolver.acyclic ?edge_live cfg ~init:(Work 0) ~transfer in
+    match sol.WSolver.output.(cfg.Cfg.exit) with
+    | Work w -> w
+    | Unreach -> 0
+
+  type t = {
+    cc_program : string;
+    cc_certified : int; (* WCET with statically dead branches pruned *)
+    cc_heuristic : int; (* unpruned longest path = [Analysis.max_cycles] *)
+    cc_elements : (string * int * int) list; (* element, certified, heuristic *)
+    cc_pruned : string list; (* If paths with a statically dead arm *)
+  }
+
+  let analyze (prog : program) =
+    let cfgs = Cfg.of_program prog in
+    let cc_elements =
+      List.map
+        (fun cfg ->
+          ( cfg.Cfg.elem,
+            element_wcet ~edge_live:live_edge cfg,
+            element_wcet cfg ))
+        cfgs
+    in
+    let cc_pruned =
+      List.concat_map
+        (fun cfg ->
+          Array.to_list cfg.Cfg.nodes
+          |> List.filter_map (fun (n : Cfg.node) ->
+                 match n.kind with
+                 | Cfg.Branch { Cfg.cond; br_stmt = If (_, th, el); _ } -> (
+                   match const_truth cond with
+                   | Some true when el <> [] -> Some (n.path ^ " (else)")
+                   | Some false when th <> [] -> Some (n.path ^ " (then)")
+                   | _ -> None)
+                 | _ -> None))
+        cfgs
+    in
+    { cc_program = prog.prog_name;
+      cc_certified = List.fold_left (fun a (_, c, _) -> a + c) 0 cc_elements;
+      cc_heuristic = List.fold_left (fun a (_, _, h) -> a + h) 0 cc_elements;
+      cc_elements; cc_pruned }
+
+  let pp ppf t =
+    Fmt.pf ppf "%s: certified %d, heuristic %d work units%s" t.cc_program
+      t.cc_certified t.cc_heuristic
+      (if t.cc_pruned = [] then ""
+       else Printf.sprintf " (%d dead branch arm(s) pruned)"
+              (List.length t.cc_pruned))
+end

@@ -1,0 +1,239 @@
+(** A generic monotone dataflow / abstract-interpretation framework
+    over [Ast.program] (§2, §3.1).
+
+    FlexBPF programs are structured — no goto, statically bounded
+    loops — so every pipeline element lowers to a small reducible
+    {!Cfg.t}. Analyses plug an abstract domain ({!DOMAIN}) into the
+    worklist fixpoint {!Solver} (forward or backward, with optional
+    widening and edge pruning); the solution maps every CFG node to the
+    abstract state entering and leaving it.
+
+    Clients in this codebase:
+    - the [Verifier]'s value-range interval pass is re-hosted on the
+      forward solver (diagnostics unchanged from the original
+      recursive-walk implementation, which property tests check);
+    - {!Shard_safety} classifies every map's datapath access pattern
+      for the future domain-sharded datapath and the two-version swap
+      in [Runtime.Reconfig];
+    - {!Cost} computes a static per-packet WCET certificate that
+      [Compiler.Plan] cross-checks against its placement heuristic.
+
+    Everything is pure and deterministic: the fixpoint is independent
+    of the solver's initial worklist order. *)
+
+module SMap : Map.S with type key = string
+
+(** Constant folding with [Interp] semantics: total division
+    ([x/0 = 0], [x%0 = 0]), shift amounts masked to 6 bits,
+    comparisons and logical operators producing 0/1. [None] when the
+    expression touches packet, map, parameter, or clock state. *)
+val const_eval : Ast.expr -> int64 option
+
+(** [const_eval] through FlexBPF truthiness (non-zero is true). *)
+val const_truth : Ast.expr -> bool option
+
+(** {1 The control-flow graph} *)
+
+module Cfg : sig
+  type branch = {
+    cond : Ast.expr;
+    br_stmt : Ast.stmt; (* the whole [If] *)
+    mutable then_dst : int; (* successor taken when [cond] holds *)
+    mutable else_dst : int;
+  }
+
+  type kind =
+    | Entry
+    | Exit
+    | Atom of Ast.stmt (* any non-control statement *)
+    | Branch of branch
+    | Join (* post-[If] merge *)
+    | Loop_head of int * Ast.stmt (* bound, the whole [Loop] *)
+    | Loop_exit
+    | Key of Ast.expr * int (* table key expression *)
+    | Action_select (* table lookup / dispatch point *)
+    | Action_entry of string
+
+  type node = {
+    id : int;
+    kind : kind;
+    path : string;
+        (* verifier-compatible diagnostic location, e.g.
+           ["elem/stmt.1.then.0"] or ["tbl/key.2"] *)
+    vr_iters : int; (* product of [max 1 bound] of enclosing loops *)
+    cost_iters : int; (* product of [max 0 bound] of enclosing loops *)
+  }
+
+  type t = {
+    elem : string;
+    nodes : node array; (* ids are topological over forward edges *)
+    entry : int;
+    exit : int;
+    succs : int list array; (* forward edges; a DAG without back edges *)
+    preds : int list array;
+    back_succs : int list array; (* loop body end -> loop head *)
+    back_preds : int list array;
+  }
+
+  val stmt_path : string -> int -> string
+  val sub_path : string -> string -> int -> string
+
+  (** Lower one pipeline element. *)
+  val of_element : Ast.element -> t
+
+  (** One CFG per pipeline element, in pipeline order. *)
+  val of_program : Ast.program -> t list
+
+  (** Nodes with an incoming back edge (loop heads): where the solver
+      applies widening. *)
+  val is_widening_point : t -> int -> bool
+end
+
+(** {1 The solver} *)
+
+module type DOMAIN = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+
+  (** [widen previous next] — applied at widening points once the
+      per-node visit budget is spent. [join] is a correct (if
+      non-accelerating) default on finite-height lattices. *)
+  val widen : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Solver (D : DOMAIN) : sig
+  type solution = {
+    input : D.t array; (* fixpoint state entering each node *)
+    output : D.t array; (* state leaving it: [transfer node input] *)
+    steps : int; (* worklist pops until stabilization *)
+  }
+
+  (** Worklist fixpoint. [init] seeds the start node (entry when
+      forward, exit when backward); every other node's input is the
+      join of its predecessors' outputs. [edge_live cfg src dst]
+      filters edges (dead edges contribute nothing); [order] permutes
+      the initial worklist — the fixpoint is the same for any
+      permutation, which the property tests rely on. [widen_after]
+      bounds visits per widening point before [D.widen] kicks in
+      (default 8). Transfer functions must be monotone and strict on
+      [D.bottom] when bottom means "unreachable". *)
+  val solve :
+    ?direction:direction -> ?widen_after:int -> ?include_back:bool ->
+    ?edge_live:(Cfg.t -> int -> int -> bool) -> ?order:int array -> Cfg.t ->
+    init:D.t -> transfer:(Cfg.node -> D.t -> D.t) -> solution
+
+  val forward :
+    ?widen_after:int -> ?edge_live:(Cfg.t -> int -> int -> bool) ->
+    ?order:int array -> Cfg.t -> init:D.t ->
+    transfer:(Cfg.node -> D.t -> D.t) -> solution
+
+  val backward :
+    ?widen_after:int -> ?edge_live:(Cfg.t -> int -> int -> bool) ->
+    ?order:int array -> Cfg.t -> init:D.t ->
+    transfer:(Cfg.node -> D.t -> D.t) -> solution
+
+  (** Longest-path style solve over the loop-free skeleton: back edges
+      are ignored, so loop bodies are charged through the static
+      [cost_iters] multiplier on their nodes instead of by
+      iteration. *)
+  val acyclic :
+    ?edge_live:(Cfg.t -> int -> int -> bool) -> ?order:int array -> Cfg.t ->
+    init:D.t -> transfer:(Cfg.node -> D.t -> D.t) -> solution
+end
+
+(** {1 Shard-safety: map access classification} *)
+
+module Shard_safety : sig
+  type access = Read | Incr | Put | Del
+
+  type site = {
+    s_access : access;
+    s_path : string; (* diagnostic path of the access *)
+    s_rmw : bool; (* written value derives from a read of the same map *)
+  }
+
+  (** How a map behaves under domain sharding (§3.4): [Read_only]
+      replicas need no coordination; [Commutative] — every datapath
+      write is an increment with no self-referential value, so
+      shard-local replicas merge by sum (the count-min/sketch idiom);
+      [Exclusive] — puts, deletes, or read-modify-write require a
+      single owner shard per keyspace. *)
+  type map_class = Read_only | Commutative | Exclusive
+
+  val class_rank : map_class -> int
+  val class_to_string : map_class -> string
+
+  module SiteSet : Set.S with type elt = site
+
+  type map_report = {
+    mr_map : string;
+    mr_class : map_class;
+    mr_sites : site list; (* deterministic order *)
+  }
+
+  (** The [Parallel_safety] certificate: per-map classes plus the
+      program-wide verdict (worst class over all maps; [Read_only]
+      when the program touches none). *)
+  type t = {
+    ps_program : string;
+    ps_owner : string;
+    ps_maps : map_report list;
+        (* declared maps in declaration order, then
+           accessed-but-undeclared (foreign) maps sorted by name *)
+    ps_verdict : map_class;
+  }
+
+  val classify : SiteSet.t -> map_class
+  val analyze : Ast.program -> t
+  val pp_verdict : Format.formatter -> map_class -> unit
+  val pp : Format.formatter -> t -> unit
+
+  (** {2 Framework plumbing (exposed for tests)} *)
+
+  module Facts : DOMAIN with type t = SiteSet.t SMap.t
+
+  val transfer : Cfg.node -> Facts.t -> Facts.t
+  val facts_of_element : Cfg.t -> Facts.t
+end
+
+(** {1 Static per-packet cost (WCET)} *)
+
+module Cost : sig
+  type work = Unreach | Work of int
+
+  module W : DOMAIN with type t = work
+
+  (** Work units per statement; matches [Analysis.stmt_cost] so the
+      unpruned longest path reproduces the planner heuristic
+      exactly. *)
+  val atom_cost : Ast.stmt -> int
+
+  val node_cost : Cfg.node -> int
+
+  (** Edge filter killing the untaken arm of branches whose condition
+      constant-folds. *)
+  val live_edge : Cfg.t -> int -> int -> bool
+
+  (** Worst-case work units of one element; with
+      [~edge_live:live_edge], statically dead branches are pruned. *)
+  val element_wcet : ?edge_live:(Cfg.t -> int -> int -> bool) -> Cfg.t -> int
+
+  (** The static cost certificate. [cc_heuristic] equals
+      [Analysis.max_cycles]; [cc_certified <= cc_heuristic], strictly
+      smaller exactly when a branch arm was statically dead. *)
+  type t = {
+    cc_program : string;
+    cc_certified : int;
+    cc_heuristic : int;
+    cc_elements : (string * int * int) list; (* element, certified, heuristic *)
+    cc_pruned : string list; (* If paths with a statically dead arm *)
+  }
+
+  val analyze : Ast.program -> t
+  val pp : Format.formatter -> t -> unit
+end

@@ -60,6 +60,56 @@ let to_tsv d =
   String.concat "\t"
     [ d.code; severity_to_string d.severity; d.pass; d.path; d.message ]
 
+(* SARIF 2.1.0 export: one run, one result per finding, with the pass
+   carried as the rule's short description and the verifier path as a
+   logical location. CI uploads these for code-scanning annotation. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let sarif_level = function
+  | Info -> "note"
+  | Warning -> "warning"
+  | Error -> "error"
+
+let to_sarif ?(uri = "<input>") ds =
+  let rules =
+    List.sort_uniq Stdlib.compare (List.map (fun d -> (d.code, d.pass)) ds)
+  in
+  let rule (code, pass) =
+    Printf.sprintf
+      "{\"id\":\"%s\",\"shortDescription\":{\"text\":\"%s\"}}"
+      (json_escape code) (json_escape pass)
+  in
+  let result d =
+    Printf.sprintf
+      "{\"ruleId\":\"%s\",\"level\":\"%s\",\"message\":{\"text\":\"%s\"},\
+       \"locations\":[{\"physicalLocation\":{\"artifactLocation\":\
+       {\"uri\":\"%s\"}},\"logicalLocations\":[{\"fullyQualifiedName\":\
+       \"%s\"}]}]}"
+      (json_escape d.code) (sarif_level d.severity) (json_escape d.message)
+      (json_escape uri) (json_escape d.path)
+  in
+  Printf.sprintf
+    "{\"version\":\"2.1.0\",\"$schema\":\
+     \"https://json.schemastore.org/sarif-2.1.0.json\",\"runs\":[{\"tool\":\
+     {\"driver\":{\"name\":\"flexnet-lint\",\"informationUri\":\
+     \"https://github.com/flexnet/flexnet\",\"rules\":[%s]}},\"results\":\
+     [%s]}]}"
+    (String.concat "," (List.map rule rules))
+    (String.concat "," (List.map result ds))
+
 let max_severity = function
   | [] -> None
   | d :: ds ->

@@ -41,6 +41,11 @@ val pp : Format.formatter -> t -> unit
 (** One tab-separated line: code, severity, pass, path, message. *)
 val to_tsv : t -> string
 
+(** A complete SARIF 2.1.0 log (one run, tool "flexnet-lint") for the
+    findings; [uri] names the analyzed artifact. Severities map to
+    SARIF levels note/warning/error. *)
+val to_sarif : ?uri:string -> t list -> string
+
 val max_severity : t list -> severity option
 
 (** Findings at or above the given severity. *)

@@ -23,6 +23,9 @@ type env = {
   mutable punt : string -> Netsim.Packet.t -> unit;
   mutable drpc : string -> int64 list -> int64;
   mutable stats : Netsim.Stats.Counters.t;
+  mutable work : int;
+      (* cumulative executed work units, on the [Analysis.stmt_cost]
+         scale — comparable against the static WCET certificate *)
 }
 
 let create_env ?(default_encoding = State.Stateful_table) (prog : program) =
@@ -44,7 +47,7 @@ let create_env ?(default_encoding = State.Stateful_table) (prog : program) =
   { maps; rules; tables; rules_gen = 0; maps_gen = 0; now_us = 0L;
     punt = (fun _ _ -> ());
     drpc = (fun _ _ -> 0L);
-    stats = Netsim.Stats.Counters.create () }
+    stats = Netsim.Stats.Counters.create (); work = 0 }
 
 let env_map env name =
   match Hashtbl.find_opt env.maps name with
@@ -190,28 +193,39 @@ and eval_binop op x y =
   | Land -> of_bool (truthy x && truthy y)
   | Lor -> of_bool (truthy x || truthy y)
 
+(* Each executed statement charges [env.work] with its
+   [Analysis.stmt_cost] weight, so a run's work delta is directly
+   comparable against the static WCET certificate ([Dataflow.Cost]). *)
 let rec exec_stmt env ~params pkt verdict = function
   | Nop -> ()
   | Set_field (h, f, e) ->
+    env.work <- env.work + 1;
     let v = eval env ~params pkt e in
     (try Netsim.Packet.set_field pkt h f v
      with Invalid_argument m -> error "%s" m)
-  | Set_meta (m, e) -> Netsim.Packet.set_meta pkt m (eval env ~params pkt e)
+  | Set_meta (m, e) ->
+    env.work <- env.work + 1;
+    Netsim.Packet.set_meta pkt m (eval env ~params pkt e)
   | Map_put (m, keys, e) ->
+    env.work <- env.work + 2;
     State.put (env_map env m)
       (List.map (eval env ~params pkt) keys)
       (eval env ~params pkt e)
   | Map_incr (m, keys, e) ->
+    env.work <- env.work + 2;
     ignore
       (State.incr (env_map env m)
          (List.map (eval env ~params pkt) keys)
          (eval env ~params pkt e))
   | Map_del (m, keys) ->
+    env.work <- env.work + 2;
     State.del (env_map env m) (List.map (eval env ~params pkt) keys)
   | If (c, th, el) ->
+    env.work <- env.work + 1;
     if truthy (eval env ~params pkt c) then exec_stmts env ~params pkt verdict th
     else exec_stmts env ~params pkt verdict el
   | Loop (n, body) ->
+    env.work <- env.work + 1;
     for i = 0 to n - 1 do
       Netsim.Packet.set_meta pkt "_loop_i" (Int64.of_int i);
       exec_stmts env ~params pkt verdict body
@@ -219,15 +233,23 @@ let rec exec_stmt env ~params pkt verdict = function
   (* [Drop] is sticky: once a guard (ACL, firewall, TTL) has dropped
      the packet, a later table's forward cannot resurrect it. *)
   | Forward e ->
+    env.work <- env.work + 1;
     verdict.egress <- Some (Int64.to_int (eval env ~params pkt e))
-  | Drop -> verdict.dropped <- true
+  | Drop ->
+    env.work <- env.work + 1;
+    verdict.dropped <- true
   | Punt digest ->
+    env.work <- env.work + 1;
     verdict.punts <- digest :: verdict.punts;
     env.punt digest pkt
   | Push_header h ->
+    env.work <- env.work + 1;
     Netsim.Packet.push_header pkt { Netsim.Packet.hname = h; fields = [] }
-  | Pop_header h -> Netsim.Packet.pop_header pkt h
+  | Pop_header h ->
+    env.work <- env.work + 1;
+    Netsim.Packet.pop_header pkt h
   | Call (svc, args) ->
+    env.work <- env.work + 4;
     let result = env.drpc svc (List.map (eval env ~params pkt) args) in
     Netsim.Packet.set_meta pkt ("drpc_" ^ svc) result
 
@@ -278,6 +300,8 @@ let select_rule env (t : table) ~params:_ pkt =
   | [] -> None
 
 let exec_table env pkt verdict (t : table) =
+  (* lookup charge mirrors [Analysis.table_cost]: 1 + one per key *)
+  env.work <- env.work + 1 + List.length t.keys;
   let action_name, args =
     match select_rule env t ~params:[] pkt with
     | Some r ->

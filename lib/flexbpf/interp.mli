@@ -25,6 +25,10 @@ type env = {
   mutable punt : string -> Netsim.Packet.t -> unit;
   mutable drpc : string -> int64 list -> int64;
   mutable stats : Netsim.Stats.Counters.t;
+  mutable work : int;
+      (* cumulative executed work units on the [Analysis.stmt_cost]
+         scale; the delta across a run is the measured counterpart of
+         the static WCET certificate ([Dataflow.Cost]) *)
 }
 
 (** Instantiate maps (resolving [Enc_auto] to [default_encoding]) and

@@ -177,7 +177,13 @@ let rec always_drops stmts = List.exists stmt_always_drops stmts
 
 and stmt_always_drops = function
   | Drop -> true
-  | If (_, th, el) -> always_drops th && always_drops el
+  | If (c, th, el) -> (
+    (* a constant guard takes exactly one arm: [if (1 == 1) { drop }]
+       drops every packet even though its (empty) else-arm does not *)
+    match Dataflow.const_truth c with
+    | Some true -> always_drops th
+    | Some false -> always_drops el
+    | None -> always_drops th && always_drops el)
   | Loop (n, body) -> n > 0 && always_drops body
   | _ -> false
 
@@ -401,14 +407,18 @@ let itv_falsy a = a.lo = 0L && a.hi = 0L
 type rctx = {
   prog : program;
   mutable rout : Diagnostics.t list;
+  mutable mute : bool;
+      (* true while the fixpoint solver re-runs transfer functions;
+         diagnostics are only emitted by the post-fixpoint report walk *)
 }
 
 let remit ctx ~code ~severity ~path fmt =
   Printf.ksprintf
     (fun message ->
-      ctx.rout <-
-        { Diagnostics.code; pass = "value-range"; severity; path; message }
-        :: ctx.rout)
+      if not ctx.mute then
+        ctx.rout <-
+          { Diagnostics.code; pass = "value-range"; severity; path; message }
+          :: ctx.rout)
     fmt
 
 (* key guaranteed outside [0,size) on a registers-encoded map: the
@@ -549,8 +559,11 @@ let env_join a b =
       match x, y with Some x, Some y -> Some (itv_hull x y) | _ -> None)
     a b
 
-let value_range prog =
-  let ctx = { prog; rout = [] } in
+(* The original syntax-directed implementation, kept verbatim as the
+   reference the framework-hosted pass below is differentially tested
+   against (same program -> byte-identical diagnostics). *)
+let value_range_reference prog =
+  let ctx = { prog; rout = []; mute = false } in
   let rec eval_stmts env ~base ~iters stmts =
     List.fold_left
       (fun (env, i) s ->
@@ -635,6 +648,128 @@ let value_range prog =
                  ~iters:1 a.body))
           t.tbl_actions)
     prog.pipeline;
+  List.rev ctx.rout
+
+(* -- Pass 3, re-hosted on the dataflow framework ----------------------- *)
+
+(* The interval environment as an abstract domain. A missing key means
+   top, so the join intersects keys ([env_join]); [Bot] is the explicit
+   bottom the solver needs for not-yet-reached nodes. *)
+module VR_domain = struct
+  type t = Bot | Env of itv SMap.t
+
+  let bottom = Bot
+
+  let equal a b =
+    match a, b with
+    | Bot, Bot -> true
+    | Env x, Env y -> SMap.equal (fun a b -> a.lo = b.lo && a.hi = b.hi) x y
+    | _ -> false
+
+  let join a b =
+    match a, b with
+    | Bot, x | x, Bot -> x
+    | Env x, Env y -> Env (env_join x y)
+
+  let widen = join (* the loop-head transfer is already idempotent *)
+end
+
+module VR_solver = Dataflow.Solver (VR_domain)
+
+(* One node's transfer function. Runs twice per node: muted during the
+   fixpoint, un-muted during the report walk — the emission logic is
+   identical to the reference implementation's. *)
+let vr_transfer ctx (node : Dataflow.Cfg.node) env =
+  let path = node.Dataflow.Cfg.path in
+  match node.Dataflow.Cfg.kind with
+  | Dataflow.Cfg.Entry | Dataflow.Cfg.Exit | Dataflow.Cfg.Join
+  | Dataflow.Cfg.Loop_exit | Dataflow.Cfg.Action_select
+  | Dataflow.Cfg.Action_entry _ -> env
+  | Dataflow.Cfg.Key (e, _) ->
+    ignore (reval ctx env ~path e);
+    env
+  | Dataflow.Cfg.Branch b ->
+    let th, el =
+      match b.Dataflow.Cfg.br_stmt with
+      | If (_, th, el) -> (th, el)
+      | _ -> ([], [])
+    in
+    let ci = reval ctx env ~path b.Dataflow.Cfg.cond in
+    if itv_falsy ci && th <> [] then
+      remit ctx ~code:"FBV020" ~severity:Diagnostics.Warning ~path
+        "condition is always false: then-branch is never taken"
+    else if itv_truthy ci then
+      remit ctx ~code:"FBV020" ~severity:Diagnostics.Warning ~path
+        (if el = [] then "condition is always true: the guard is redundant"
+         else "condition is always true: else-branch is never taken");
+    env
+  | Dataflow.Cfg.Loop_head (n, s) ->
+    let body = match s with Loop (_, body) -> body | _ -> [] in
+    let iters = node.Dataflow.Cfg.vr_iters in
+    let total = iters * max 1 n in
+    if iters > 1 && total > Typecheck.max_loop_bound then
+      remit ctx ~code:"FBV025" ~severity:Diagnostics.Warning ~path
+        "nested loops execute the body %d times, dwarfing the per-loop \
+         ceiling of %d"
+        total Typecheck.max_loop_bound;
+    (* widen loop-carried metas to top, bound the iteration counter *)
+    let env =
+      SSet.fold (fun m env -> SMap.remove m env)
+        (assigned_metas SSet.empty body) env
+    in
+    SMap.add "_loop_i" { lo = 0L; hi = Int64.of_int (max 0 (n - 1)) } env
+  | Dataflow.Cfg.Atom s -> (
+    match s with
+    | Nop | Drop | Punt _ | Push_header _ | Pop_header _ -> env
+    | Set_meta (m, e) -> SMap.add m (reval ctx env ~path e) env
+    | Set_field (h, f, e) ->
+      let v = reval ctx env ~path e in
+      let w = field_width ctx.prog h f in
+      if w < 63 && (v.lo > pow2m1 w || v.hi < 0L) then
+        remit ctx ~code:"FBV024" ~severity:Diagnostics.Warning ~path
+          "value is always outside 0..%Ld and cannot fit the %d-bit field \
+           %s.%s"
+          (pow2m1 w) w h f;
+      env
+    | Map_put (m, keys, v) ->
+      check_map_key ctx ~path m (List.map (reval ctx env ~path) keys);
+      ignore (reval ctx env ~path v);
+      env
+    | Map_incr (m, keys, v) ->
+      check_map_key ctx ~path m (List.map (reval ctx env ~path) keys);
+      ignore (reval ctx env ~path v);
+      env
+    | Map_del (m, keys) ->
+      check_map_key ctx ~path m (List.map (reval ctx env ~path) keys);
+      env
+    | Forward e | Call (_, [ e ]) ->
+      ignore (reval ctx env ~path e);
+      env
+    | Call (_, args) ->
+      List.iter (fun e -> ignore (reval ctx env ~path e)) args;
+      env
+    | If _ | Loop _ -> env (* control flow lives on Branch/Loop_head *))
+
+let vr_node ctx node = function
+  | VR_domain.Bot -> VR_domain.Bot
+  | VR_domain.Env env -> VR_domain.Env (vr_transfer ctx node env)
+
+let value_range prog =
+  let ctx = { prog; rout = []; mute = true } in
+  List.iter
+    (fun cfg ->
+      let sol =
+        VR_solver.forward cfg ~init:(VR_domain.Env SMap.empty)
+          ~transfer:(vr_node ctx)
+      in
+      (* report on the fixpoint, one visit per node in program order *)
+      ctx.mute <- false;
+      Array.iter
+        (fun (node : Dataflow.Cfg.node) ->
+          ignore (vr_node ctx node sol.VR_solver.input.(node.Dataflow.Cfg.id)))
+        cfg.Dataflow.Cfg.nodes;
+      ctx.mute <- true)
+    (Dataflow.Cfg.of_program prog);
   List.rev ctx.rout
 
 (* -- Pass 4: migration safety ------------------------------------------ *)
@@ -725,12 +860,136 @@ let tenant_isolation prog =
     access @ unguarded
   end
 
+(* -- Pass 6: shard-safety ---------------------------------------------- *)
+
+(* Classify every map's datapath access pattern for the domain-sharded
+   datapath (ROADMAP item 1) and Reconfig's two-version swap: reads
+   replicate freely, increments merge by sum, puts/deletes need an
+   owner shard, and read-modify-write races outright. Severity of the
+   race is owner-sensitive: infra programs may pin a map to one shard,
+   tenant extensions get sharded and must not carry the idiom. *)
+let shard_safety prog =
+  let open Dataflow.Shard_safety in
+  let ps = analyze prog in
+  let infra = prog.owner = "infra" in
+  List.concat_map
+    (fun mr ->
+      let path = "map/" ^ mr.mr_map in
+      let has p = List.exists p mr.mr_sites in
+      let rmw_diags =
+        List.filter_map
+          (fun s ->
+            if not s.s_rmw then None
+            else
+              Some
+                (Diagnostics.v ~code:"FBV052" ~pass:"shard-safety"
+                   ~severity:
+                     (if infra then Diagnostics.Warning else Diagnostics.Error)
+                   ~path:s.s_path
+                   "read-modify-write on map %s: the written value derives \
+                    from a read of the same map and races across shards \
+                    (infra may pin the map to one shard; tenant extensions \
+                    must use commutative '+=' updates)"
+                   mr.mr_map))
+          mr.mr_sites
+      in
+      rmw_diags
+      @
+      match mr.mr_class with
+      | Read_only -> []
+      | Commutative ->
+        Diagnostics.v ~code:"FBV050" ~pass:"shard-safety"
+          ~severity:Diagnostics.Info ~path
+          "map %s is shard-commutative: every datapath write is an \
+           increment, so per-shard replicas merge by sum"
+          mr.mr_map
+        :: (if has (fun s -> s.s_access = Read) then
+              [ Diagnostics.v ~code:"FBV053" ~pass:"shard-safety"
+                  ~severity:Diagnostics.Info ~path
+                  "shard-commutative map %s is also read on the datapath: \
+                   each shard observes its partial counts until merge"
+                  mr.mr_map ]
+            else [])
+      | Exclusive ->
+        let writes =
+          List.filter
+            (fun s -> s.s_rmw || s.s_access = Put || s.s_access = Del)
+            mr.mr_sites
+        in
+        Diagnostics.v ~code:"FBV051" ~pass:"shard-safety"
+          ~severity:Diagnostics.Warning ~path
+          "map %s needs an exclusive owner shard: %d write site(s) carry \
+           last-writer-wins state that cannot be merged across shards"
+          mr.mr_map (List.length writes)
+        :: (if
+              has (fun s -> s.s_access = Incr)
+              && has (fun s -> s.s_access = Put || s.s_access = Del)
+            then
+              [ Diagnostics.v ~code:"FBV054" ~pass:"shard-safety"
+                  ~severity:Diagnostics.Warning ~path
+                  "map %s mixes increments with put/delete writes: summed \
+                   and last-writer-wins state cannot be merged consistently"
+                  mr.mr_map ]
+            else []))
+    ps.ps_maps
+
+(* -- Pass 7: static cost ----------------------------------------------- *)
+
+(* WCET-style certificate checks: where the certified worst case and
+   the planner's syntax-directed heuristic diverge, and where the cost
+   concentrates. *)
+let static_cost prog =
+  let c = Dataflow.Cost.analyze prog in
+  let divergence =
+    List.filter_map
+      (fun (elem, cert, heur) ->
+        if cert > 0 && heur >= 2 * cert then
+          Some
+            (Diagnostics.v ~code:"FBV061" ~pass:"static-cost"
+               ~severity:Diagnostics.Warning ~path:elem
+               "planner heuristic charges %d work units but the certified \
+                worst case is %d: statically dead branches inflate the \
+                placement cost model"
+               heur cert)
+        else None)
+      c.Dataflow.Cost.cc_elements
+  in
+  let dominance =
+    if
+      c.Dataflow.Cost.cc_certified >= 16
+      && List.length c.Dataflow.Cost.cc_elements > 1
+    then
+      List.filter_map
+        (fun (elem, cert, _) ->
+          if cert * 5 >= c.Dataflow.Cost.cc_certified * 4 then
+            Some
+              (Diagnostics.v ~code:"FBV060" ~pass:"static-cost"
+                 ~severity:Diagnostics.Info ~path:elem
+                 "element dominates the certified per-packet cost: %d of %d \
+                  work units"
+                 cert c.Dataflow.Cost.cc_certified)
+          else None)
+        c.Dataflow.Cost.cc_elements
+    else []
+  in
+  let budget =
+    if c.Dataflow.Cost.cc_certified > 2048 then
+      [ Diagnostics.v ~code:"FBV062" ~pass:"static-cost"
+          ~severity:Diagnostics.Warning ~path:"program"
+          "certified worst-case per-packet cost of %d work units exceeds \
+           half the default admission budget of 4096"
+          c.Dataflow.Cost.cc_certified ]
+    else []
+  in
+  divergence @ dominance @ budget
+
 (* -- Entry points ------------------------------------------------------ *)
 
 let passes =
   [ ("uninit-read", uninit_read); ("dead-code", dead_code);
     ("value-range", value_range); ("migration-safety", migration_safety);
-    ("tenant-isolation", tenant_isolation) ]
+    ("tenant-isolation", tenant_isolation); ("shard-safety", shard_safety);
+    ("static-cost", static_cost) ]
 
 let pass_names = List.map fst passes
 
@@ -745,3 +1004,109 @@ let check prog =
   match Typecheck.check_program prog with
   | Error es -> Diagnostics.normalize (List.map of_typecheck_error es)
   | Ok () -> verify prog
+
+(* -- Code registry (flexnet lint --explain) ---------------------------- *)
+
+let explanations =
+  [ ("FBV000", ("typecheck failure",
+     "The program is not well-formed: unknown header/field/map, wrong map \
+      key arity, a loop bound over the ceiling, or a malformed table. \
+      Typecheck failures suppress the semantic passes, which assume \
+      well-formed input."));
+    ("FBV001", ("uninitialized header access",
+     "A header field is read or written at a point where no parser rule and \
+      no prior push_header can have produced the header. Add a parser rule \
+      for the header or guard the access."));
+    ("FBV002", ("uninitialized metadata read",
+     "A metadata slot is read before any assignment; reads default to 0. \
+      Assign the slot first, or rely on the documented default \
+      deliberately."));
+    ("FBV010", ("statement after unconditional drop",
+     "Once a drop executes, the verdict cannot change: everything after it \
+      at the same nesting level is dead. Guards whose condition folds to a \
+      constant count as unconditional."));
+    ("FBV011", ("element after drop-everything element",
+     "An earlier pipeline element drops every packet, so this element never \
+      sees traffic."));
+    ("FBV012", ("unreachable non-default action",
+     "The action is not the table's default and no installed rule references \
+      it yet; it becomes reachable when the control plane installs such a \
+      rule."));
+    ("FBV013", ("untouched map",
+     "The map is never read or written by the pipeline; it only consumes \
+      memory. Remove it or wire it into an element."));
+    ("FBV014", ("write-only map",
+     "The pipeline writes the map but never reads it; its contents are \
+      visible only to the control plane (a telemetry idiom)."));
+    ("FBV015", ("read-only map",
+     "The pipeline reads the map but never writes it; reads see \
+      control-plane-installed state or 0."));
+    ("FBV020", ("constant branch condition",
+     "Interval analysis proves the condition always true or always false, \
+      so one arm never runs. Usually a typo or a leftover debugging \
+      guard."));
+    ("FBV021", ("shift out of range",
+     "The shift amount is always outside 0..63; the runtime masks it to 6 \
+      bits, which is rarely what was meant."));
+    ("FBV022", ("division by constant zero",
+     "The divisor/modulus is always 0. FlexBPF defines x/0 = x%0 = 0, so \
+      the whole expression is always 0."));
+    ("FBV023", ("registers key always out of range",
+     "Every access lands outside [0, size) of a registers-encoded map, so \
+      it aliases through the hash with certainty. Bound the key or grow the \
+      map."));
+    ("FBV024", ("value cannot fit field",
+     "The assigned value is always outside the target field's width; the \
+      store truncates."));
+    ("FBV025", ("nested loop budget",
+     "The aggregate iteration count of nested loops dwarfs the per-loop \
+      ceiling; per-packet latency will suffer on every target."));
+    ("FBV030", ("lossy migration: registers encoding",
+     "A per-packet-mutated map is pinned to the registers encoding, whose \
+      key aliasing makes freeze-copy migration lossy (see §3.4)."));
+    ("FBV031", ("lossy migration: flow-state encoding",
+     "A per-packet-mutated map is pinned to the flow-state encoding, which \
+      drops inserts when full, so freeze-copy migration may lose updates."));
+    ("FBV040", ("tenant access violation",
+     "The element touches a foreign map, collides on a name, or drops \
+      traffic outside its VLAN guard; admission will reject it unless the \
+      infrastructure exports the resource."));
+    ("FBV041", ("tenant element not VLAN-guarded",
+     "Admission wraps unguarded tenant elements in a VLAN guard \
+      automatically; this is informational."));
+    ("FBV050", ("shard-commutative map",
+     "Every datapath write to the map is an increment, so per-shard \
+      replicas merge by sum — the map is safe for the domain-sharded \
+      datapath without coordination (count-min/sketch idiom)."));
+    ("FBV051", ("map needs an exclusive owner shard",
+     "The map has put/delete write sites carrying last-writer-wins state; \
+      under domain sharding its keyspace must be owned by a single shard."));
+    ("FBV052", ("read-modify-write race",
+     "A value written to the map derives from a read of the same map \
+      (x = f(x) rather than x += k). Across shards the lost-update race \
+      makes the result depend on interleaving. Error for tenant extensions \
+      (they get sharded); warning for infra programs (which may pin the map \
+      to one shard). Rewrite as an increment where possible."));
+    ("FBV053", ("commutative map read on the datapath",
+     "The shard-commutative map is also read per packet; each shard \
+      observes its partial counts until a merge, so thresholds fire on \
+      shard-local values."));
+    ("FBV054", ("mixed write disciplines",
+     "The map receives both increments and put/delete writes; summed and \
+      last-writer-wins state cannot be merged consistently across \
+      shards."));
+    ("FBV060", ("dominant element",
+     "One element accounts for at least 80%% of the certified per-packet \
+      cost; it is the optimization and placement bottleneck."));
+    ("FBV061", ("planner cost model divergence",
+     "The placement heuristic charges at least twice the certified \
+      worst-case work for this element, because statically dead branches \
+      still count toward the heuristic. Remove the dead code or expect \
+      conservative placement."));
+    ("FBV062", ("certified cost near the admission budget",
+     "The certified worst-case per-packet cost exceeds half the default \
+      admission budget (4096 work units); growth or composition with other \
+      programs may push it over the gate."));
+  ]
+
+let explain code = List.assoc_opt (String.uppercase_ascii code) explanations

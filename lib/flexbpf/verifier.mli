@@ -44,6 +44,27 @@
     - [FBV041] (Info): tenant element not VLAN-guarded (admission will
       wrap it with [Compose.guard_element]).
 
+    {b shard-safety} — map access classification for the domain-sharded
+    datapath ([Dataflow.Shard_safety]).
+    - [FBV050] (Info): map is shard-commutative (increment-only writes
+      merge by sum).
+    - [FBV051] (Warning): map needs an exclusive owner shard
+      (put/delete last-writer-wins state).
+    - [FBV052] (Error for tenant owners, Warning for infra):
+      read-modify-write — the written value derives from a read of the
+      same map and races across shards.
+    - [FBV053] (Info): shard-commutative map also read on the datapath
+      (shards observe partial counts).
+    - [FBV054] (Warning): map mixes increments with put/delete writes.
+
+    {b static-cost} — WCET certificate checks ([Dataflow.Cost]).
+    - [FBV060] (Info): one element dominates the certified per-packet
+      cost.
+    - [FBV061] (Warning): the planner heuristic charges at least twice
+      the certified worst case (statically dead branches).
+    - [FBV062] (Warning): certified cost exceeds half the default
+      admission budget.
+
     Passes assume a well-formed program — run [Typecheck.check_program]
     first, or use [check] which folds typechecking in. All entry points
     are deterministic: same program, same diagnostic list. *)
@@ -53,9 +74,20 @@
 
 val uninit_read : Ast.program -> Diagnostics.t list
 val dead_code : Ast.program -> Diagnostics.t list
+
+(** The value-range pass, hosted on [Dataflow]'s CFG and forward
+    solver. *)
 val value_range : Ast.program -> Diagnostics.t list
+
+(** The original syntax-directed value-range implementation, kept as
+    the differential-testing reference: for every well-formed program,
+    [value_range_reference p = value_range p]. *)
+val value_range_reference : Ast.program -> Diagnostics.t list
+
 val migration_safety : Ast.program -> Diagnostics.t list
 val tenant_isolation : Ast.program -> Diagnostics.t list
+val shard_safety : Ast.program -> Diagnostics.t list
+val static_cost : Ast.program -> Diagnostics.t list
 
 (** The pass table: name (as it appears in [Diagnostics.t.pass]) and
     entry point. *)
@@ -74,3 +106,11 @@ val of_typecheck_error : Typecheck.error -> Diagnostics.t
     back as [FBV000] Errors (and suppress the semantic passes, which
     assume well-formed input). *)
 val check : Ast.program -> Diagnostics.t list
+
+(** Every diagnostic code with a human explanation: (code, (title,
+    detail)), in code order — the backing store for
+    [flexnet lint --explain]. *)
+val explanations : (string * (string * string)) list
+
+(** Look up one code (case-insensitive). *)
+val explain : string -> (string * string) option

@@ -1,0 +1,402 @@
+(* Tests for the monotone dataflow framework (Dataflow): CFG
+   well-formedness, solver determinism under worklist permutation,
+   widening, the backward direction, and the two differential
+   guarantees the re-hosted analyses make — the framework value-range
+   pass reproduces the original recursive implementation diagnostic-
+   for-diagnostic, and the unpruned WCET reproduces the planner
+   heuristic [Analysis.max_cycles] exactly. *)
+
+open Flexbpf
+open Flexbpf.Builder
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let builtin_apps () =
+  [ ("l2l3", Apps.L2l3.program ());
+    ("firewall", Apps.Firewall.program ());
+    ("cm_sketch", Apps.Cm_sketch.program ());
+    ("heavy_hitter", Apps.Heavy_hitter.program ());
+    ("syn_defense", Apps.Syn_defense.program ());
+    ("scrubber", Apps.Scrubber.program ());
+    ("load_balancer", Apps.Load_balancer.program ());
+    ("nat", Apps.Nat.program ~public:900 ~subnet_lo:10 ~subnet_hi:20 ());
+    ("telemetry", Apps.Telemetry.program ());
+    ("rate_limiter", Apps.Rate_limiter.program ~rate_pps:1000 ~burst:16 ());
+    ("congestion",
+     Apps.Congestion.program
+       ~blocks:
+         [ Apps.Congestion.reno_block; Apps.Congestion.dctcp_block;
+           Apps.Congestion.timely_block () ]
+       ()) ]
+
+(* -- Program generator (the surface exercised by the verifier props) ------ *)
+
+let vmeta_gen =
+  QCheck.Gen.(
+    map (fun s -> "m" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 4)))
+
+let vexpr_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 0 then
+          oneof
+            [ map (fun v -> Ast.Const (Int64.of_int v)) (int_bound 1000);
+              map (fun m -> Ast.Meta m) vmeta_gen;
+              return (Ast.Field ("ipv4", "src"));
+              return (Ast.Field ("tcp", "dport"));
+              map (fun k -> Ast.Map_get ("m0", [ Ast.Const (Int64.of_int k) ]))
+                (int_bound 63) ]
+        else
+          oneof
+            [ map3
+                (fun op a b -> Ast.Bin (op, a, b))
+                (oneofl
+                   [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Div; Ast.Mod; Ast.Band;
+                     Ast.Bor; Ast.Shl; Ast.Shr; Ast.Eq; Ast.Lt; Ast.Ge;
+                     Ast.Land; Ast.Lor ])
+                (self (n / 2)) (self (n / 2));
+              map2
+                (fun alg es -> Ast.Hash (alg, es))
+                (oneofl [ Ast.Crc16; Ast.Crc32 ])
+                (list_size (int_range 1 3) (self (n / 3))) ]))
+
+let vstmt_gen =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Ast.Nop; return Ast.Drop;
+              map2 (fun m e -> Ast.Set_meta (m, e)) vmeta_gen vexpr_gen;
+              map (fun e -> Ast.Set_field ("ipv4", "ttl", e)) vexpr_gen;
+              map2 (fun k v -> Ast.Map_put ("m0", [ Ast.Const (Int64.of_int k) ],
+                                            Ast.Const (Int64.of_int v)))
+                (int_bound 63) (int_bound 100);
+              map3 (fun a b v -> Ast.Map_incr ("m1",
+                                               [ Ast.Const (Int64.of_int a);
+                                                 Ast.Const (Int64.of_int b) ], v))
+                (int_bound 30) (int_bound 30) vexpr_gen;
+              map (fun k -> Ast.Map_del ("m0", [ Ast.Const (Int64.of_int k) ]))
+                (int_bound 63);
+              map (fun e -> Ast.Forward e) vexpr_gen;
+              map (fun d -> Ast.Punt d) vmeta_gen ]
+        in
+        if n <= 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map3
+                (fun c th el -> Ast.If (c, th, el))
+                vexpr_gen
+                (list_size (int_bound 3) (self (n / 3)))
+                (list_size (int_bound 2) (self (n / 3)));
+              map2 (fun k body -> Ast.Loop (1 + k, body)) (int_bound 7)
+                (list_size (int_range 1 3) (self (n / 3))) ]))
+
+let vtable_gen =
+  QCheck.Gen.(
+    map2
+      (fun kinds size ->
+        Builder.table "t0"
+          ~keys:(List.map (fun kind -> (Ast.Field ("ipv4", "dst"), kind)) kinds)
+          ~actions:
+            [ Builder.action "set_port" ~params:[ "p" ]
+                [ Ast.Forward (Ast.Param "p") ];
+              Builder.action "refuse" [ Ast.Drop ] ]
+          ~default:("refuse", []) ~size ())
+      (list_size (int_range 1 3)
+         (oneofl [ Ast.Exact; Ast.Lpm; Ast.Ternary; Ast.Range ]))
+      (int_range 1 512))
+
+let vprogram_gen =
+  QCheck.Gen.(
+    map3
+      (fun encodings blocks tbl ->
+        let enc0, enc1 = encodings in
+        Builder.program "pgen"
+          ~maps:
+            [ Builder.map_decl ~encoding:enc0 ~key_arity:1 ~size:64 "m0";
+              Builder.map_decl ~encoding:enc1 ~key_arity:2 ~size:128 "m1" ]
+          (List.mapi
+             (fun i body -> Builder.block (Printf.sprintf "b%d" i) body)
+             blocks
+           @ [ tbl ]))
+      (pair
+         (oneofl
+            [ Ast.Enc_auto; Ast.Enc_registers; Ast.Enc_flow_state;
+              Ast.Enc_stateful_table ])
+         (oneofl [ Ast.Enc_auto; Ast.Enc_registers ]))
+      (list_size (int_range 1 3) (list_size (int_range 1 4) vstmt_gen))
+      vtable_gen)
+
+let vprogram_arb = QCheck.make ~print:Syntax.print vprogram_gen
+
+(* -- CFG well-formedness --------------------------------------------------- *)
+
+(* Node ids are topological over forward edges: every forward edge goes
+   strictly up, every back edge strictly down (to the loop head). *)
+let cfg_well_formed (cfg : Dataflow.Cfg.t) =
+  let ok = ref true in
+  Array.iteri
+    (fun src succs -> List.iter (fun dst -> if dst <= src then ok := false) succs)
+    cfg.Dataflow.Cfg.succs;
+  Array.iteri
+    (fun src succs -> List.iter (fun dst -> if dst > src then ok := false) succs)
+    cfg.Dataflow.Cfg.back_succs;
+  (* preds mirror succs *)
+  Array.iteri
+    (fun src succs ->
+      List.iter
+        (fun dst ->
+          if not (List.mem src cfg.Dataflow.Cfg.preds.(dst)) then ok := false)
+        succs)
+    cfg.Dataflow.Cfg.succs;
+  !ok
+
+let test_cfg_shape () =
+  List.iter
+    (fun (name, p) ->
+      List.iter
+        (fun cfg ->
+          check (name ^ "/" ^ cfg.Dataflow.Cfg.elem ^ " well-formed") true
+            (cfg_well_formed cfg);
+          check (name ^ " entry is node 0") true (cfg.Dataflow.Cfg.entry = 0);
+          check (name ^ " exit is last node") true
+            (cfg.Dataflow.Cfg.exit
+             = Array.length cfg.Dataflow.Cfg.nodes - 1))
+        (Dataflow.Cfg.of_program p))
+    (builtin_apps ())
+
+let prop_cfg_well_formed =
+  QCheck.Test.make ~name:"generated CFGs are well-formed" ~count:150
+    vprogram_arb
+    (fun p -> List.for_all cfg_well_formed (Dataflow.Cfg.of_program p))
+
+(* -- Solver determinism and termination ------------------------------------ *)
+
+module FSolver = Dataflow.Solver (Dataflow.Shard_safety.Facts)
+
+let shuffle st arr =
+  let a = Array.copy arr in
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+(* The fixpoint is a property of the equations, not of the order the
+   worklist drains: solving under a random initial permutation yields
+   the same per-node states as the default order. *)
+let prop_solver_order_independent =
+  QCheck.Test.make ~name:"fixpoint independent of worklist order" ~count:100
+    QCheck.(pair vprogram_arb (int_bound 1_000_000))
+    (fun (p, seed) ->
+      let st = Random.State.make [| seed |] in
+      List.for_all
+        (fun cfg ->
+          let n = Array.length cfg.Dataflow.Cfg.nodes in
+          let identity = Array.init n (fun i -> i) in
+          let solve order =
+            FSolver.forward ~order cfg ~init:Dataflow.Shard_safety.Facts.bottom
+              ~transfer:Dataflow.Shard_safety.transfer
+          in
+          let a = solve identity and b = solve (shuffle st identity) in
+          let eq x y =
+            Array.for_all2 Dataflow.Shard_safety.Facts.equal x y
+          in
+          eq a.FSolver.input b.FSolver.input
+          && eq a.FSolver.output b.FSolver.output)
+        (Dataflow.Cfg.of_program p))
+
+(* Termination on an infinite-ascent domain: the transfer bumps a
+   counter at every visit, so only the widening budget stops it. *)
+module Ascent = struct
+  type t = int
+
+  let top = max_int
+  let bottom = 0
+  let equal = Int.equal
+  let join = max
+  let widen _ _ = top
+end
+
+module ASolver = Dataflow.Solver (Ascent)
+
+let test_widening_terminates () =
+  let p =
+    program "spin" [ block "b" [ loop 8 [ set_meta "x" (meta "x" +: const 1) ] ] ]
+  in
+  List.iter
+    (fun cfg ->
+      let sol =
+        ASolver.forward cfg ~init:1 ~transfer:(fun node x ->
+            if x = Ascent.bottom then x
+            else
+              match node.Dataflow.Cfg.kind with
+              | Dataflow.Cfg.Loop_head _ ->
+                if x >= Ascent.top then x else x + 1
+              | _ -> x)
+      in
+      let widened =
+        Array.exists (fun x -> x = Ascent.top) sol.ASolver.output
+      in
+      check "widening reached top and stabilized" true widened)
+    (Dataflow.Cfg.of_program p)
+
+let test_backward_direction () =
+  (* constant-true propagation from the exit: every node that reaches
+     the exit — in particular the entry — must be marked *)
+  let p = Apps.Heavy_hitter.program () in
+  List.iter
+    (fun cfg ->
+      let sol =
+        ASolver.backward cfg ~init:1 ~transfer:(fun _ x -> x)
+      in
+      check "entry reaches exit" true
+        (sol.ASolver.input.(cfg.Dataflow.Cfg.entry) = 1))
+    (Dataflow.Cfg.of_program p)
+
+(* -- Differential guarantees ----------------------------------------------- *)
+
+(* The framework-hosted value-range pass reproduces the original
+   recursive implementation finding-for-finding, in emission order. *)
+let diag_eq a b =
+  List.length a = List.length b && List.for_all2 ( = ) a b
+
+let prop_value_range_differential =
+  QCheck.Test.make ~name:"value-range re-host = reference" ~count:200
+    vprogram_arb
+    (fun p ->
+      diag_eq (Verifier.value_range p) (Verifier.value_range_reference p))
+
+let test_value_range_on_apps () =
+  List.iter
+    (fun (name, p) ->
+      check (name ^ " value-range unchanged") true
+        (diag_eq (Verifier.value_range p) (Verifier.value_range_reference p)))
+    (builtin_apps ())
+
+(* The unpruned WCET is the planner heuristic, exactly. *)
+let prop_heuristic_reproduced =
+  QCheck.Test.make ~name:"unpruned WCET = Analysis.max_cycles" ~count:200
+    vprogram_arb
+    (fun p ->
+      let c = Dataflow.Cost.analyze p in
+      c.Dataflow.Cost.cc_heuristic = Analysis.max_cycles p
+      && c.Dataflow.Cost.cc_certified <= c.Dataflow.Cost.cc_heuristic
+      && c.Dataflow.Cost.cc_certified >= 0)
+
+(* Pruning only ever fires on branches whose condition constant-folds,
+   and when nothing folds the certificate equals the heuristic. *)
+let prop_no_fold_no_prune =
+  QCheck.Test.make ~name:"certificate = heuristic without dead branches"
+    ~count:200 vprogram_arb
+    (fun p ->
+      let c = Dataflow.Cost.analyze p in
+      c.Dataflow.Cost.cc_pruned <> []
+      || c.Dataflow.Cost.cc_certified = c.Dataflow.Cost.cc_heuristic)
+
+(* -- Shard-safety classification ------------------------------------------- *)
+
+let test_classification_units () =
+  let verdict p =
+    (Dataflow.Shard_safety.analyze p).Dataflow.Shard_safety.ps_verdict
+  in
+  let reader =
+    program "r" ~maps:[ map_decl ~size:8 "m" ]
+      [ block "b" [ set_meta "x" (map_get "m" [ const 0 ]) ] ]
+  in
+  check "pure reader is read-only" true
+    (verdict reader = Dataflow.Shard_safety.Read_only);
+  let counter =
+    program "c" ~maps:[ map_decl ~size:8 "m" ]
+      [ block "b" [ map_incr "m" [ const 0 ] ] ]
+  in
+  check "increment-only is commutative" true
+    (verdict counter = Dataflow.Shard_safety.Commutative);
+  let putter =
+    program "p" ~maps:[ map_decl ~size:8 "m" ]
+      [ block "b" [ map_put "m" [ const 0 ] (const 1) ] ]
+  in
+  check "put is exclusive" true
+    (verdict putter = Dataflow.Shard_safety.Exclusive);
+  let rmw =
+    program "w" ~maps:[ map_decl ~size:8 "m" ]
+      [ block "b"
+          [ map_put "m" [ const 0 ] (map_get "m" [ const 0 ] +: const 1) ] ]
+  in
+  let rep = Dataflow.Shard_safety.analyze rmw in
+  check "rmw is exclusive" true
+    (rep.Dataflow.Shard_safety.ps_verdict = Dataflow.Shard_safety.Exclusive);
+  check "rmw site marked" true
+    (List.exists
+       (fun mr ->
+         List.exists
+           (fun s -> s.Dataflow.Shard_safety.s_rmw)
+           mr.Dataflow.Shard_safety.mr_sites)
+       rep.Dataflow.Shard_safety.ps_maps);
+  check "untouched program is read-only" true
+    (verdict (program "n" [ block "b" [ Ast.Nop ] ])
+     = Dataflow.Shard_safety.Read_only)
+
+let prop_verdict_is_worst_class =
+  QCheck.Test.make ~name:"program verdict = worst per-map class" ~count:150
+    vprogram_arb
+    (fun p ->
+      let rep = Dataflow.Shard_safety.analyze p in
+      let worst =
+        List.fold_left
+          (fun acc mr ->
+            if
+              Dataflow.Shard_safety.class_rank mr.Dataflow.Shard_safety.mr_class
+              > Dataflow.Shard_safety.class_rank acc
+            then mr.Dataflow.Shard_safety.mr_class
+            else acc)
+          Dataflow.Shard_safety.Read_only rep.Dataflow.Shard_safety.ps_maps
+      in
+      rep.Dataflow.Shard_safety.ps_verdict = worst)
+
+(* -- Certificates across shipped programs ---------------------------------- *)
+
+let test_certify_attaches_certificates () =
+  List.iter
+    (fun (name, p) ->
+      match Analysis.certify p with
+      | Error e -> Alcotest.failf "%s: %a" name Analysis.pp_rejection e
+      | Ok cert ->
+        check_int
+          (name ^ " certificate heuristic = max_cycles")
+          (Analysis.max_cycles p)
+          cert.Analysis.cert_cost.Dataflow.Cost.cc_heuristic;
+        check (name ^ " parallel certificate covers declared maps") true
+          (List.length
+             cert.Analysis.cert_parallel.Dataflow.Shard_safety.ps_maps
+           >= List.length p.Ast.maps))
+    (builtin_apps ())
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dataflow"
+    [
+      ("cfg",
+       [ Alcotest.test_case "builtin apps" `Quick test_cfg_shape;
+         q prop_cfg_well_formed ]);
+      ("solver",
+       [ q prop_solver_order_independent;
+         Alcotest.test_case "widening terminates" `Quick
+           test_widening_terminates;
+         Alcotest.test_case "backward direction" `Quick test_backward_direction ]);
+      ("value-range differential",
+       [ q prop_value_range_differential;
+         Alcotest.test_case "builtin apps" `Quick test_value_range_on_apps ]);
+      ("cost",
+       [ q prop_heuristic_reproduced; q prop_no_fold_no_prune ]);
+      ("shard-safety",
+       [ Alcotest.test_case "classification" `Quick test_classification_units;
+         q prop_verdict_is_worst_class ]);
+      ("certificates",
+       [ Alcotest.test_case "shipped apps" `Quick
+           test_certify_attaches_certificates ]);
+    ]

@@ -101,6 +101,9 @@ let test_examples_no_errors () =
       let ds = Verifier.check (load_example f) in
       if f = "bad_probe.fbpf" then
         check "bad_probe has errors" true (Diagnostics.errors ds <> [])
+      else if f = "racy_counter.fbpf" then
+        check "racy_counter rejected with the shard-race error" true
+          (has_code "FBV052" (Diagnostics.errors ds))
       else
         match Diagnostics.errors ds with
         | [] -> ()
@@ -114,14 +117,23 @@ let test_examples_no_errors () =
 let test_warning_snapshot () =
   let tsv p = List.map Diagnostics.to_tsv (Verifier.check p) in
   Alcotest.(check (list string))
-    "heavy_hitter is spotless" []
+    "heavy_hitter snapshot"
+    [ "FBV050\tinfo\tshard-safety\tmap/cms\tmap cms is shard-commutative: \
+       every datapath write is an increment, so per-shard replicas merge by \
+       sum";
+      "FBV053\tinfo\tshard-safety\tmap/cms\tshard-commutative map cms is \
+       also read on the datapath: each shard observes its partial counts \
+       until merge" ]
     (tsv (Apps.Heavy_hitter.program ()));
   Alcotest.(check (list string))
     "telemetry snapshot"
     [ "FBV002\twarning\tuninit-read\tpath_stamp/stmt.0\tmetadata hops read \
        before any assignment (defaults to 0)";
       "FBV014\tinfo\tdead-code\tmap/flow_bytes\tmap flow_bytes is write-only \
-       in the data plane (visible only to the control plane)" ]
+       in the data plane (visible only to the control plane)";
+      "FBV050\tinfo\tshard-safety\tmap/flow_bytes\tmap flow_bytes is \
+       shard-commutative: every datapath write is an increment, so per-shard \
+       replicas merge by sum" ]
     (tsv (Apps.Telemetry.program ()));
   let fw = load_example "tenant_firewall.fbpf" in
   check "tenant firewall flags lossy encoding" true
@@ -184,6 +196,29 @@ let test_dead_code_pass () =
   let ds = Verifier.verify p in
   check "element after drop-wall flagged" true (has_code "FBV011" ds)
 
+(* Regression: a loop whose body drops behind a constant-true guard
+   drops every packet, even though the guard's empty else-arm does not
+   — the pass must fold the constant condition instead of requiring
+   both arms to drop. *)
+let test_dead_after_const_drop_loop () =
+  let always =
+    program "deadloop"
+      [ block "b"
+          [ loop 2 [ when_ (const 1 =: const 1) [ drop ] ];
+            set_meta "x" (const 1) ] ]
+  in
+  check "stmt after always-dropping loop flagged" true
+    (has_code "FBV010" (Verifier.verify always));
+  (* the dual: a constant-false guard never drops, so nothing is dead *)
+  let never =
+    program "liveloop"
+      [ block "b"
+          [ loop 2 [ when_ (const 1 =: const 0) [ drop ] ];
+            set_meta "x" (const 1) ] ]
+  in
+  check "const-false guard does not kill the tail" true
+    (not (has_code "FBV010" (Verifier.verify never)))
+
 let test_range_pass () =
   let p =
     program "ranges"
@@ -218,6 +253,93 @@ let test_isolation_pass () =
        (List.exists
           (fun d -> d.Diagnostics.pass = "tenant-isolation")
           (Verifier.verify (Apps.L2l3.program ()))))
+
+let test_shard_safety_pass () =
+  let racy = load_example "racy_counter.fbpf" in
+  let ds = Verifier.check racy in
+  check "tenant RMW is an error" true
+    (List.exists
+       (fun d ->
+         d.Diagnostics.code = "FBV052"
+         && d.Diagnostics.severity = Diagnostics.Error)
+       ds);
+  check "racy map needs an exclusive shard" true (has_code "FBV051" ds);
+  let sketch = load_example "commutative_sketch.fbpf" in
+  let ds = Verifier.check sketch in
+  check "sketch map is commutative" true (has_code "FBV050" ds);
+  check "datapath read of partial counts noted" true (has_code "FBV053" ds);
+  check "sketch has nothing above info" true
+    (Diagnostics.max_severity ds = Some Diagnostics.Info);
+  (* infra may pin an RMW map to one shard: warning, not error *)
+  let infra_rmw =
+    program "pinned" ~owner:"infra"
+      ~maps:[ map_decl ~key_arity:1 ~size:16 "tok" ]
+      [ block "b"
+          [ map_put "tok" [ const 0 ]
+              ((map_get "tok" [ const 0 ] *: const 2) +: const 1) ] ]
+  in
+  check "infra RMW is a warning" true
+    (List.exists
+       (fun d ->
+         d.Diagnostics.code = "FBV052"
+         && d.Diagnostics.severity = Diagnostics.Warning)
+       (Verifier.verify infra_rmw));
+  (* mixing increments with puts on one map defeats merge-by-sum *)
+  let mixed =
+    program "mixed" ~maps:[ map_decl ~key_arity:1 ~size:16 "m" ]
+      [ block "b"
+          [ map_incr "m" [ const 0 ];
+            map_put "m" [ const 1 ] (const 7) ] ]
+  in
+  check "mixed incr+put flagged" true
+    (has_code "FBV054" (Verifier.verify mixed))
+
+let test_static_cost_pass () =
+  (* a statically dead else-arm twice the live arm's weight: the
+     planner heuristic (max over arms) charges >= 2x the certified cost *)
+  let divergent =
+    program "divergent"
+      [ block "b"
+          [ if_ (const 1 =: const 1)
+              [ set_meta "x" (const 1) ]
+              (List.init 8 (fun i -> set_meta "y" (const i))) ] ]
+  in
+  check "heuristic/certificate divergence flagged" true
+    (has_code "FBV061" (Verifier.verify divergent));
+  let ck = Compiler.Plan.cost_check divergent in
+  check "plan cross-check agrees" true ck.Compiler.Plan.ck_divergent;
+  check_int "heuristic matches Analysis.max_cycles"
+    (Analysis.max_cycles divergent) ck.Compiler.Plan.ck_heuristic;
+  (* no dead branches: certificate equals heuristic, no divergence *)
+  let straight = Apps.L2l3.program () in
+  let ck = Compiler.Plan.cost_check straight in
+  check "straight-line program converges" false ck.Compiler.Plan.ck_divergent;
+  check_int "certified = heuristic without dead code" ck.Compiler.Plan.ck_heuristic
+    ck.Compiler.Plan.ck_certified
+
+let test_certificates_on_examples () =
+  (* Analysis.certify must attach both framework certificates to every
+     accepted example, and parallel_safety must classify the two
+     shard-safety fixtures as designed. *)
+  List.iter
+    (fun f ->
+      let p = load_example f in
+      match Analysis.certify p with
+      | Error _ -> () (* bad_probe / racy_counter: rejected is fine *)
+      | Ok cert ->
+        let par = cert.Analysis.cert_parallel in
+        check (f ^ " parallel certificate names the program") true
+          (par.Dataflow.Shard_safety.ps_program = p.Ast.prog_name);
+        check (f ^ " cost certificate is positive") true
+          (cert.Analysis.cert_cost.Dataflow.Cost.cc_certified > 0))
+    (example_files ());
+  let verdict f =
+    (Analysis.parallel_safety (load_example f)).Dataflow.Shard_safety.ps_verdict
+  in
+  check "racy_counter is exclusive" true
+    (verdict "racy_counter.fbpf" = Dataflow.Shard_safety.Exclusive);
+  check "commutative_sketch is commutative" true
+    (verdict "commutative_sketch.fbpf" = Dataflow.Shard_safety.Commutative)
 
 let test_verifier_handles_ill_typed () =
   let bad =
@@ -266,7 +388,11 @@ let test_tenant_diagnostics_recorded () =
     check "admission records verifier findings" true
       (tenant.Control.Tenants.diagnostics <> []);
     check "recorded findings are sub-error" true
-      (Diagnostics.errors tenant.Control.Tenants.diagnostics = [])
+      (Diagnostics.errors tenant.Control.Tenants.diagnostics = []);
+    check "admission records the shard-safety certificate" true
+      (tenant.Control.Tenants.parallel.Dataflow.Shard_safety.ps_maps <> []);
+    check "admission records the cost certificate" true
+      (tenant.Control.Tenants.static_cost.Dataflow.Cost.cc_certified > 0)
 
 (* -- Duplicate declarations (Typecheck) ----------------------------------- *)
 
@@ -327,8 +453,14 @@ let () =
          Alcotest.test_case "uninit push/pop" `Quick
            test_uninit_header_via_push;
          Alcotest.test_case "dead code" `Quick test_dead_code_pass;
+         Alcotest.test_case "dead code behind constant guard" `Quick
+           test_dead_after_const_drop_loop;
          Alcotest.test_case "value range" `Quick test_range_pass;
          Alcotest.test_case "tenant isolation" `Quick test_isolation_pass;
+         Alcotest.test_case "shard safety" `Quick test_shard_safety_pass;
+         Alcotest.test_case "static cost" `Quick test_static_cost_pass;
+         Alcotest.test_case "example certificates" `Quick
+           test_certificates_on_examples;
          Alcotest.test_case "ill-typed input" `Quick
            test_verifier_handles_ill_typed ]);
       ("gate",
