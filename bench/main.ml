@@ -1,7 +1,7 @@
 (* FlexNet benchmark harness.
 
    Usage:
-     dune exec bench/main.exe            # all experiments E1..E15 + F1 + A1 A2
+     dune exec bench/main.exe            # all experiments E1..E16 + F1 + A1 A2
      dune exec bench/main.exe E5 E7      # selected experiments
      dune exec bench/main.exe -- --micro # bechamel microbenchmarks
      dune exec bench/main.exe -- --micro --quota 0.05 --out BENCH_micro.json
@@ -30,6 +30,7 @@ let experiments =
     ("E13", E13_cc_workloads.run);
     ("E14", E14_faults.run);
     ("E15", E15_observability.run);
+    ("E16", E16_multicore.run);
     ("F1", F01_whole_stack.run);
     ("A1", A01_adjacency.run);
     ("A2", A02_consistency.run) ]

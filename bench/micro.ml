@@ -105,7 +105,9 @@ let static_cost_ablation () =
 (* (reference, compiled) benchmark names reported as speedups. *)
 let speedup_pairs =
   [ ("interp: l2l3 pipeline per packet", "compiled: l2l3 pipeline per packet");
-    ("interp: count-min update (3 rows)", "compiled: count-min update (3 rows)") ]
+    ("interp: count-min update (3 rows)", "compiled: count-min update (3 rows)");
+    ( "event queue: boxed-record heap push+pop x64",
+      "event queue: push+pop x64" ) ]
 
 let state_bench enc name =
   let st = Flexbpf.State.create ~name:"m" ~size:4096 enc in
@@ -119,15 +121,88 @@ let test_state_flow = state_bench Flexbpf.State.Flow_state "state: flow_state in
 let test_state_stateful =
   state_bench Flexbpf.State.Stateful_table "state: stateful_table incr"
 
+(* Reference implementation for the event-queue pair: the boxed-record
+   binary heap the engine used before the flat float-array layout. Each
+   element is a 3-field record, so every comparison chases a pointer and
+   loads a boxed-ish float; kept here (not in netsim) purely as the
+   baseline side of the speedup measurement. *)
+module Boxed_queue = struct
+  type event = { time : float; seq : int; thunk : unit -> unit }
+  type t = { mutable heap : event array; mutable size : int }
+
+  let dummy = { time = infinity; seq = 0; thunk = ignore }
+  let create () = { heap = Array.make 64 dummy; size = 0 }
+  let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let push t e =
+    if t.size = Array.length t.heap then begin
+      let h = Array.make (2 * t.size) dummy in
+      Array.blit t.heap 0 h 0 t.size;
+      t.heap <- h
+    end;
+    t.heap.(t.size) <- e;
+    t.size <- t.size + 1;
+    let i = ref (t.size - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      before t.heap.(!i) t.heap.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = t.heap.(p) in
+      t.heap.(p) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let root = t.heap.(0) in
+      t.size <- t.size - 1;
+      t.heap.(0) <- t.heap.(t.size);
+      t.heap.(t.size) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < t.size && before t.heap.(l) t.heap.(!m) then m := l;
+        if r < t.size && before t.heap.(r) t.heap.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          let tmp = t.heap.(!m) in
+          t.heap.(!m) <- t.heap.(!i);
+          t.heap.(!i) <- tmp;
+          i := !m
+        end
+      done;
+      Some root
+    end
+end
+
+let test_event_queue_boxed =
+  Test.make ~name:"event queue: boxed-record heap push+pop x64"
+    (Staged.stage (fun () ->
+         let q = Boxed_queue.create () in
+         for i = 0 to 63 do
+           Boxed_queue.push q
+             { Boxed_queue.time = float_of_int (i * 7919 mod 64); seq = i;
+               thunk = ignore }
+         done;
+         while Boxed_queue.pop q <> None do () done))
+
 let test_event_queue =
   Test.make ~name:"event queue: push+pop x64" (Staged.stage (fun () ->
       let q = Netsim.Event_queue.create () in
       for i = 0 to 63 do
-        Netsim.Event_queue.push q
-          { Netsim.Event_queue.time = float_of_int (i * 7919 mod 64); seq = i;
-            thunk = ignore }
+        Netsim.Event_queue.push q ~time:(float_of_int (i * 7919 mod 64)) ~seq:i
+          ignore
       done;
-      while Netsim.Event_queue.pop q <> None do () done))
+      while not (Netsim.Event_queue.is_empty q) do
+        ignore (Netsim.Event_queue.pop_exn q : unit -> unit)
+      done))
 
 let test_placement =
   Test.make ~name:"compiler: place 20-table program" (Staged.stage (fun () ->
@@ -153,7 +228,8 @@ let test_patch_apply =
 let benchmarks =
   [ test_interp_table; test_compiled_table; test_sketch_update;
     test_compiled_sketch_update; test_state_registers; test_state_flow;
-    test_state_stateful; test_event_queue; test_placement; test_patch_apply ]
+    test_state_stateful; test_event_queue_boxed; test_event_queue;
+    test_placement; test_patch_apply ]
 
 let strip_group name =
   String.concat "" (String.split_on_char '/' name |> List.tl)
@@ -313,7 +389,7 @@ let run ?(quota = 0.5) ?out ?check ?(tolerance = 0.35) () =
       speedup_pairs
   in
   if speedups <> [] then begin
-    print_endline "\n-- compiled fast path vs reference interpreter --";
+    print_endline "\n-- fast paths vs reference implementations --";
     List.iter
       (fun (name, x) -> Printf.printf "%-42s %10.1fx\n" name x)
       speedups

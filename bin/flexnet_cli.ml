@@ -574,6 +574,62 @@ let observed_workload ~arch ~switches =
   Flexnet.run net ~until:3.0;
   Flexnet.obs net
 
+(* With --shards N the metrics/trace subcommands switch to the
+   domain-sharded engine: an N-pod fat tree partitioned per pod with
+   seeded Poisson traffic, one OCaml domain per shard. Each shard keeps
+   its own registry/trace; the commands print the per-shard breakdown
+   and then the merged view (the merge is what a monolithic run would
+   have recorded). *)
+let sharded_workload ~shards =
+  let module Shard = Netsim.Shard in
+  let k = max 2 (if shards mod 2 = 0 then shards else shards + 1) in
+  let net = Shard.Fat_tree.create ~k ~core_delay:25e-6 () in
+  let spec = Shard.Fat_tree.spec net in
+  let part = Shard.Fat_tree.pods_partition net in
+  let until = 0.01 in
+  let t =
+    Shard.build spec part ~init:(fun view ->
+        let sim = view.Shard.sh_sim in
+        Shard.Fat_tree.install net view
+          ~on_switch:(fun _ _ -> ())
+          ~on_deliver:(fun _ _ -> ());
+        Array.iter
+          (fun h ->
+            match view.Shard.sh_nodes.(h) with
+            | None -> ()
+            | Some host ->
+              let gen = Netsim.Traffic.create ~seed:(100 + h) sim in
+              let rng = Random.State.make [| 5; h |] in
+              let pod =
+                Shard.Fat_tree.pod_hosts net (Shard.Fat_tree.pod_of_host net h)
+              in
+              let all = Shard.Fat_tree.hosts net in
+              Netsim.Traffic.poisson gen ~lambda:5_000. ~start:0. ~stop:until
+                ~send:(fun () ->
+                  let pick arr =
+                    arr.(Random.State.int rng (Array.length arr))
+                  in
+                  let dst =
+                    if Random.State.float rng 1.0 < 0.7 then pick pod
+                    else pick all
+                  in
+                  if dst <> h then
+                    Netsim.Node.send host ~port:0
+                      (Netsim.Traffic.tcp_packet ~src:h ~dst ~sport:(1024 + h)
+                         ~dport:80 ~born:(Netsim.Sim.now sim) ())))
+          (Shard.Fat_tree.hosts net))
+  in
+  ignore (Shard.run ~until t);
+  t
+
+let shards_arg =
+  Arg.(value & opt int 0
+       & info [ "shards" ] ~docv:"N"
+           ~doc:
+             "Run the domain-sharded fat-tree workload on $(docv) per-pod \
+              shards (one OCaml domain each) and show the per-shard \
+              breakdown followed by the merged view")
+
 let metrics_cmd =
   let metrics_format_arg =
     Arg.(value
@@ -583,20 +639,37 @@ let metrics_cmd =
                "Output format: human $(b,table) or $(b,prometheus) text \
                 exposition")
   in
-  let run arch switches format =
-    let scope = observed_workload ~arch ~switches in
-    let m = Obs.Scope.metrics scope in
-    print_string
-      (match format with
-       | `Table -> Obs.Export.metrics_table m
-       | `Prometheus -> Obs.Export.prometheus m)
+  let run arch switches format shards =
+    let export m =
+      match format with
+      | `Table -> Obs.Export.metrics_table m
+      | `Prometheus -> Obs.Export.prometheus m
+    in
+    if shards > 0 then begin
+      let t = sharded_workload ~shards in
+      List.iter
+        (fun v ->
+          Printf.printf "== shard %d ==\n" v.Netsim.Shard.sh_index;
+          print_string
+            (export
+               (Obs.Scope.metrics (Netsim.Sim.obs v.Netsim.Shard.sh_sim)));
+          print_newline ())
+        (Netsim.Shard.views t);
+      Printf.printf "== merged (%d shards) ==\n" (Netsim.Shard.shards t);
+      print_string (export (Netsim.Shard.merged_metrics t))
+    end
+    else
+      let scope = observed_workload ~arch ~switches in
+      print_string (export (Obs.Scope.metrics scope))
   in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run the demo workload and export the unified metrics registry \
-          (counters, gauges, latency histograms)")
-    Term.(const run $ arch_arg $ switches_arg $ metrics_format_arg)
+          (counters, gauges, latency histograms); with $(b,--shards) the \
+          per-shard registries plus their merge")
+    Term.(const run $ arch_arg $ switches_arg $ metrics_format_arg
+          $ shards_arg)
 
 let trace_cmd =
   let trace_format_arg =
@@ -606,20 +679,33 @@ let trace_cmd =
                "Output format: one JSON object per span ($(b,jsonl)) or a \
                 human $(b,table)")
   in
-  let run arch switches format =
-    let scope = observed_workload ~arch ~switches in
-    let tr = Obs.Scope.trace scope in
-    print_string
-      (match format with
-       | `Jsonl -> Obs.Export.trace_jsonl tr
-       | `Table -> Obs.Export.trace_table tr)
+  let run arch switches format shards =
+    let export tr =
+      match format with
+      | `Jsonl -> Obs.Export.trace_jsonl tr
+      | `Table -> Obs.Export.trace_table tr
+    in
+    if shards > 0 then begin
+      let t = sharded_workload ~shards in
+      List.iter
+        (fun v ->
+          Printf.printf "== shard %d ==\n" v.Netsim.Shard.sh_index;
+          print_string
+            (export (Obs.Scope.trace (Netsim.Sim.obs v.Netsim.Shard.sh_sim)));
+          print_newline ())
+        (Netsim.Shard.views t)
+    end
+    else
+      let scope = observed_workload ~arch ~switches in
+      print_string (export (Obs.Scope.trace scope))
   in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run the demo workload and dump the reconfiguration/dRPC span \
-          trace (deterministic under a fixed seed)")
-    Term.(const run $ arch_arg $ switches_arg $ trace_format_arg)
+          trace (deterministic under a fixed seed); with $(b,--shards) one \
+          trace per shard including its $(b,shard.run) span")
+    Term.(const run $ arch_arg $ switches_arg $ trace_format_arg $ shards_arg)
 
 (* -- attack ------------------------------------------------------------- *)
 

@@ -25,12 +25,16 @@ type tenant = {
   parallel : Dataflow.Shard_safety.t;
       (* shard-safety certificate: how the tenant's maps shard *)
   static_cost : Dataflow.Cost.t; (* certified per-packet WCET *)
+  shard_affinity : int option;
+      (* [Some s]: every instance of this tenant's maps must live in
+         shard [s]; [None]: replicate freely *)
 }
 
 type t = {
   sim : Netsim.Sim.t;
   deployment : Compiler.Incremental.deployment;
   exports : string list; (* infra maps tenants may read *)
+  shards : int; (* shard count placement draws from *)
   mutable tenants : tenant list;
   mutable next_vlan : int;
   mutable admitted : int;
@@ -38,9 +42,30 @@ type t = {
   mutable departed : int;
 }
 
-let create ?(exports = []) ~sim deployment =
-  { sim; deployment; exports; tenants = []; next_vlan = 100; admitted = 0;
-    rejected = 0; departed = 0 }
+let create ?(exports = []) ?(shards = 1) ~sim deployment =
+  if shards <= 0 then invalid_arg "Tenants.create: shards must be positive";
+  { sim; deployment; exports; shards; tenants = []; next_vlan = 100;
+    admitted = 0; rejected = 0; departed = 0 }
+
+(* FNV-1a over the tenant name: [Hashtbl.hash] is fine within one
+   binary, but placement lands in reports and tests compare them across
+   builds, so the hash must be pinned down to the algorithm. *)
+let stable_hash s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+(* Certificate-driven placement (the PR-6 [Parallel_safety] verdict):
+   [Exclusive]-map tenants are pinned to one shard — chosen by stable
+   hash of the name so placement survives re-admission in any order —
+   while [Read_only]/[Commutative] tenants replicate across all shards
+   and merge by sum. *)
+let place t ~tenant_name (cert : Dataflow.Shard_safety.t) =
+  match cert.Dataflow.Shard_safety.ps_verdict with
+  | Dataflow.Shard_safety.Read_only | Dataflow.Shard_safety.Commutative -> None
+  | Dataflow.Shard_safety.Exclusive -> Some (stable_hash tenant_name mod t.shards)
 
 (* lifecycle counters mirror the record fields into the simulation's
    unified registry *)
@@ -136,6 +161,9 @@ let admit t (ext : Ast.program) =
                     Error (Compilation e)
                   | Ok (report, _diff) ->
                     t.next_vlan <- t.next_vlan + 1;
+                    let affinity =
+                      place t ~tenant_name cert.Analysis.cert_parallel
+                    in
                     let tenant =
                       { tenant_name; vlan; arrived_at = Netsim.Sim.now t.sim;
                         element_names =
@@ -145,8 +173,23 @@ let admit t (ext : Ast.program) =
                             guarded.Ast.maps;
                         diagnostics = cert.Analysis.cert_warnings;
                         parallel = cert.Analysis.cert_parallel;
-                        static_cost = cert.Analysis.cert_cost }
+                        static_cost = cert.Analysis.cert_cost;
+                        shard_affinity = affinity }
                     in
+                    let verdict =
+                      Dataflow.Shard_safety.class_to_string
+                        cert.Analysis.cert_parallel
+                          .Dataflow.Shard_safety.ps_verdict
+                    in
+                    Obs.Metrics.incr
+                      (Obs.Scope.metrics scope)
+                      ~labels:[ ("class", verdict) ]
+                      "tenants.placement";
+                    (match affinity with
+                     | Some s ->
+                       Obs.Trace.add_attr span "shard" (Obs.Trace.I s)
+                     | None ->
+                       Obs.Trace.add_attr span "shard" (Obs.Trace.S "replicated"));
                     t.tenants <- tenant :: t.tenants;
                     t.admitted <- t.admitted + 1;
                     Ok (tenant, report)))

@@ -18,12 +18,16 @@ type tenant = {
   parallel : Flexbpf.Dataflow.Shard_safety.t;
       (* shard-safety certificate: how the tenant's maps shard *)
   static_cost : Flexbpf.Dataflow.Cost.t; (* certified per-packet WCET *)
+  shard_affinity : int option;
+      (* [Some s]: every instance of this tenant's maps must live in
+         shard [s]; [None]: replicate freely *)
 }
 
 type t = {
   sim : Netsim.Sim.t;
   deployment : Compiler.Incremental.deployment;
   exports : string list; (* infra maps tenants may read *)
+  shards : int; (* shard count placement draws from *)
   mutable tenants : tenant list;
   mutable next_vlan : int;
   mutable admitted : int;
@@ -31,8 +35,16 @@ type t = {
   mutable departed : int;
 }
 
+(** [shards] (default 1) is the shard pool admission places into:
+    tenants whose [Parallel_safety] verdict is [Exclusive] are pinned
+    to one shard (stable hash of the tenant name, so placement is
+    independent of arrival order), while [Read_only] and [Commutative]
+    tenants get no affinity and replicate across every shard with
+    merge-by-sum semantics. Admission records the decision in the
+    [tenants.placement] counter (labelled by verdict class) and on the
+    [tenant.admit] span. *)
 val create :
-  ?exports:string list -> sim:Netsim.Sim.t ->
+  ?exports:string list -> ?shards:int -> sim:Netsim.Sim.t ->
   Compiler.Incremental.deployment -> t
 
 val find : t -> string -> tenant option

@@ -1,65 +1,104 @@
-(** Binary min-heap of timestamped events.
+(** Binary min-heap of timestamped events over unboxed parallel arrays.
 
-    Ties on the timestamp are broken by insertion order so that the
-    simulation is deterministic: two events scheduled for the same instant
-    fire in the order they were scheduled. *)
+    Keys live in a flat [float array] (OCaml's unboxed float-array
+    representation), with the tie-breaking sequence numbers and the
+    thunks in two parallel arrays. Pushing therefore allocates nothing
+    (the old implementation consed a record whose float field was boxed
+    and compared through a pointer on every sift step), and sift-up /
+    sift-down compare raw floats in place using the hole technique —
+    the moving element is held in registers and written once.
 
-type event = { time : float; seq : int; thunk : unit -> unit }
+    Ties on the timestamp break by [seq] so that the simulation is
+    deterministic: two events scheduled for the same instant fire in
+    the order they were scheduled. *)
 
-type t = { mutable heap : event array; mutable size : int }
+type t = {
+  mutable times : float array; (* flat/unboxed: the hot comparison key *)
+  mutable seqs : int array;
+  mutable thunks : (unit -> unit) array;
+  mutable size : int;
+}
 
-let dummy = { time = 0.; seq = 0; thunk = ignore }
-
-let create () = { heap = Array.make 64 dummy; size = 0 }
+let create () =
+  { times = Array.make 64 infinity;
+    seqs = Array.make 64 0;
+    thunks = Array.make 64 ignore;
+    size = 0 }
 
 let is_empty t = t.size = 0
 let length t = t.size
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let heap = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap infinity in
+  let seqs = Array.make cap 0 in
+  let thunks = Array.make cap ignore in
+  Array.blit t.times 0 times 0 t.size;
+  Array.blit t.seqs 0 seqs 0 t.size;
+  Array.blit t.thunks 0 thunks 0 t.size;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.thunks <- thunks
 
-let push t ev =
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- ev;
+let push t ~time ~seq thunk =
+  if t.size = Array.length t.times then grow t;
+  let times = t.times and seqs = t.seqs and thunks = t.thunks in
+  (* sift up with a hole: shift larger parents down, place once *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  (* sift up *)
-  let i = ref (t.size - 1) in
-  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+  let continue = ref true in
+  while !continue && !i > 0 do
     let p = (!i - 1) / 2 in
-    let tmp = t.heap.(p) in
-    t.heap.(p) <- t.heap.(!i);
-    t.heap.(!i) <- tmp;
-    i := p
-  done
+    if time < times.(p) || (time = times.(p) && seq < seqs.(p)) then begin
+      times.(!i) <- times.(p);
+      seqs.(!i) <- seqs.(p);
+      thunks.(!i) <- thunks.(p);
+      i := p
+    end
+    else continue := false
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  thunks.(!i) <- thunk
 
-let peek t = if t.size = 0 then None else Some t.heap.(0)
+let min_time t = if t.size = 0 then infinity else t.times.(0)
 
-let pop t =
-  if t.size = 0 then None
-  else begin
-    let top = t.heap.(0) in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- dummy;
-    (* sift down *)
+let pop_exn t =
+  if t.size = 0 then invalid_arg "Event_queue.pop_exn: empty queue";
+  let times = t.times and seqs = t.seqs and thunks = t.thunks in
+  let top = thunks.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  (* the displaced last element, sifted down through a hole at the root *)
+  let time = times.(n) and seq = seqs.(n) and thunk = thunks.(n) in
+  thunks.(n) <- ignore (* release the closure for the GC *);
+  if n > 0 then begin
     let i = ref 0 in
     let continue = ref true in
     while !continue do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let smallest = ref !i in
-      if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-      if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-      if !smallest <> !i then begin
-        let tmp = t.heap.(!smallest) in
-        t.heap.(!smallest) <- t.heap.(!i);
-        t.heap.(!i) <- tmp;
-        i := !smallest
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if
+            r < n
+            && (times.(r) < times.(l)
+                || (times.(r) = times.(l) && seqs.(r) < seqs.(l)))
+          then r
+          else l
+        in
+        if times.(c) < time || (times.(c) = time && seqs.(c) < seq) then begin
+          times.(!i) <- times.(c);
+          seqs.(!i) <- seqs.(c);
+          thunks.(!i) <- thunks.(c);
+          i := c
+        end
+        else continue := false
       end
-      else continue := false
     done;
-    Some top
-  end
+    times.(!i) <- time;
+    seqs.(!i) <- seq;
+    thunks.(!i) <- thunk
+  end;
+  top

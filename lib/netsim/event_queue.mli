@@ -1,10 +1,11 @@
-(** Binary min-heap of timestamped events.
+(** Binary min-heap of timestamped events over unboxed parallel arrays.
 
-    Ties on the timestamp break by insertion order ([seq]), making
-    simulations deterministic: two events scheduled for the same instant
-    fire in the order they were scheduled. *)
-
-type event = { time : float; seq : int; thunk : unit -> unit }
+    Keys are kept in a flat [float array] (unboxed), so pushing an
+    event allocates nothing and heap comparisons read raw floats —
+    this is the hot path under every simulated packet. Ties on the
+    timestamp break by the caller-supplied [seq], making simulations
+    deterministic: two events scheduled for the same instant fire in
+    the order they were scheduled. *)
 
 type t
 
@@ -15,10 +16,15 @@ val is_empty : t -> bool
 (** Number of pending events. *)
 val length : t -> int
 
-val push : t -> event -> unit
+(** [push t ~time ~seq thunk] inserts an event. [seq] orders ties on
+    [time] and must be unique per queue (the simulation's scheduling
+    sequence). *)
+val push : t -> time:float -> seq:int -> (unit -> unit) -> unit
 
-(** Earliest event without removing it. *)
-val peek : t -> event option
+(** Timestamp of the earliest event, [infinity] when empty. Read it
+    before [pop_exn] to learn the popped event's time. *)
+val min_time : t -> float
 
-(** Remove and return the earliest event. *)
-val pop : t -> event option
+(** Remove the earliest event and return its thunk.
+    @raise Invalid_argument on an empty queue. *)
+val pop_exn : t -> unit -> unit

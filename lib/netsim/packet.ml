@@ -25,14 +25,16 @@ type t = {
                                           push/pop_header *)
 }
 
-let counter = ref 0
+(* Atomic: packets are created concurrently by per-shard domains
+   (Netsim.Shard). Uids stay unique under parallelism; nothing
+   deterministic may depend on global allocation order. *)
+let counter = Atomic.make 0
 
 let create ?(size = 1000) ?(born = 0.) headers =
-  incr counter;
-  { uid = !counter; headers; meta = Hashtbl.create 8; size; born; epoch = 0;
-    shape_cache = None }
+  { uid = 1 + Atomic.fetch_and_add counter 1; headers; meta = Hashtbl.create 8;
+    size; born; epoch = 0; shape_cache = None }
 
-let reset_uid_counter () = counter := 0
+let reset_uid_counter () = Atomic.set counter 0
 
 let header t name = List.find_opt (fun h -> h.hname = name) t.headers
 

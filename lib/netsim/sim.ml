@@ -39,7 +39,7 @@ let at t time thunk =
     invalid_arg
       (Printf.sprintf "Sim.at: time %.9f is before now %.9f" time t.now);
   t.seq <- t.seq + 1;
-  Event_queue.push t.queue { Event_queue.time; seq = t.seq; thunk }
+  Event_queue.push t.queue ~time ~seq:t.seq thunk
 
 (** [after t delay f] schedules [f] to run [delay] seconds from now. *)
 let after t delay thunk = at t (t.now +. delay) thunk
@@ -48,6 +48,11 @@ let stop t = t.stopped <- true
 
 let pending t = Event_queue.length t.queue
 
+(** Timestamp of the earliest pending event, [infinity] when the queue
+    is drained. The sharded engine uses this to compute the global
+    conservative-lookahead window. *)
+let next_time t = Event_queue.min_time t.queue
+
 (** Run events until the queue drains, [until] is reached, or [stop] is
     called. Returns the number of events executed. *)
 let run ?until t =
@@ -55,19 +60,19 @@ let run ?until t =
   let executed = ref 0 in
   let continue = ref true in
   while !continue && not t.stopped do
-    match Event_queue.peek t.queue with
-    | None -> continue := false
-    | Some ev ->
-      (match until with
-       | Some horizon when ev.Event_queue.time > horizon ->
-         t.now <- horizon;
-         continue := false
-       | _ ->
-         ignore (Event_queue.pop t.queue);
-         t.now <- ev.Event_queue.time;
-         ev.Event_queue.thunk ();
-         incr t.events_c;
-         incr executed)
+    let time = Event_queue.min_time t.queue in
+    if time = infinity then continue := false
+    else
+      match until with
+      | Some horizon when time > horizon ->
+        t.now <- horizon;
+        continue := false
+      | _ ->
+        let thunk = Event_queue.pop_exn t.queue in
+        t.now <- time;
+        thunk ();
+        incr t.events_c;
+        incr executed
   done;
   !executed
 

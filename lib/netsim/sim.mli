@@ -30,6 +30,10 @@ val stop : t -> unit
 (** Number of pending events. *)
 val pending : t -> int
 
+(** Timestamp of the earliest pending event, [infinity] when the queue
+    is drained (the sharded engine's lookahead input). *)
+val next_time : t -> float
+
 (** Run events until the queue drains, [until] is reached, or [stop] is
     called. Returns the number of events executed. When stopping at the
     [until] horizon the clock is advanced to it. *)

@@ -149,6 +149,37 @@ end
 
 let observe t ?labels name v = Histogram.observe (histogram t ?labels name) v
 
+(* Per-domain accumulation: each simulation shard owns a private
+   registry that its domain mutates without coordination; exports merge
+   shard registries into one view. Counters and histograms are sums
+   (bucket-wise for histograms); gauges sum too — shard gauges are
+   per-shard occupancies (elements, parser rules), for which the
+   network-wide value is the total. *)
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun _ s ->
+      match s.s_metric with
+      | M_counter r ->
+        let c = counter into ~labels:s.s_labels s.s_name in
+        c := !c + !r
+      | M_gauge r ->
+        let g = gauge into ~labels:s.s_labels s.s_name in
+        g := !g +. !r
+      | M_histogram h ->
+        let h' = histogram into ~labels:s.s_labels s.s_name in
+        Array.iteri
+          (fun i n -> h'.buckets.(i) <- h'.buckets.(i) + n)
+          h.buckets;
+        h'.zero <- h'.zero + h.zero;
+        h'.h_count <- h'.h_count + h.h_count;
+        h'.h_sum <- h'.h_sum +. h.h_sum)
+    src.tbl
+
+let merged ts =
+  let m = create () in
+  List.iter (fun src -> merge_into ~into:m src) ts;
+  m
+
 type value =
   | Counter of int
   | Gauge of float

@@ -43,6 +43,24 @@ val observe : t -> ?labels:labels -> string -> float -> unit
 (** Value of a counter series, 0 when absent. *)
 val get_counter : t -> ?labels:labels -> string -> int
 
+(** {2 Merge (per-domain accumulators)}
+
+    Sharded simulations give every shard a private registry its domain
+    mutates without coordination; exports merge them. Counters add,
+    histograms add bucket-wise, and gauges add (shard gauges hold
+    per-shard occupancies whose network-wide value is the total).
+    Merging is insensitive to registry iteration order because readout
+    sorts, so a fixed merge order yields byte-stable exports. *)
+
+(** Accumulate every series of the second registry into [into],
+    creating series as needed.
+    @raise Invalid_argument if a series exists in both with different
+    metric kinds. *)
+val merge_into : into:t -> t -> unit
+
+(** Fresh registry holding the merge of the given registries in order. *)
+val merged : t list -> t
+
 (** {2 Histograms} *)
 
 module Histogram : sig

@@ -69,6 +69,9 @@ type t = {
      hot path pays one int compare + pointer bump, re-resolving only
      when the program version changes. *)
   mutable obs_scope : Obs.Scope.t option;
+  mutable obs_labels : (string * string) list;
+    (* extra labels on every device series — e.g. [("shard", i)] when
+       the device runs inside a sharded simulation *)
   mutable obs_pkt : (int * int ref) option; (* version, counter handle *)
 }
 
@@ -126,13 +129,15 @@ let create ?(id = "dev") (profile : Arch.profile) =
     checkpoint = None;
     crashes = 0;
     obs_scope = None;
+    obs_labels = [];
     obs_pkt = None }
 
 let id t = t.dev_id
 let kind t = t.profile.kind
 
-let set_obs t scope =
+let set_obs ?(labels = []) t scope =
   t.obs_scope <- scope;
+  t.obs_labels <- labels;
   t.obs_pkt <- None
 let version t = t.version
 let env t = t.env
@@ -245,7 +250,7 @@ let rebuild_program t =
   | None -> ()
   | Some scope ->
     let m = Obs.Scope.metrics scope in
-    let labels = [ ("device", t.dev_id) ] in
+    let labels = ("device", t.dev_id) :: t.obs_labels in
     Obs.Metrics.incr m ~labels "device.reconfigs";
     Obs.Metrics.set_gauge m ~labels "device.elements"
       (float_of_int (List.length t.elements));
@@ -600,7 +605,9 @@ let exec t ~now_us pkt =
        | _ ->
          let c =
            Obs.Metrics.counter (Obs.Scope.metrics scope) "device.packets"
-             ~labels:[ ("device", t.dev_id); ("gen", string_of_int ver) ]
+             ~labels:
+               (("device", t.dev_id) :: ("gen", string_of_int ver)
+                :: t.obs_labels)
          in
          t.obs_pkt <- Some (ver, c);
          c

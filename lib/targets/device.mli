@@ -46,8 +46,10 @@ val kind : t -> Arch.kind
     counts "device.packets" (labeled by device id and program
     generation), "device.reconfigs", and reports "device.elements" /
     "device.parser_rules" gauges into the scope's registry. Wired by
-    [Runtime.Wiring.attach] to the simulation's scope. *)
-val set_obs : t -> Obs.Scope.t option -> unit
+    [Runtime.Wiring.attach] to the simulation's scope. [labels] are
+    appended to every device series — sharded simulations pass
+    [("shard", i)] so per-shard breakdowns survive the merged export. *)
+val set_obs : ?labels:(string * string) list -> t -> Obs.Scope.t option -> unit
 
 (** Bumped on every reconfiguration; stamped into packets as [epoch]. *)
 val version : t -> int

@@ -161,6 +161,49 @@ let test_tenant_vlans_distinct () =
   (* sharable logic across the two identical tenants is surfaced *)
   check "sharable report" true (Control.Tenants.sharable tenants <> [])
 
+(* Certificate-driven shard placement: tenants whose maps certify
+   [Exclusive] pin to one shard (stable across admission order);
+   commutative/read-only tenants replicate. *)
+let test_certificate_placement () =
+  let mk () =
+    let sim = Netsim.Sim.create () in
+    let _path, dep = mk_deployment () in
+    Control.Tenants.create ~sim ~shards:4 dep
+  in
+  let exclusive owner =
+    program ~owner "pinned"
+      ~maps:[ map_decl ~key_arity:1 ~size:8 "tbl" ]
+      [ block "w" [ map_put "tbl" [ const 0 ] (const 1) ] ]
+  in
+  let commutative owner =
+    program ~owner "counter"
+      ~maps:[ map_decl ~key_arity:1 ~size:8 "hits" ]
+      [ block "c" [ map_incr "hits" [ const 0 ] ] ]
+  in
+  let affinity tenants p =
+    match Control.Tenants.admit tenants p with
+    | Ok (t, _) -> t.Control.Tenants.shard_affinity
+    | Error e -> Alcotest.failf "admit: %a" Control.Tenants.pp_admission_error e
+  in
+  let t1 = mk () in
+  (* increment-only maps certify Commutative: replicate freely *)
+  check "commutative tenant replicates" true
+    (affinity t1 (commutative "acme") = None);
+  (* the stateful firewall map_puts connection state: Exclusive *)
+  check "firewall pins (map_put state)" true
+    (affinity t1 (Apps.Firewall.program ~owner:"fw" ~boundary:50 ()) <> None);
+  let pinme_shard = affinity t1 (exclusive "pinme") in
+  (match pinme_shard with
+   | Some s -> check "affinity in range" true (s >= 0 && s < 4)
+   | None -> Alcotest.fail "exclusive tenant must pin to a shard");
+  (* placement is a stable hash of the name: a fresh manager, different
+     admission order, same shard *)
+  let t2 = mk () in
+  check "other exclusive tenants also pin" true
+    (affinity t2 (exclusive "other") <> None);
+  check "same name, same shard across managers" true
+    (affinity t2 (exclusive "pinme") = pinme_shard)
+
 (* -- Elastic scaling ----------------------------------------------------------------- *)
 
 let test_elastic_scaling () =
@@ -490,7 +533,9 @@ let () =
       ( "tenants",
         [ Alcotest.test_case "lifecycle" `Quick test_tenant_admission_lifecycle;
           Alcotest.test_case "rejections" `Quick test_tenant_rejection_paths;
-          Alcotest.test_case "distinct vlans" `Quick test_tenant_vlans_distinct ] );
+          Alcotest.test_case "distinct vlans" `Quick test_tenant_vlans_distinct;
+          Alcotest.test_case "certificate placement" `Quick
+            test_certificate_placement ] );
       ( "elastic",
         [ Alcotest.test_case "scaling" `Quick test_elastic_scaling;
           Alcotest.test_case "cooldown" `Quick test_elastic_cooldown ] );

@@ -8,32 +8,35 @@ let check_int = Alcotest.(check int)
 let test_eq_ordering () =
   let q = Netsim.Event_queue.create () in
   let out = ref [] in
-  let ev time seq = { Netsim.Event_queue.time; seq; thunk = (fun () -> ()) } in
-  Netsim.Event_queue.push q (ev 3.0 1);
-  Netsim.Event_queue.push q (ev 1.0 2);
-  Netsim.Event_queue.push q (ev 2.0 3);
+  let ev time seq =
+    Netsim.Event_queue.push q ~time ~seq (fun () ->
+        out := Netsim.Event_queue.min_time q :: !out)
+  in
+  ev 3.0 1;
+  ev 1.0 2;
+  ev 2.0 3;
+  let times = ref [] in
   let rec drain () =
-    match Netsim.Event_queue.pop q with
-    | None -> ()
-    | Some e ->
-      out := e.Netsim.Event_queue.time :: !out;
+    if not (Netsim.Event_queue.is_empty q) then begin
+      times := Netsim.Event_queue.min_time q :: !times;
+      ignore (Netsim.Event_queue.pop_exn q : unit -> unit);
       drain ()
+    end
   in
   drain ();
-  Alcotest.(check (list (float 0.))) "sorted" [ 1.0; 2.0; 3.0 ] (List.rev !out)
+  Alcotest.(check (list (float 0.))) "sorted" [ 1.0; 2.0; 3.0 ] (List.rev !times)
 
 let test_eq_tiebreak () =
   let q = Netsim.Event_queue.create () in
   let order = ref [] in
   for i = 1 to 50 do
-    Netsim.Event_queue.push q
-      { Netsim.Event_queue.time = 1.0; seq = i;
-        thunk = (fun () -> order := i :: !order) }
+    Netsim.Event_queue.push q ~time:1.0 ~seq:i (fun () -> order := i :: !order)
   done;
   let rec drain () =
-    match Netsim.Event_queue.pop q with
-    | None -> ()
-    | Some e -> e.Netsim.Event_queue.thunk (); drain ()
+    if not (Netsim.Event_queue.is_empty q) then begin
+      (Netsim.Event_queue.pop_exn q) ();
+      drain ()
+    end
   in
   drain ();
   Alcotest.(check (list int)) "fifo within same time" (List.init 50 (fun i -> i + 1))
@@ -42,22 +45,31 @@ let test_eq_tiebreak () =
 let test_eq_grows () =
   let q = Netsim.Event_queue.create () in
   for i = 0 to 999 do
-    Netsim.Event_queue.push q
-      { Netsim.Event_queue.time = float_of_int (999 - i); seq = i; thunk = ignore }
+    Netsim.Event_queue.push q ~time:(float_of_int (999 - i)) ~seq:i ignore
   done;
   check_int "length" 1000 (Netsim.Event_queue.length q);
   let last = ref (-1.) in
   let ok = ref true in
   let rec drain () =
-    match Netsim.Event_queue.pop q with
-    | None -> ()
-    | Some e ->
-      if e.Netsim.Event_queue.time < !last then ok := false;
-      last := e.Netsim.Event_queue.time;
+    if not (Netsim.Event_queue.is_empty q) then begin
+      let time = Netsim.Event_queue.min_time q in
+      ignore (Netsim.Event_queue.pop_exn q : unit -> unit);
+      if time < !last then ok := false;
+      last := time;
       drain ()
+    end
   in
   drain ();
   check "heap order preserved across growth" true !ok
+
+let test_eq_empty_pop () =
+  let q = Netsim.Event_queue.create () in
+  check "fresh queue empty" true (Netsim.Event_queue.is_empty q);
+  Alcotest.(check (float 0.)) "min_time of empty" infinity
+    (Netsim.Event_queue.min_time q);
+  Alcotest.check_raises "pop of empty raises"
+    (Invalid_argument "Event_queue.pop_exn: empty queue") (fun () ->
+      ignore (Netsim.Event_queue.pop_exn q : unit -> unit))
 
 (* -- Sim ----------------------------------------------------------------- *)
 
@@ -475,7 +487,8 @@ let () =
     [ ( "event_queue",
         [ Alcotest.test_case "ordering" `Quick test_eq_ordering;
           Alcotest.test_case "fifo tiebreak" `Quick test_eq_tiebreak;
-          Alcotest.test_case "growth" `Quick test_eq_grows ] );
+          Alcotest.test_case "growth" `Quick test_eq_grows;
+          Alcotest.test_case "empty pop" `Quick test_eq_empty_pop ] );
       ( "sim",
         [ Alcotest.test_case "clock" `Quick test_sim_clock;
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;

@@ -48,6 +48,58 @@ let test_kind_conflict () =
        false
      with Invalid_argument _ -> true)
 
+(* Per-domain accumulators: merge adds counters/gauges/histograms
+   series-wise and the result must export exactly like a registry that
+   saw all the observations itself. *)
+let test_merge_semantics () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr a ~by:3 ~labels:[ ("s", "0") ] "pkt";
+  Obs.Metrics.incr b ~by:4 ~labels:[ ("s", "0") ] "pkt";
+  Obs.Metrics.incr b ~by:7 ~labels:[ ("s", "1") ] "pkt";
+  Obs.Metrics.set_gauge a "depth" 2.;
+  Obs.Metrics.set_gauge b "depth" 3.5;
+  Obs.Metrics.observe a "lat" 0.5;
+  Obs.Metrics.observe b "lat" 0.5;
+  Obs.Metrics.observe b "lat" 8.;
+  Obs.Metrics.merge_into ~into:a b;
+  check_int "counters add series-wise" 7
+    (Obs.Metrics.get_counter a ~labels:[ ("s", "0") ] "pkt");
+  check_int "absent series copied" 7
+    (Obs.Metrics.get_counter a ~labels:[ ("s", "1") ] "pkt");
+  check "gauges add" true
+    (match
+       List.assoc_opt "depth"
+         (List.map (fun (n, _, v) -> (n, v)) (Obs.Metrics.to_list a))
+     with
+     | Some (Obs.Metrics.Gauge v) -> v = 5.5
+     | _ -> false);
+  (* the merged histogram must equal one that saw all three samples *)
+  let whole = Obs.Metrics.create () in
+  List.iter (Obs.Metrics.observe whole "lat") [ 0.5; 0.5; 8. ];
+  Obs.Metrics.set_gauge whole "depth" 5.5;
+  Obs.Metrics.incr whole ~by:7 ~labels:[ ("s", "0") ] "pkt";
+  Obs.Metrics.incr whole ~by:7 ~labels:[ ("s", "1") ] "pkt";
+  check_str "merged export = single-registry export"
+    (Obs.Export.prometheus whole) (Obs.Export.prometheus a);
+  (* [merged] folds many registries without touching the inputs *)
+  let c = Obs.Metrics.create () in
+  Obs.Metrics.incr c ~by:2 "x";
+  let d = Obs.Metrics.create () in
+  Obs.Metrics.incr d ~by:5 "x";
+  let m = Obs.Metrics.merged [ c; d ] in
+  check_int "merged folds registries" 7 (Obs.Metrics.get_counter m "x");
+  check_int "inputs untouched" 2 (Obs.Metrics.get_counter c "x")
+
+let test_merge_kind_conflict () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.incr a "k";
+  Obs.Metrics.set_gauge b "k" 1.;
+  check "merging conflicting kinds raises" true
+    (try
+       Obs.Metrics.merge_into ~into:a b;
+       false
+     with Invalid_argument _ -> true)
+
 (* The Netsim.Stats.Counters adapter is the registry itself: the type
    equality lets a sim's unified registry flow anywhere the legacy
    counter API is expected. *)
@@ -225,6 +277,9 @@ let () =
           Alcotest.test_case "labels canonical" `Quick test_labels_canonical;
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "kind conflict" `Quick test_kind_conflict;
+          Alcotest.test_case "merge semantics" `Quick test_merge_semantics;
+          Alcotest.test_case "merge kind conflict" `Quick
+            test_merge_kind_conflict;
           Alcotest.test_case "stats adapter" `Quick test_stats_adapter ] );
       ( "export",
         [ Alcotest.test_case "prometheus shape" `Quick test_prometheus_shape;

@@ -16,14 +16,15 @@ let prop_event_queue_sorted =
     (fun times ->
       let q = Netsim.Event_queue.create () in
       List.iteri
-        (fun i time ->
-          Netsim.Event_queue.push q
-            { Netsim.Event_queue.time; seq = i; thunk = ignore })
+        (fun i time -> Netsim.Event_queue.push q ~time ~seq:i ignore)
         times;
       let rec drain acc =
-        match Netsim.Event_queue.pop q with
-        | None -> List.rev acc
-        | Some e -> drain (e.Netsim.Event_queue.time :: acc)
+        if Netsim.Event_queue.is_empty q then List.rev acc
+        else begin
+          let time = Netsim.Event_queue.min_time q in
+          ignore (Netsim.Event_queue.pop_exn q : unit -> unit);
+          drain (time :: acc)
+        end
       in
       let out = drain [] in
       out = List.sort compare times)
