@@ -827,6 +827,169 @@ let migrate_cmd =
     (Cmd.info "migrate" ~doc:"Compare state-migration protocols")
     Term.(const run $ const ())
 
+(* -- policy ------------------------------------------------------------- *)
+
+let pattern_str = function
+  | Flexbpf.Ast.P_exact v -> Int64.to_string v
+  | Flexbpf.Ast.P_any -> "*"
+  | Flexbpf.Ast.P_lpm (v, l) -> Printf.sprintf "%Ld/%d" v l
+  | Flexbpf.Ast.P_ternary (v, m) -> Printf.sprintf "%Ld&%Ld" v m
+  | Flexbpf.Ast.P_range (a, b) -> Printf.sprintf "%Ld-%Ld" a b
+
+let load_policy path =
+  let src = In_channel.with_open_text path In_channel.input_all in
+  match Policy.Syntax.parse_result src with
+  | Error e ->
+    Printf.eprintf "%s: parse error: %s\n" path e;
+    exit 2
+  | Ok pol -> pol
+
+let pol_format_arg =
+  Arg.(value & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+       & info [ "format" ] ~docv:"FMT"
+           ~doc:"Output format: $(b,table) or $(b,json)")
+
+let pol_file_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"FILE" ~doc:"Policy source (.pol)")
+
+let rules_json rules =
+  String.concat ","
+    (List.map
+       (fun (r : Flexbpf.Ast.rule) ->
+         Printf.sprintf
+           "{\"priority\":%d,\"matches\":[%s],\"action\":\"%s\"}"
+           r.Flexbpf.Ast.rule_priority
+           (String.concat ","
+              (List.map
+                 (fun p -> Printf.sprintf "\"%s\"" (pattern_str p))
+                 r.Flexbpf.Ast.matches))
+           (json_escape r.Flexbpf.Ast.rule_action))
+       rules)
+
+let policy_compile_cmd =
+  let switches_arg =
+    Arg.(value & opt int 2
+         & info [ "switches" ] ~docv:"N"
+             ~doc:"Slice the policy for switches 0..N-1")
+  in
+  let run file format switches =
+    let pol = load_policy file in
+    let devices =
+      List.init switches (fun i -> (Printf.sprintf "s%d" i, Int64.of_int i))
+    in
+    match Policy.Compile.compile ~name:"policy" ~devices pol with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file (Policy.Compile.error_to_string e);
+      exit 1
+    | Ok lowered ->
+      (match format with
+       | `Table ->
+         List.iter
+           (fun (dev, lw) ->
+             Fmt.pr "== %s (sw = %Ld) ==@." dev lw.Policy.Compile.lw_sw;
+             print_string (Flexbpf.Syntax.print lw.Policy.Compile.lw_prog);
+             List.iter
+               (fun (tbl, rules) ->
+                 Fmt.pr "rules[%s]:@." tbl;
+                 List.iter
+                   (fun (r : Flexbpf.Ast.rule) ->
+                     Fmt.pr "  %3d  %-24s -> %s@." r.Flexbpf.Ast.rule_priority
+                       (String.concat ", "
+                          (List.map pattern_str r.Flexbpf.Ast.matches))
+                       r.Flexbpf.Ast.rule_action)
+                   rules)
+               lw.Policy.Compile.lw_rules)
+           lowered
+       | `Json ->
+         Printf.printf "{\"policy\":\"%s\",\"devices\":[%s]}\n"
+           (json_escape (Policy.Syntax.print pol))
+           (String.concat ","
+              (List.map
+                 (fun (dev, lw) ->
+                   Printf.sprintf
+                     "{\"device\":\"%s\",\"sw\":%Ld,\"program\":\"%s\",\
+                      \"rules\":{%s}}"
+                     (json_escape dev) lw.Policy.Compile.lw_sw
+                     (json_escape
+                        (Flexbpf.Syntax.print lw.Policy.Compile.lw_prog))
+                     (String.concat ","
+                        (List.map
+                           (fun (tbl, rules) ->
+                             Printf.sprintf "\"%s\":[%s]" (json_escape tbl)
+                               (rules_json rules))
+                           lw.Policy.Compile.lw_rules)))
+                 lowered)));
+      exit 0
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Slice a policy per switch and print the lowered FlexBPF \
+          program and rule set for each. Exit 0 on success, 1 when the \
+          policy does not lower, 2 on parse failure.")
+    Term.(const run $ pol_file_arg $ pol_format_arg $ switches_arg)
+
+let policy_check_cmd =
+  let run file format =
+    let pol = load_policy file in
+    match Policy.Compile.check pol with
+    | Error e ->
+      Printf.eprintf "%s: %s\n" file (Policy.Compile.error_to_string e);
+      exit 1
+    | Ok rp ->
+      (match format with
+       | `Table ->
+         Fmt.pr "policy    %s@." (Policy.Syntax.print pol);
+         Fmt.pr "fields    %s@."
+           (String.concat ", "
+              (List.map Policy.Ast.field_name rp.Policy.Compile.rp_fields));
+         Fmt.pr "fdd size  %d nodes@." rp.Policy.Compile.rp_fdd_size;
+         Fmt.pr "switches  %s@."
+           (if rp.Policy.Compile.rp_switches = [] then "(uniform)"
+            else
+              String.concat ", "
+                (List.map Int64.to_string rp.Policy.Compile.rp_switches));
+         List.iter
+           (fun (sw, n) ->
+             if sw = -1L then Fmt.pr "  sw *   %4d rules@." n
+             else Fmt.pr "  sw %-3Ld %4d rules@." sw n)
+           rp.Policy.Compile.rp_rules
+       | `Json ->
+         Printf.printf
+           "{\"policy\":\"%s\",\"fields\":[%s],\"fdd_size\":%d,\
+            \"switches\":[%s],\"rules\":[%s]}\n"
+           (json_escape (Policy.Syntax.print pol))
+           (String.concat ","
+              (List.map
+                 (fun f -> Printf.sprintf "\"%s\"" (Policy.Ast.field_name f))
+                 rp.Policy.Compile.rp_fields))
+           rp.Policy.Compile.rp_fdd_size
+           (String.concat ","
+              (List.map Int64.to_string rp.Policy.Compile.rp_switches))
+           (String.concat ","
+              (List.map
+                 (fun (sw, n) ->
+                   Printf.sprintf "{\"sw\":%Ld,\"rules\":%d}" sw n)
+                 rp.Policy.Compile.rp_rules)));
+      exit 0
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate and normalize a policy; print the fields it touches, \
+          its FDD size, and per-switch rule counts. Exit 0 when it \
+          lowers everywhere, 1 otherwise, 2 on parse failure.")
+    Term.(const run $ pol_file_arg $ pol_format_arg)
+
+let policy_cmd =
+  Cmd.group
+    (Cmd.info "policy"
+       ~doc:
+         "Compile and check NetKAT-style policy terms (.pol) against \
+          the FlexBPF datapath")
+    [ policy_compile_cmd; policy_check_cmd ]
+
 let () =
   let info =
     Cmd.info "flexnet" ~version:"0.1.0"
@@ -836,4 +999,4 @@ let () =
     (Cmd.eval
        (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; lint_cmd; inject_cmd;
           demo_cmd; plan_cmd; metrics_cmd; trace_cmd; attack_cmd;
-          migrate_cmd ]))
+          migrate_cmd; policy_cmd ]))

@@ -247,6 +247,31 @@ let depart t tenant_name =
           Obs.Trace.add_attr span "ok" (Obs.Trace.B true);
           Ok report)
 
+type policy_admission_error =
+  | Policy_error of Policy.Compile.error
+  | Admission of admission_error
+
+let pp_policy_admission_error ppf = function
+  | Policy_error e -> Policy.Compile.pp_error ppf e
+  | Admission e -> pp_admission_error ppf e
+
+(** Admit a tenant expressed as a policy term: lower to a uniform
+    overlay block (no switch tests allowed; leaves without an explicit
+    egress fall through to infrastructure routing) and push it through
+    the ordinary admission pipeline — certification, namespacing,
+    access control, and VLAN guarding all apply to the lowered element
+    exactly as to a hand-written one. *)
+let admit_policy t ~name pol =
+  match
+    Policy.Compile.lower_block ~owner:name ~overlay:true
+      ~name:(name ^ "_policy") pol
+  with
+  | Error e -> Error (Policy_error e)
+  | Ok program ->
+    (match admit t program with
+     | Ok r -> Ok r
+     | Error e -> Error (Admission e))
+
 let active_count t = List.length t.tenants
 
 (** Cross-tenant sharable logic, surfaced as an optimization report. *)

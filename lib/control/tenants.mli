@@ -64,6 +64,24 @@ val admit :
   t -> Flexbpf.Ast.program ->
   (tenant * Compiler.Incremental.report, admission_error) result
 
+type policy_admission_error =
+  | Policy_error of Policy.Compile.error
+      (** the term does not lower (switch tests, multicast, ...) *)
+  | Admission of admission_error
+
+val pp_policy_admission_error :
+  Format.formatter -> policy_admission_error -> unit
+
+(** Admit a tenant expressed as a policy term instead of a hand-written
+    FlexBPF program: the term is lowered to a uniform overlay block
+    ({!Policy.Compile.lower_block}) — identical on every switch, leaves
+    without an explicit egress defer to infrastructure routing — and
+    then admitted through the ordinary pipeline (certification,
+    namespacing, access control, VLAN guarding). *)
+val admit_policy :
+  t -> name:string -> Policy.Ast.pol ->
+  (tenant * Compiler.Incremental.report, policy_admission_error) result
+
 type departure_error = Unknown_tenant | Departure_failed of string
 
 val pp_departure_error : Format.formatter -> departure_error -> unit

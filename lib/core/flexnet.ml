@@ -161,6 +161,18 @@ let add_tenant t ext = Control.Tenants.admit (tenants_exn t) ext
 (** Tenant departure (live removal + resource release). *)
 let remove_tenant t name = Control.Tenants.depart (tenants_exn t) name
 
+(** Deploy a network-wide policy over the switch datapath: slice per
+    switch (s0, s1, ... get switch values 0, 1, ...) and install all
+    slices under one two-version window. *)
+let deploy_policy ?owner ~name t pol =
+  let devices =
+    List.mapi (fun i d -> (d, Int64.of_int i)) (switch_devices t)
+  in
+  Policy.Deploy.deploy ~obs:(obs t) ?owner ~name ~devices pol
+
+(** Remove a deployed policy from its devices. *)
+let remove_policy t dp = Policy.Deploy.undeploy ~obs:(obs t) dp
+
 (** Apply a runtime patch to the infrastructure program: plan over
     snapshots, execute through the reconfiguration engine. *)
 let patch_infrastructure t patch =

@@ -83,6 +83,17 @@ val remove_tenant :
   t -> string ->
   (Compiler.Incremental.report, Control.Tenants.departure_error) result
 
+(** Deploy a network-wide policy over the switch datapath: switch
+    device [s]{e i} receives the slice for [sw = i], and every slice
+    lands under one two-version window — traffic observes the
+    pre-policy network or the complete policy, never a mix. *)
+val deploy_policy :
+  ?owner:string -> name:string -> t -> Policy.Ast.pol ->
+  (Policy.Deploy.deployment, Policy.Deploy.error) result
+
+(** Remove a deployed policy from its devices (one window). *)
+val remove_policy : t -> Policy.Deploy.deployment -> (unit, string) result
+
 (** Apply a runtime patch through the incremental compiler
     (immediately, without the freeze/thaw timing model). *)
 val patch_infrastructure :

@@ -1,0 +1,135 @@
+type field =
+  | Sw
+  | Pt
+  | Vlan
+  | Eth_src
+  | Eth_dst
+  | Ip_src
+  | Ip_dst
+  | Proto
+  | Tp_src
+  | Tp_dst
+
+let all_fields =
+  [ Sw; Pt; Vlan; Eth_src; Eth_dst; Ip_src; Ip_dst; Proto; Tp_src; Tp_dst ]
+
+let field_rank = function
+  | Sw -> 0
+  | Pt -> 1
+  | Vlan -> 2
+  | Eth_src -> 3
+  | Eth_dst -> 4
+  | Ip_src -> 5
+  | Ip_dst -> 6
+  | Proto -> 7
+  | Tp_src -> 8
+  | Tp_dst -> 9
+
+let field_name = function
+  | Sw -> "sw"
+  | Pt -> "pt"
+  | Vlan -> "vlan"
+  | Eth_src -> "eth.src"
+  | Eth_dst -> "eth.dst"
+  | Ip_src -> "ip.src"
+  | Ip_dst -> "ip.dst"
+  | Proto -> "proto"
+  | Tp_src -> "tp.src"
+  | Tp_dst -> "tp.dst"
+
+let field_of_name s =
+  List.find_opt (fun f -> field_name f = s) all_fields
+
+let field_bits = function
+  | Sw | Pt -> 30
+  | Vlan -> 12
+  | Eth_src | Eth_dst -> 48
+  | Ip_src | Ip_dst -> 32
+  | Proto -> 8
+  | Tp_src | Tp_dst -> 16
+
+type pred =
+  | True
+  | False
+  | Test of field * int64
+  | And of pred * pred
+  | Or of pred * pred
+  | Neg of pred
+
+type pol =
+  | Filter of pred
+  | Mod of field * int64
+  | Union of pol * pol
+  | Seq of pol * pol
+  | Star of pol
+
+let id = Filter True
+let drop = Filter False
+let fwd port = Mod (Pt, port)
+let test f v = Test (f, v)
+
+let union_all = function
+  | [] -> drop
+  | p :: ps -> List.fold_left (fun acc q -> Union (acc, q)) p ps
+
+let seq_all = function
+  | [] -> id
+  | p :: ps -> List.fold_left (fun acc q -> Seq (acc, q)) p ps
+
+let rec pred_size = function
+  | True | False | Test _ -> 1
+  | And (a, b) | Or (a, b) -> 1 + pred_size a + pred_size b
+  | Neg a -> 1 + pred_size a
+
+let rec pol_size = function
+  | Filter p -> 1 + pred_size p
+  | Mod _ -> 1
+  | Union (p, q) | Seq (p, q) -> 1 + pol_size p + pol_size q
+  | Star p -> 1 + pol_size p
+
+let values_of f pol =
+  let acc = ref [] in
+  let add v = if not (List.mem v !acc) then acc := v :: !acc in
+  let rec pred = function
+    | True | False -> ()
+    | Test (f', v) -> if f' = f then add v
+    | And (a, b) | Or (a, b) ->
+      pred a;
+      pred b
+    | Neg a -> pred a
+  in
+  let rec pol_ = function
+    | Filter p -> pred p
+    | Mod (f', v) -> if f' = f then add v
+    | Union (p, q) | Seq (p, q) ->
+      pol_ p;
+      pol_ q
+    | Star p -> pol_ p
+  in
+  pol_ pol;
+  List.sort Int64.compare !acc
+
+let fields_of pol =
+  let acc = ref [] in
+  let add f = if not (List.mem f !acc) then acc := f :: !acc in
+  let rec pred = function
+    | True | False -> ()
+    | Test (f, _) -> add f
+    | And (a, b) | Or (a, b) ->
+      pred a;
+      pred b
+    | Neg a -> pred a
+  in
+  let rec pol_ = function
+    | Filter p -> pred p
+    | Mod (f, _) -> add f
+    | Union (p, q) | Seq (p, q) ->
+      pol_ p;
+      pol_ q
+    | Star p -> pol_ p
+  in
+  pol_ pol;
+  List.sort (fun a b -> compare (field_rank a) (field_rank b)) !acc
+
+let equal_pred (a : pred) (b : pred) = a = b
+let equal_pol (a : pol) (b : pol) = a = b

@@ -1,0 +1,85 @@
+(** A NetKAT-style policy algebra over located packets (ROADMAP item
+    2).
+
+    Operators express {e intent} — "monitor + firewall; route" — as
+    terms of a small algebra: predicates (tests with negation,
+    conjunction, disjunction) and policies (filter, field
+    modification, parallel and sequential composition, iteration).
+    Terms denote functions from packets to packet sets ([Sem]),
+    normalize into a canonical decision structure ([Fdd]), and lower
+    onto per-device FlexBPF programs ([Compile]) deployed through the
+    existing Plan -> Reconfig path ([Deploy]). *)
+
+(** Observable packet fields. [Sw] and [Pt] locate the packet (device
+    and port); the rest map onto FlexBPF header fields or
+    ingress-stamped metadata (see [Compile.field_expr]). The
+    declaration order is the canonical FDD variable order. *)
+type field =
+  | Sw  (** device (simulator node id) *)
+  | Pt  (** port: ingress on read, egress on write *)
+  | Vlan  (** meta.vlan_vid, stamped at device ingress *)
+  | Eth_src
+  | Eth_dst
+  | Ip_src
+  | Ip_dst
+  | Proto
+  | Tp_src
+  | Tp_dst
+
+val all_fields : field list
+
+(** Position in [all_fields] — the canonical variable order. *)
+val field_rank : field -> int
+
+val field_name : field -> string
+val field_of_name : string -> field option
+
+(** Declared width; values must fit ([Compile] rejects out-of-range
+    constants as ill-typed). *)
+val field_bits : field -> int
+
+type pred =
+  | True
+  | False
+  | Test of field * int64
+  | And of pred * pred
+  | Or of pred * pred
+  | Neg of pred
+
+type pol =
+  | Filter of pred
+  | Mod of field * int64
+  | Union of pol * pol  (** parallel composition: copy to both *)
+  | Seq of pol * pol  (** sequential composition *)
+  | Star of pol  (** iteration: union of all powers *)
+
+(** [Filter True] — the identity policy. *)
+val id : pol
+
+(** [Filter False] — drop everything. *)
+val drop : pol
+
+(** [Mod (Pt, port)] — forward out of [port]. *)
+val fwd : int64 -> pol
+
+val test : field -> int64 -> pred
+
+(** Right-nested unions/seqs of a non-empty list ([id] when empty for
+    [seq_all], [drop] for [union_all]). *)
+val union_all : pol list -> pol
+
+val seq_all : pol list -> pol
+
+(** Term size (operator and leaf count), for generators and reports. *)
+val pred_size : pred -> int
+
+val pol_size : pol -> int
+
+(** Every constant a term tests or assigns to [f]. *)
+val values_of : field -> pol -> int64 list
+
+(** Fields mentioned anywhere in the term, in canonical order. *)
+val fields_of : pol -> field list
+
+val equal_pred : pred -> pred -> bool
+val equal_pol : pol -> pol -> bool

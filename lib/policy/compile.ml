@@ -1,0 +1,277 @@
+module F = Flexbpf.Ast
+
+type error =
+  | Value_out_of_range of Ast.field * int64
+  | Switch_mod of int64
+  | Multicast of int64 * int
+  | Switch_dependent
+  | Star_diverged
+
+let pp_error ppf = function
+  | Value_out_of_range (f, v) ->
+    Format.fprintf ppf "value %Ld does not fit field %s (%d bits)" v
+      (Ast.field_name f) (Ast.field_bits f)
+  | Switch_mod v ->
+    Format.fprintf ppf
+      "sw := %Ld: policies cannot modify the switch location" v
+  | Multicast (sw, n) ->
+    Format.fprintf ppf
+      "multicast leaf (%d copies) at switch %Ld: FlexBPF has a single \
+       egress"
+      n sw
+  | Switch_dependent ->
+    Format.fprintf ppf
+      "switch-dependent term in a uniform lowering (tenant policies may \
+       not test sw)"
+  | Star_diverged ->
+    Format.fprintf ppf "iteration fixpoint exceeded the budget"
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+let field_expr = function
+  | Ast.Sw -> invalid_arg "Policy.Compile.field_expr: Sw is sliced away"
+  | Ast.Pt -> F.Meta "in_port"
+  | Ast.Vlan -> F.Meta "vlan_vid"
+  | Ast.Eth_src -> F.Field ("ethernet", "src")
+  | Ast.Eth_dst -> F.Field ("ethernet", "dst")
+  | Ast.Ip_src -> F.Field ("ipv4", "src")
+  | Ast.Ip_dst -> F.Field ("ipv4", "dst")
+  | Ast.Proto -> F.Field ("ipv4", "proto")
+  | Ast.Tp_src -> F.Field ("tcp", "sport")
+  | Ast.Tp_dst -> F.Field ("tcp", "dport")
+
+(* -- Validation --------------------------------------------------------- *)
+
+let in_range f v =
+  let bits = Ast.field_bits f in
+  Int64.compare v 0L >= 0
+  && (bits >= 63 || Int64.compare v (Int64.shift_left 1L bits) < 0)
+
+let validate pol =
+  let exception Bad of error in
+  let value f v = if not (in_range f v) then raise (Bad (Value_out_of_range (f, v))) in
+  let rec pred = function
+    | Ast.True | Ast.False -> ()
+    | Ast.Test (f, v) -> value f v
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+      pred a;
+      pred b
+    | Ast.Neg a -> pred a
+  in
+  let rec pol_ = function
+    | Ast.Filter p -> pred p
+    | Ast.Mod (Ast.Sw, v) -> raise (Bad (Switch_mod v))
+    | Ast.Mod (f, v) -> value f v
+    | Ast.Union (p, q) | Ast.Seq (p, q) ->
+      pol_ p;
+      pol_ q
+    | Ast.Star p -> pol_ p
+  in
+  match pol_ pol with () -> Ok () | exception Bad e -> Error e
+
+let fdd_of pol =
+  match validate pol with
+  | Error e -> Error e
+  | Ok () ->
+    (match Fdd.of_pol pol with
+     | fdd -> Ok fdd
+     | exception Fdd.Star_diverged -> Error Star_diverged)
+
+(* -- Shared leaf lowering ----------------------------------------------- *)
+
+(* statements for one action's non-[Pt] writes, in canonical order *)
+let mod_stmts (act : Fdd.action) =
+  List.filter_map
+    (fun (f, v) ->
+      match f with
+      | Ast.Sw | Ast.Pt -> None
+      | Ast.Vlan -> Some (F.Set_meta ("vlan_vid", F.Const v))
+      | _ ->
+        (match field_expr f with
+         | F.Field (h, fld) -> Some (F.Set_field (h, fld, F.Const v))
+         | _ -> None))
+    act
+
+(* full location semantics: a leaf that does not write [Pt] sends the
+   packet out of the port it arrived on *)
+let egress_stmts ~overlay (act : Fdd.action) =
+  match List.assoc_opt Ast.Pt act with
+  | Some v -> [ F.Forward (F.Const v) ]
+  | None -> if overlay then [] else [ F.Forward (F.Meta "in_port") ]
+
+let leaf_stmts ~overlay ~sw (l : Fdd.leaf) =
+  match l with
+  | [] -> Ok [ F.Drop ]
+  | [ act ] ->
+    let stmts = mod_stmts act @ egress_stmts ~overlay act in
+    Ok (if stmts = [] then [ F.Nop ] else stmts)
+  | _ :: _ :: _ -> Error (Multicast (sw, List.length l))
+
+(* -- Table form --------------------------------------------------------- *)
+
+type lowered = {
+  lw_sw : int64;
+  lw_prog : F.program;
+  lw_rules : (string * F.rule list) list;
+}
+
+let result_map f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: xs -> (match f x with Ok y -> go (y :: acc) xs | Error e -> Error e)
+  in
+  go [] l
+
+let slice_table ~owner ~name ~sw fdd =
+  let sliced = Fdd.restrict Ast.Sw sw fdd in
+  let key_fields =
+    match Fdd.test_fields sliced with [] -> [ Ast.Pt ] | fs -> fs
+  in
+  let paths = Fdd.paths sliced in
+  (* one action per distinct leaf, named by first occurrence *)
+  let leaves = ref [] in
+  let leaf_name l =
+    match List.assoc_opt l !leaves with
+    | Some n -> n
+    | None ->
+      let n =
+        if l = [] then "pol_drop"
+        else Printf.sprintf "pol_act%d" (List.length !leaves)
+      in
+      leaves := (l, n) :: !leaves;
+      n
+  in
+  let rules_r =
+    result_map
+      (fun (pos, l) ->
+        match leaf_stmts ~overlay:false ~sw l with
+        | Error e -> Error e
+        | Ok _ ->
+          let matches =
+            List.map
+              (fun f ->
+                match List.assoc_opt f pos with
+                | Some v -> F.P_exact v
+                | None -> F.P_any)
+              key_fields
+          in
+          Ok (matches, leaf_name l))
+      paths
+  in
+  match rules_r with
+  | Error e -> Error e
+  | Ok protorules ->
+    let n = List.length protorules in
+    let rules =
+      List.mapi
+        (fun i (matches, act) ->
+          { F.rule_priority = n - i; matches; rule_action = act;
+            rule_args = [] })
+        protorules
+    in
+    let actions =
+      List.rev_map
+        (fun (l, aname) ->
+          match leaf_stmts ~overlay:false ~sw l with
+          | Ok body -> { F.act_name = aname; params = []; body }
+          | Error _ -> assert false)
+        !leaves
+    in
+    let actions =
+      if List.exists (fun a -> a.F.act_name = "pol_drop") actions then
+        actions
+      else
+        { F.act_name = "pol_drop"; params = []; body = [ F.Drop ] }
+        :: actions
+    in
+    let table =
+      F.Table
+        { F.tbl_name = name;
+          keys = List.map (fun f -> (field_expr f, F.Exact)) key_fields;
+          tbl_actions = actions;
+          default_action = ("pol_drop", []);
+          tbl_size = max 64 n }
+    in
+    let prog = Flexbpf.Builder.program ~owner name [ table ] in
+    Ok { lw_sw = sw; lw_prog = prog; lw_rules = [ (name, rules) ] }
+
+let lower ?(owner = "infra") ~name ~sw pol =
+  match fdd_of pol with
+  | Error e -> Error e
+  | Ok fdd -> slice_table ~owner ~name ~sw fdd
+
+let compile ?(owner = "infra") ~name ~devices pol =
+  match fdd_of pol with
+  | Error e -> Error e
+  | Ok fdd ->
+    result_map
+      (fun (dev, sw) ->
+        match slice_table ~owner ~name ~sw fdd with
+        | Ok lw -> Ok (dev, lw)
+        | Error e -> Error e)
+      devices
+
+(* -- Block form --------------------------------------------------------- *)
+
+let rec block_stmts ~overlay ~sw fdd =
+  match (fdd : Fdd.t) with
+  | Fdd.Leaf l -> leaf_stmts ~overlay ~sw l
+  | Fdd.Node n ->
+    (match block_stmts ~overlay ~sw n.tru with
+     | Error e -> Error e
+     | Ok tru ->
+       (match block_stmts ~overlay ~sw n.fls with
+        | Error e -> Error e
+        | Ok fls ->
+          Ok [ F.If (F.Bin (F.Eq, field_expr n.f, F.Const n.v), tru, fls) ]))
+
+let lower_block ?(owner = "infra") ?(overlay = false) ?sw ~name pol =
+  match fdd_of pol with
+  | Error e -> Error e
+  | Ok fdd ->
+    let sliced, sw_label =
+      match sw with
+      | Some s -> (Fdd.restrict Ast.Sw s fdd, s)
+      | None -> (fdd, -1L)
+    in
+    if sw = None && List.mem Ast.Sw (Fdd.test_fields sliced) then
+      Error Switch_dependent
+    else
+      (match block_stmts ~overlay ~sw:sw_label sliced with
+       | Error e -> Error e
+       | Ok body ->
+         Ok
+           (Flexbpf.Builder.program ~owner name
+              [ F.Block { F.blk_name = name; blk_body = body } ]))
+
+(* -- Static check ------------------------------------------------------- *)
+
+type report = {
+  rp_fields : Ast.field list;
+  rp_fdd_size : int;
+  rp_switches : int64 list;
+  rp_rules : (int64 * int) list;
+}
+
+let check pol =
+  match fdd_of pol with
+  | Error e -> Error e
+  | Ok fdd ->
+    let switches = Ast.values_of Ast.Sw pol in
+    let slices = switches @ [ -1L ] in
+    (match
+       result_map
+         (fun sw ->
+           match slice_table ~owner:"infra" ~name:"policy" ~sw fdd with
+           | Ok lw ->
+             Ok (sw, List.length (List.assoc "policy" lw.lw_rules))
+           | Error e -> Error e)
+         slices
+     with
+     | Error e -> Error e
+     | Ok rules ->
+       Ok
+         { rp_fields = Ast.fields_of pol;
+           rp_fdd_size = Fdd.size fdd;
+           rp_switches = switches;
+           rp_rules = rules })

@@ -1,0 +1,91 @@
+(** Lowering policies onto FlexBPF.
+
+    A whole-network policy is normalized once into an {!Fdd.t}, then
+    {e sliced} per device: specializing the diagram on [sw = device]
+    erases every switch test, and what remains lowers in two
+    equivalent shapes —
+
+    - {b table form} ([lower]): one match/action table keyed on the
+      tested fields, plus a prioritized rule set (one rule per FDD
+      path, true branches first) installed through the device API.
+      This is the shape the deploy path uses: rules ride the existing
+      per-generation rule indexes of the compiled fast path.
+    - {b block form} ([lower_block]): a self-contained element whose
+      nested [If]s mirror the diagram — no rules to install, so it
+      composes through the tenant-admission pipeline (namespacing,
+      VLAN guarding) unchanged.
+
+    Both agree with {!Sem.eval} packet-for-packet; the qcheck
+    differential harness checks all three against each other.
+
+    Lowering is typed: out-of-range constants, switch modification,
+    multicast leaves (FlexBPF has a single egress), and diverging
+    iteration are reported as {!error}s, never miscompiled. *)
+
+type error =
+  | Value_out_of_range of Ast.field * int64
+      (** constant does not fit {!Ast.field_bits} *)
+  | Switch_mod of int64  (** policies cannot teleport: [sw := n] *)
+  | Multicast of int64 * int  (** switch, fan-out: single-egress target *)
+  | Switch_dependent
+      (** switch test in a uniform (tenant) lowering *)
+  | Star_diverged
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** FlexBPF expression reading a policy field: header fields for
+    addresses/ports/proto, ingress-stamped metadata for [Pt]/[Vlan].
+    @raise Invalid_argument on [Sw] — switches are sliced away. *)
+val field_expr : Ast.field -> Flexbpf.Ast.expr
+
+(** Validate constants and switch-writes without building the FDD. *)
+val validate : Ast.pol -> (unit, error) result
+
+(** Normalize to an FDD ([validate] first). *)
+val fdd_of : Ast.pol -> (Fdd.t, error) result
+
+type lowered = {
+  lw_sw : int64;
+  lw_prog : Flexbpf.Ast.program;
+  lw_rules : (string * Flexbpf.Ast.rule list) list;
+      (** table name -> rules, priority descending *)
+}
+
+(** Slice for one device and lower to table form. The program holds a
+    single table named [name]; every leaf becomes an action
+    ("pol_drop", "pol_act0", ...), every FDD path a rule. A leaf that
+    does not write [Pt] forwards out of the ingress port (NetKAT
+    location semantics). *)
+val lower :
+  ?owner:string -> name:string -> sw:int64 -> Ast.pol ->
+  (lowered, error) result
+
+(** Slice (when [sw] is given) and lower to block form. Without [sw],
+    the policy must not mention switches ([Switch_dependent]) — the
+    uniform shape tenant admission uses. With [overlay], leaves that
+    do not write [Pt] fall through ([Nop]) instead of forwarding, so
+    the block composes with the infrastructure pipeline (its routing
+    still decides the egress); explicit [fwd]/drop still win. *)
+val lower_block :
+  ?owner:string -> ?overlay:bool -> ?sw:int64 -> name:string -> Ast.pol ->
+  (Flexbpf.Ast.program, error) result
+
+(** [lower] for every device of an assignment (device id -> switch
+    value). Normalizes once, slices per device. *)
+val compile :
+  ?owner:string -> name:string -> devices:(string * int64) list ->
+  Ast.pol -> ((string * lowered) list, error) result
+
+(** Static summary for tooling ([flexnet policy check]). *)
+type report = {
+  rp_fields : Ast.field list;  (** fields tested or written *)
+  rp_fdd_size : int;  (** internal nodes after normalization *)
+  rp_switches : int64 list;  (** switch values the term mentions *)
+  rp_rules : (int64 * int) list;  (** per-switch lowered rule count *)
+}
+
+(** Validate, normalize, and slice for every mentioned switch (plus
+    the wildcard slice [-1] covering unmentioned devices); any slice
+    that cannot lower fails the whole check. *)
+val check : Ast.pol -> (report, error) result

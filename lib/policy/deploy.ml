@@ -1,0 +1,89 @@
+module D = Targets.Device
+
+type error =
+  | Compile_error of Compile.error
+  | Runtime_error of string
+
+let pp_error ppf = function
+  | Compile_error e -> Compile.pp_error ppf e
+  | Runtime_error msg -> Format.fprintf ppf "runtime: %s" msg
+
+type deployment = {
+  dp_name : string;
+  dp_owner : string;
+  dp_pol : Ast.pol;
+  dp_devices : (D.t * Compile.lowered) list;
+}
+
+let install_ops lowered =
+  List.concat_map
+    (fun (id, lw) ->
+      List.mapi
+        (fun i el ->
+          Compiler.Plan.Install
+            { device = id; element = el; ctx = lw.Compile.lw_prog;
+              order = i })
+        lw.Compile.lw_prog.Flexbpf.Ast.pipeline)
+    lowered
+
+let deploy ?obs ?(owner = "infra") ~name ~devices pol =
+  let assignment = List.map (fun (d, sw) -> (D.id d, sw)) devices in
+  match Compile.compile ~owner ~name ~devices:assignment pol with
+  | Error e -> Error (Compile_error e)
+  | Ok lowered ->
+    let devs = List.map fst devices in
+    let by_id id = List.find (fun d -> D.id d = id) devs in
+    let plan = Compiler.Plan.v ("policy:" ^ name) (install_ops lowered) in
+    (* one caller-held window across every touched device: traffic sees
+       the pre-policy network until all devices thaw *)
+    List.iter D.freeze devs;
+    let rollback_all () = List.iter D.rollback devs in
+    (match Runtime.Reconfig.run_plan ?obs ~devices:devs plan with
+     | Error msg ->
+       rollback_all ();
+       Error (Runtime_error msg)
+     | Ok () ->
+       (* rules are invisible to the old program (it never references
+          the new tables), so installing inside the window is safe *)
+       (match
+          List.iter
+            (fun (id, lw) ->
+              let env = D.env (by_id id) in
+              List.iter
+                (fun (tbl, rules) ->
+                  List.iter (Flexbpf.Interp.install_rule env tbl) rules)
+                lw.Compile.lw_rules)
+            lowered
+        with
+        | () ->
+          List.iter D.thaw devs;
+          Ok
+            { dp_name = name; dp_owner = owner; dp_pol = pol;
+              dp_devices =
+                List.map (fun (id, lw) -> (by_id id, lw)) lowered }
+        | exception Flexbpf.Interp.Eval_error msg ->
+          rollback_all ();
+          Error (Runtime_error msg)))
+
+let undeploy ?obs dp =
+  let devs = List.map fst dp.dp_devices in
+  let ops =
+    List.concat_map
+      (fun (d, lw) ->
+        List.map
+          (fun el ->
+            Compiler.Plan.Remove
+              { device = D.id d;
+                element_name = Flexbpf.Ast.element_name el })
+          lw.Compile.lw_prog.Flexbpf.Ast.pipeline)
+      dp.dp_devices
+  in
+  let plan = Compiler.Plan.v ("policy:" ^ dp.dp_name ^ ":remove") ops in
+  List.iter D.freeze devs;
+  match Runtime.Reconfig.run_plan ?obs ~devices:devs plan with
+  | Ok () ->
+    List.iter D.thaw devs;
+    Ok ()
+  | Error msg ->
+    List.iter D.rollback devs;
+    Error msg

@@ -1,0 +1,38 @@
+(** Deploying compiled policies onto live devices.
+
+    The policy is sliced per device ({!Compile.compile}), then pushed
+    through the one reconfiguration engine as a [Compiler.Plan.t]
+    under a single caller-held two-version window spanning every
+    touched device: freeze all, install the table elements
+    ([Runtime.Reconfig.run_plan]), install the rule sets into the
+    device environments (invisible to the old program, which never
+    references the new tables), thaw all. Traffic therefore observes
+    either the pre-policy network or the complete policy — the
+    per-packet consistent-update guarantee, by construction. Any
+    failure rolls every device back to the old program. *)
+
+type error =
+  | Compile_error of Compile.error
+  | Runtime_error of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type deployment = {
+  dp_name : string;
+  dp_owner : string;
+  dp_pol : Ast.pol;
+  dp_devices : (Targets.Device.t * Compile.lowered) list;
+}
+
+(** Compile [pol] for the device/switch assignment and install it
+    atomically (one window across all devices). The program and rule
+    sets land on every device or none. *)
+val deploy :
+  ?obs:Obs.Scope.t -> ?owner:string -> name:string ->
+  devices:(Targets.Device.t * int64) list -> Ast.pol ->
+  (deployment, error) result
+
+(** Remove a deployed policy from all its devices, again under one
+    window. Rules disappear with their tables. *)
+val undeploy :
+  ?obs:Obs.Scope.t -> deployment -> (unit, string) result

@@ -1,0 +1,235 @@
+type action = (Ast.field * int64) list
+type leaf = action list
+
+type t =
+  | Leaf of leaf
+  | Node of { f : Ast.field; v : int64; tru : t; fls : t }
+
+exception Star_diverged
+
+let drop = Leaf []
+let ident = Leaf [ [] ]
+
+let compare_action (a : action) (b : action) = compare a b
+
+let sort_leaf l = List.sort_uniq compare_action l
+
+let leaf l = Leaf (sort_leaf l)
+
+let node f v tru fls = if tru = fls then tru else Node { f; v; tru; fls }
+
+let test_compare (f1, v1) (f2, v2) =
+  let c = compare (Ast.field_rank f1) (Ast.field_rank f2) in
+  if c <> 0 then c else Int64.compare v1 v2
+
+(* [b] over [a]: merge sorted assignments, [b]'s bindings win *)
+let rec compose_action (a : action) (b : action) =
+  match a, b with
+  | [], b -> b
+  | a, [] -> a
+  | (fa, va) :: ta, (fb, vb) :: tb ->
+    let c = compare (Ast.field_rank fa) (Ast.field_rank fb) in
+    if c < 0 then (fa, va) :: compose_action ta b
+    else if c > 0 then (fb, vb) :: compose_action a tb
+    else (fb, vb) :: compose_action ta tb
+
+(* specialize to f = v: same-field tests are decided (equal value:
+   true branch; other values: false branch); the order invariant means
+   no test of [f] hides below a later-ranked root *)
+let rec restrict f v d =
+  match d with
+  | Leaf _ -> d
+  | Node n ->
+    let c = compare (Ast.field_rank n.f) (Ast.field_rank f) in
+    if c < 0 then node n.f n.v (restrict f v n.tru) (restrict f v n.fls)
+    else if c > 0 then d
+    else if n.v = v then restrict f v n.tru
+    else restrict f v n.fls
+
+(* both branches of [d] under the test [(f, v)], assuming [(f, v)] is
+   <= d's root test in the canonical order *)
+let branch (f, v) d =
+  match d with
+  | Leaf _ -> (d, d)
+  | Node n ->
+    if n.f = f && n.v = v then (n.tru, n.fls)
+    else if Ast.field_rank n.f = Ast.field_rank f then
+      (* same field, larger value: decided false when f = v *)
+      (restrict f v d, d)
+    else (d, d)
+
+let min_root a b =
+  match a, b with
+  | Node n, Leaf _ -> (n.f, n.v)
+  | Leaf _, Node n -> (n.f, n.v)
+  | Node n1, Node n2 ->
+    if test_compare (n1.f, n1.v) (n2.f, n2.v) <= 0 then (n1.f, n1.v)
+    else (n2.f, n2.v)
+  | Leaf _, Leaf _ -> invalid_arg "Fdd.min_root: two leaves"
+
+(* pointwise combination of two FDDs; the workhorse behind union and
+   predicate connectives. [op] combines leaves. *)
+let rec apply op a b =
+  match a, b with
+  | Leaf la, Leaf lb -> Leaf (op la lb)
+  | _ ->
+    let ((f, v) as t) = min_root a b in
+    let at, af = branch t a in
+    let bt, bf = branch t b in
+    node f v (apply op at bt) (apply op af bf)
+
+let leaf_union la lb = sort_leaf (la @ lb)
+
+let union a b = apply leaf_union a b
+
+let rec map_leaves g = function
+  | Leaf l -> Leaf (g l)
+  | Node n -> node n.f n.v (map_leaves g n.tru) (map_leaves g n.fls)
+
+(* keep answers where the test agrees with [sense], drop elsewhere *)
+let gate (f, v) sense d =
+  let tbdd =
+    if sense then Node { f; v; tru = ident; fls = drop }
+    else Node { f; v; tru = drop; fls = ident }
+  in
+  apply (fun bl l -> if bl = [] then [] else l) tbdd d
+
+(* if-then-else on FDDs whose subtrees may already test fields ranked
+   before (f, v) — the union re-threads everything into order *)
+let cond (f, v) dt df =
+  if dt = df then dt else union (gate (f, v) true dt) (gate (f, v) false df)
+
+(* run [d] on a packet already rewritten by [act]: bound fields decide
+   their tests, unbound tests persist; leaves compose behind [act] *)
+let rec seq_action act d =
+  match d with
+  | Leaf l -> Leaf (sort_leaf (List.map (compose_action act) l))
+  | Node n ->
+    (match List.assoc_opt n.f act with
+     | Some w -> seq_action act (if w = n.v then n.tru else n.fls)
+     | None -> node n.f n.v (seq_action act n.tru) (seq_action act n.fls))
+
+let rec seq a b =
+  match a with
+  | Leaf l ->
+    List.fold_left (fun acc act -> union acc (seq_action act b)) drop l
+  | Node n -> cond (n.f, n.v) (seq n.tru b) (seq n.fls b)
+
+let star_budget = 200
+
+let star d =
+  let rec fix acc i =
+    if i > star_budget then raise Star_diverged
+    else
+      let acc' = union ident (seq d acc) in
+      if acc' = acc then acc else fix acc' (i + 1)
+  in
+  fix ident 0
+
+let bool_leaf b = if b then [ [] ] else []
+
+let rec of_pred = function
+  | Ast.True -> ident
+  | Ast.False -> drop
+  | Ast.Test (f, v) -> Node { f; v; tru = ident; fls = drop }
+  | Ast.And (a, b) ->
+    apply
+      (fun x y -> bool_leaf (x <> [] && y <> []))
+      (of_pred a) (of_pred b)
+  | Ast.Or (a, b) ->
+    apply
+      (fun x y -> bool_leaf (x <> [] || y <> []))
+      (of_pred a) (of_pred b)
+  | Ast.Neg a -> map_leaves (fun l -> bool_leaf (l = [])) (of_pred a)
+
+let rec of_pol = function
+  | Ast.Filter p -> of_pred p
+  | Ast.Mod (f, v) -> Leaf [ [ (f, v) ] ]
+  | Ast.Union (p, q) -> union (of_pol p) (of_pol q)
+  | Ast.Seq (p, q) -> seq (of_pol p) (of_pol q)
+  | Ast.Star p -> star (of_pol p)
+
+let apply_action pkt act =
+  List.fold_left (fun p (f, v) -> Sem.set p f v) pkt act
+
+let rec eval_leaf d pkt =
+  match d with
+  | Leaf l -> l
+  | Node n ->
+    if Sem.get pkt n.f = n.v then eval_leaf n.tru pkt
+    else eval_leaf n.fls pkt
+
+let eval d pkt =
+  List.sort_uniq Sem.compare_packet
+    (List.map (apply_action pkt) (eval_leaf d pkt))
+
+let by_rank fs =
+  List.sort (fun a b -> compare (Ast.field_rank a) (Ast.field_rank b)) fs
+
+let test_fields d =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf _ -> ()
+    | Node n ->
+      if not (List.mem n.f !acc) then acc := n.f :: !acc;
+      go n.tru;
+      go n.fls
+  in
+  go d;
+  by_rank !acc
+
+let mod_fields d =
+  let acc = ref [] in
+  let rec go = function
+    | Leaf l ->
+      List.iter
+        (List.iter (fun (f, _) ->
+             if not (List.mem f !acc) then acc := f :: !acc))
+        l
+    | Node n ->
+      go n.tru;
+      go n.fls
+  in
+  go d;
+  by_rank !acc
+
+let paths d =
+  let acc = ref [] in
+  let rec go pos = function
+    | Leaf l -> acc := (List.rev pos, l) :: !acc
+    | Node n ->
+      go ((n.f, n.v) :: pos) n.tru;
+      go pos n.fls
+  in
+  go [] d;
+  List.rev !acc
+
+let rec size = function
+  | Leaf _ -> 0
+  | Node n -> 1 + size n.tru + size n.fls
+
+let equal (a : t) (b : t) = a = b
+
+let pp_action ppf (act : action) =
+  if act = [] then Format.fprintf ppf "id"
+  else
+    Format.fprintf ppf "%s"
+      (String.concat ","
+         (List.map
+            (fun (f, v) -> Printf.sprintf "%s:=%Ld" (Ast.field_name f) v)
+            act))
+
+let pp_leaf ppf l =
+  if l = [] then Format.fprintf ppf "drop"
+  else
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " | ")
+         pp_action)
+      l
+
+let rec pp ppf = function
+  | Leaf l -> pp_leaf ppf l
+  | Node n ->
+    Format.fprintf ppf "@[<v 2>%s=%Ld?@ %a@ : %a@]" (Ast.field_name n.f) n.v
+      pp n.tru pp n.fls

@@ -1,0 +1,76 @@
+(** Forwarding decision diagrams: the canonical normal form of policy
+    terms (the Frenetic/NetKAT local-compilation idiom).
+
+    An FDD is a binary decision diagram whose internal nodes test
+    [field = value] and whose leaves hold {e action sets}: an action
+    is a partial field assignment (last-write-wins), the empty set
+    drops, and a set with several actions is a multicast copy.
+
+    Canonical variable order: along every path tests are strictly
+    increasing by ({!Ast.field_rank}, value); the true branch of
+    [f = v] never tests [f] again (it is decided), the false branch
+    may only test [f] against larger values. Equal subtrees collapse,
+    so structural equality decides semantic equality over the tested
+    universe — union/seq/star all preserve the invariant. *)
+
+(** A partial assignment, sorted by {!Ast.field_rank}, one binding per
+    field. The empty action is the identity. *)
+type action = (Ast.field * int64) list
+
+(** A set of actions, sorted and duplicate-free. [[]] drops; [[ [] ]]
+    is the identity. *)
+type leaf = action list
+
+type t = private
+  | Leaf of leaf
+  | Node of { f : Ast.field; v : int64; tru : t; fls : t }
+
+exception Star_diverged
+
+val drop : t
+val ident : t
+val leaf : leaf -> t
+
+(** Smart node constructor: collapses equal branches. Does not
+    re-order — callers must respect the variable order (the algebra
+    operations below always do). *)
+val node : Ast.field -> int64 -> t -> t -> t
+
+(** [b over a]: compose two assignments, [b]'s bindings win. *)
+val compose_action : action -> action -> action
+
+val of_pred : Ast.pred -> t
+
+(** @raise Star_diverged when a [Star] fixpoint exceeds the iteration
+    budget (cannot happen for terms over finite constant sets; the
+    budget is a defensive bound). *)
+val of_pol : Ast.pol -> t
+
+val union : t -> t -> t
+val seq : t -> t -> t
+val star : t -> t
+
+(** Specialize to [f = v]: every test of [f] is decided. *)
+val restrict : Ast.field -> int64 -> t -> t
+
+(** Evaluate on a reference packet: walk tests, apply every action in
+    the reached leaf. Result sorted by {!Sem.compare_packet}. *)
+val eval : t -> Sem.packet -> Sem.packet list
+
+(** Fields tested anywhere, in canonical order. *)
+val test_fields : t -> Ast.field list
+
+(** Fields assigned in any leaf action, in canonical order. *)
+val mod_fields : t -> Ast.field list
+
+(** Root-to-leaf paths in priority order (true branch first): the
+    positive tests taken along the path, and the leaf. A packet
+    matches the {e first} path whose positive tests it satisfies —
+    exactly the prioritized-rule reading the table lowering uses. *)
+val paths : t -> (action * leaf) list
+
+(** Internal node count. *)
+val size : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

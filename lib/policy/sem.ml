@@ -1,0 +1,76 @@
+type packet = int64 array
+
+let nfields = List.length Ast.all_fields
+let zero () = Array.make nfields 0L
+let get (p : packet) f = p.(Ast.field_rank f)
+
+let set (p : packet) f v =
+  let q = Array.copy p in
+  q.(Ast.field_rank f) <- v;
+  q
+
+let of_list l =
+  let p = zero () in
+  List.iter (fun (f, v) -> p.(Ast.field_rank f) <- v) l;
+  p
+
+let to_list (p : packet) =
+  List.map (fun f -> (f, get p f)) Ast.all_fields
+
+let compare_packet (a : packet) (b : packet) = compare a b
+
+let pp_packet ppf p =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map
+          (fun (f, v) -> Printf.sprintf "%s=%Ld" (Ast.field_name f) v)
+          (to_list p)))
+
+let rec eval_pred pred pkt =
+  match pred with
+  | Ast.True -> true
+  | Ast.False -> false
+  | Ast.Test (f, v) -> get pkt f = v
+  | Ast.And (a, b) -> eval_pred a pkt && eval_pred b pkt
+  | Ast.Or (a, b) -> eval_pred a pkt || eval_pred b pkt
+  | Ast.Neg a -> not (eval_pred a pkt)
+
+module PSet = Set.Make (struct
+  type t = packet
+
+  let compare = compare_packet
+end)
+
+let rec eval_s pol pkt =
+  match pol with
+  | Ast.Filter p -> if eval_pred p pkt then PSet.singleton pkt else PSet.empty
+  | Ast.Mod (f, v) -> PSet.singleton (set pkt f v)
+  | Ast.Union (p, q) -> PSet.union (eval_s p pkt) (eval_s q pkt)
+  | Ast.Seq (p, q) ->
+    PSet.fold
+      (fun pkt' acc -> PSet.union (eval_s q pkt') acc)
+      (eval_s p pkt) PSet.empty
+  | Ast.Star p ->
+    (* least fixpoint of [acc = {pkt} U eval p acc]; terminates because
+       modifications assign constants, so only finitely many packets
+       are reachable from [pkt] *)
+    let rec grow acc frontier =
+      if PSet.is_empty frontier then acc
+      else
+        let next =
+          PSet.fold
+            (fun pkt' out -> PSet.union (eval_s p pkt') out)
+            frontier PSet.empty
+        in
+        let fresh = PSet.diff next acc in
+        grow (PSet.union acc fresh) fresh
+    in
+    grow (PSet.singleton pkt) (PSet.singleton pkt)
+
+let eval pol pkt = PSet.elements (eval_s pol pkt)
+
+let eval_set pol pkts =
+  PSet.elements
+    (List.fold_left
+       (fun acc pkt -> PSet.union (eval_s pol pkt) acc)
+       PSet.empty pkts)

@@ -1,0 +1,32 @@
+(** Reference denotational semantics of the policy algebra.
+
+    A policy denotes a function from one located packet to a set of
+    located packets: [Filter] keeps or kills, [Mod] rewrites one
+    field, [Union] copies through both operands, [Seq] pipes, [Star]
+    is the union of all iterates. This is the specification the
+    FDD normalization and the FlexBPF lowering are checked against
+    (the qcheck differential harness in [test_policy]). *)
+
+(** A located packet: one value per {!Ast.field}, indexed by
+    {!Ast.field_rank}. Immutable by convention — [set] copies. *)
+type packet = int64 array
+
+(** All fields zero. *)
+val zero : unit -> packet
+
+val get : packet -> Ast.field -> int64
+val set : packet -> Ast.field -> int64 -> packet
+val of_list : (Ast.field * int64) list -> packet
+val to_list : packet -> (Ast.field * int64) list
+val compare_packet : packet -> packet -> int
+val pp_packet : Format.formatter -> packet -> unit
+
+val eval_pred : Ast.pred -> packet -> bool
+
+(** The denotation, as a duplicate-free list sorted by
+    [compare_packet]. [Star] terminates on every term: modifications
+    assign constants, so the reachable packet set is finite. *)
+val eval : Ast.pol -> packet -> packet list
+
+(** [eval] over a set, unioned. *)
+val eval_set : Ast.pol -> packet list -> packet list

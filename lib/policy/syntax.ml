@@ -1,0 +1,285 @@
+type pos = { line : int; col : int }
+
+exception Parse_error of string * pos
+
+(* -- Lexer -------------------------------------------------------------- *)
+
+type token =
+  | IDENT of string
+  | INT of int64
+  | PLUS
+  | SEMI
+  | STAR
+  | ASSIGN
+  | EQ
+  | LPAREN
+  | RPAREN
+  | EOF
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT v -> Int64.to_string v
+  | PLUS -> "+"
+  | SEMI -> ";"
+  | STAR -> "*"
+  | ASSIGN -> ":="
+  | EQ -> "="
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | EOF -> "<eof>"
+
+type lexer = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_pos : pos;
+}
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let lex_error pos fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, pos))) fmt
+
+let advance lx =
+  if lx.off < String.length lx.src then begin
+    (if lx.src.[lx.off] = '\n' then begin
+       lx.line <- lx.line + 1;
+       lx.col <- 1
+     end
+     else lx.col <- lx.col + 1);
+    lx.off <- lx.off + 1
+  end
+
+let rec skip_ws lx =
+  if lx.off < String.length lx.src then
+    match lx.src.[lx.off] with
+    | ' ' | '\t' | '\r' | '\n' ->
+      advance lx;
+      skip_ws lx
+    | '#' ->
+      while lx.off < String.length lx.src && lx.src.[lx.off] <> '\n' do
+        advance lx
+      done;
+      skip_ws lx
+    | _ -> ()
+
+let scan lx =
+  skip_ws lx;
+  lx.tok_pos <- { line = lx.line; col = lx.col };
+  if lx.off >= String.length lx.src then lx.tok <- EOF
+  else
+    let c = lx.src.[lx.off] in
+    if is_digit c then begin
+      let start = lx.off in
+      while lx.off < String.length lx.src && is_digit lx.src.[lx.off] do
+        advance lx
+      done;
+      let s = String.sub lx.src start (lx.off - start) in
+      match Int64.of_string_opt s with
+      | Some v -> lx.tok <- INT v
+      | None -> lex_error lx.tok_pos "integer literal %s out of range" s
+    end
+    else if is_ident_char c then begin
+      let start = lx.off in
+      while lx.off < String.length lx.src && is_ident_char lx.src.[lx.off] do
+        advance lx
+      done;
+      lx.tok <- IDENT (String.sub lx.src start (lx.off - start))
+    end
+    else begin
+      advance lx;
+      match c with
+      | '+' -> lx.tok <- PLUS
+      | ';' -> lx.tok <- SEMI
+      | '*' -> lx.tok <- STAR
+      | '=' -> lx.tok <- EQ
+      | '(' -> lx.tok <- LPAREN
+      | ')' -> lx.tok <- RPAREN
+      | ':' ->
+        if lx.off < String.length lx.src && lx.src.[lx.off] = '=' then begin
+          advance lx;
+          lx.tok <- ASSIGN
+        end
+        else lex_error lx.tok_pos "expected ':=' after ':'"
+      | c -> lex_error lx.tok_pos "unexpected character %C" c
+    end
+
+let create src =
+  let lx =
+    { src; off = 0; line = 1; col = 1; tok = EOF;
+      tok_pos = { line = 1; col = 1 } }
+  in
+  scan lx;
+  lx
+
+let error lx fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (s, lx.tok_pos))) fmt
+
+let expect lx tok =
+  if lx.tok = tok then scan lx
+  else
+    error lx "expected %s, found %s" (token_to_string tok)
+      (token_to_string lx.tok)
+
+let expect_int lx =
+  match lx.tok with
+  | INT v ->
+    scan lx;
+    v
+  | t -> error lx "expected integer, found %s" (token_to_string t)
+
+let accept lx tok =
+  if lx.tok = tok then begin
+    scan lx;
+    true
+  end
+  else false
+
+(* -- Parser ------------------------------------------------------------- *)
+
+let field_of_ident lx s =
+  match Ast.field_of_name s with
+  | Some f -> f
+  | None -> error lx "unknown field %s" s
+
+let rec parse_pred lx =
+  let a = parse_conj lx in
+  let rec more a =
+    match lx.tok with
+    | IDENT "or" ->
+      scan lx;
+      more (Ast.Or (a, parse_conj lx))
+    | _ -> a
+  in
+  more a
+
+and parse_conj lx =
+  let a = parse_lit lx in
+  let rec more a =
+    match lx.tok with
+    | IDENT "and" ->
+      scan lx;
+      more (Ast.And (a, parse_lit lx))
+    | _ -> a
+  in
+  more a
+
+and parse_lit lx =
+  match lx.tok with
+  | IDENT "not" ->
+    scan lx;
+    Ast.Neg (parse_lit lx)
+  | IDENT "true" ->
+    scan lx;
+    Ast.True
+  | IDENT "false" ->
+    scan lx;
+    Ast.False
+  | LPAREN ->
+    scan lx;
+    let p = parse_pred lx in
+    expect lx RPAREN;
+    p
+  | IDENT s ->
+    let f = field_of_ident lx s in
+    scan lx;
+    expect lx EQ;
+    Ast.Test (f, expect_int lx)
+  | t -> error lx "expected a predicate, found %s" (token_to_string t)
+
+let rec parse_pol lx =
+  let a = parse_seq lx in
+  let rec more a =
+    if accept lx PLUS then more (Ast.Union (a, parse_seq lx)) else a
+  in
+  more a
+
+and parse_seq lx =
+  let a = parse_star lx in
+  let rec more a =
+    if accept lx SEMI then more (Ast.Seq (a, parse_star lx)) else a
+  in
+  more a
+
+and parse_star lx =
+  let a = parse_atom lx in
+  let rec more a = if accept lx STAR then more (Ast.Star a) else a in
+  more a
+
+and parse_atom lx =
+  match lx.tok with
+  | IDENT "id" ->
+    scan lx;
+    Ast.id
+  | IDENT "drop" ->
+    scan lx;
+    Ast.drop
+  | IDENT "filter" ->
+    scan lx;
+    Ast.Filter (parse_pred lx)
+  | IDENT "fwd" ->
+    scan lx;
+    Ast.Mod (Ast.Pt, expect_int lx)
+  | LPAREN ->
+    scan lx;
+    let p = parse_pol lx in
+    expect lx RPAREN;
+    p
+  | IDENT s ->
+    let f = field_of_ident lx s in
+    scan lx;
+    expect lx ASSIGN;
+    Ast.Mod (f, expect_int lx)
+  | t -> error lx "expected a policy, found %s" (token_to_string t)
+
+let parse src =
+  let lx = create src in
+  let p = parse_pol lx in
+  (match lx.tok with
+   | EOF -> ()
+   | t -> error lx "trailing input: %s" (token_to_string t));
+  p
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "line %d, col %d: %s" pos.line pos.col msg)
+
+(* -- Printer ------------------------------------------------------------ *)
+
+(* precedence levels: or = 1, and = 2, not/atom = 3 *)
+let rec pred_str level p =
+  let paren lvl s = if lvl < level then "(" ^ s ^ ")" else s in
+  match p with
+  | Ast.True -> "true"
+  | Ast.False -> "false"
+  | Ast.Test (f, v) -> Printf.sprintf "%s = %Ld" (Ast.field_name f) v
+  | Ast.Or (a, b) -> paren 1 (pred_str 1 a ^ " or " ^ pred_str 2 b)
+  | Ast.And (a, b) -> paren 2 (pred_str 2 a ^ " and " ^ pred_str 3 b)
+  | Ast.Neg a -> "not " ^ pred_str 4 a
+
+let print_pred p = pred_str 1 p
+
+(* precedence levels: union = 1, seq = 2, star = 3 *)
+let rec pol_str level p =
+  let paren lvl s = if lvl < level then "(" ^ s ^ ")" else s in
+  match p with
+  | Ast.Filter Ast.True -> "id"
+  | Ast.Filter Ast.False -> "drop"
+  | Ast.Filter pr -> paren 3 ("filter " ^ pred_str 1 pr)
+  | Ast.Mod (Ast.Pt, v) -> Printf.sprintf "fwd %Ld" v
+  | Ast.Mod (f, v) -> Printf.sprintf "%s := %Ld" (Ast.field_name f) v
+  | Ast.Union (a, b) -> paren 1 (pol_str 1 a ^ " + " ^ pol_str 2 b)
+  | Ast.Seq (a, b) -> paren 2 (pol_str 2 a ^ "; " ^ pol_str 3 b)
+  | Ast.Star a -> pol_str 4 a ^ "*"
+
+let print p = pol_str 1 p

@@ -1,0 +1,38 @@
+(** Concrete surface syntax for policies: parser and printer.
+
+    Grammar (['#'] starts a line comment):
+
+    {v
+    pol   ::= seq ('+' seq)*            union, loosest
+    seq   ::= star (';' star)*          sequence
+    star  ::= atom '*'*                 iteration, tightest
+    atom  ::= 'id' | 'drop'
+            | 'filter' pred
+            | field ':=' INT
+            | 'fwd' INT                 sugar for pt := INT
+            | '(' pol ')'
+    pred  ::= conj ('or' conj)*
+    conj  ::= lit ('and' lit)*
+    lit   ::= 'not' lit | 'true' | 'false'
+            | field '=' INT | '(' pred ')'
+    field ::= 'sw' | 'pt' | 'vlan' | 'eth.src' | 'eth.dst'
+            | 'ip.src' | 'ip.dst' | 'proto' | 'tp.src' | 'tp.dst'
+    v}
+
+    The printer emits minimal parentheses and [fwd n] for
+    [Mod (Pt, n)]; [parse (print p)] returns [p] for every term
+    ([Ast.pol] has no unprintable cases), which the qcheck round-trip
+    property pins down. *)
+
+type pos = { line : int; col : int }
+
+exception Parse_error of string * pos
+
+(** @raise Parse_error on malformed input. *)
+val parse : string -> Ast.pol
+
+(** Exception-free wrapper; the error string carries line/column. *)
+val parse_result : string -> (Ast.pol, string) result
+
+val print_pred : Ast.pred -> string
+val print : Ast.pol -> string

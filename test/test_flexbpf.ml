@@ -584,6 +584,79 @@ let test_vlan_guard () =
     ignore (Interp.run env merged outside_untagged);
     check_i64 "untagged traffic never hits tenant fw" 1L (denied ())
 
+(* -- Compose properties ------------------------------------------------- *)
+
+(* random small tenant extension for [owner]: 1-3 blocks, optionally a
+   private map, no headers or parser rules of its own *)
+let tenant_gen_of owner =
+  QCheck.Gen.map2
+    (fun nblocks with_map ->
+      let maps = if with_map then [ map_decl ~key_arity:1 ~size:32 "m" ] else [] in
+      let blk i =
+        block
+          (Printf.sprintf "b%d" i)
+          (if with_map && i = 0 then [ map_incr "m" [ field "ipv4" "src" ] ]
+           else [ set_meta "x" (const i) ])
+      in
+      program ~owner ~headers:[] ~parser:[] ~maps (owner ^ "_ext")
+        (List.init nblocks blk))
+    (QCheck.Gen.int_range 1 3)
+    QCheck.Gen.bool
+
+let tenant_print (p : Ast.program) =
+  Printf.sprintf "%s: %d blocks, %d maps" p.Ast.owner
+    (List.length p.Ast.pipeline) (List.length p.Ast.maps)
+
+let prop_compose_remove_roundtrip =
+  QCheck.Test.make ~name:"compose then remove_owner restores the base"
+    ~count:200
+    (QCheck.make ~print:tenant_print
+       QCheck.Gen.(oneofl [ "ta"; "tb"; "tc" ] >>= tenant_gen_of))
+    (fun ext ->
+      match Compose.compose ~vlan:9 ~base:base_prog ext with
+      | Error _ -> false
+      | Ok merged ->
+        let removed = Compose.remove_owner ~owner:ext.Ast.owner merged in
+        removed.Ast.pipeline = base_prog.Ast.pipeline
+        && removed.Ast.maps = base_prog.Ast.maps
+        && removed.Ast.parser = base_prog.Ast.parser
+        && removed.Ast.headers = base_prog.Ast.headers)
+
+(* removing one tenant is invisible to another, whatever the arrival
+   order: remove_owner "ta" (base . a . b) = base . b *)
+let prop_compose_removal_commutes =
+  QCheck.Test.make ~name:"tenant removal commutes with later arrivals"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (a, b) -> tenant_print a ^ " / " ^ tenant_print b)
+       (QCheck.Gen.pair (tenant_gen_of "ta") (tenant_gen_of "tb")))
+    (fun (a, b) ->
+      match Compose.compose ~base:base_prog a with
+      | Error _ -> false
+      | Ok m1 ->
+        (match Compose.compose ~base:m1 b with
+         | Error _ -> false
+         | Ok m2 ->
+           let removed_a = Compose.remove_owner ~owner:"ta" m2 in
+           (match Compose.compose ~base:base_prog b with
+            | Error _ -> false
+            | Ok only_b ->
+              removed_a.Ast.pipeline = only_b.Ast.pipeline
+              && removed_a.Ast.maps = only_b.Ast.maps
+              && removed_a.Ast.parser = only_b.Ast.parser)))
+
+let test_compose_empty_identity () =
+  let empty = program ~owner:"ta" ~headers:[] ~parser:[] "nothing" [] in
+  match Compose.compose ~base:base_prog empty with
+  | Error e -> Alcotest.failf "compose: %a" Compose.pp_composition_error e
+  | Ok merged ->
+    check "pipeline unchanged" true
+      (merged.Ast.pipeline = base_prog.Ast.pipeline);
+    check "maps unchanged" true (merged.Ast.maps = base_prog.Ast.maps);
+    check "parser unchanged" true (merged.Ast.parser = base_prog.Ast.parser);
+    check "headers unchanged" true
+      (merged.Ast.headers = base_prog.Ast.headers)
+
 let () =
   Alcotest.run "flexbpf"
     [ ( "typecheck",
@@ -641,4 +714,12 @@ let () =
           Alcotest.test_case "compose+remove" `Quick test_compose_and_remove;
           Alcotest.test_case "collision" `Quick test_compose_collision;
           Alcotest.test_case "sharable logic" `Quick test_sharable_detection;
-          Alcotest.test_case "vlan guard" `Quick test_vlan_guard ] ) ]
+          Alcotest.test_case "vlan guard" `Quick test_vlan_guard;
+          Alcotest.test_case "empty identity" `Quick
+            test_compose_empty_identity;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 0x5eed |])
+            prop_compose_remove_roundtrip;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 0x5eed |])
+            prop_compose_removal_commutes ] ) ]

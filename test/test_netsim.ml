@@ -71,6 +71,49 @@ let test_eq_empty_pop () =
     (Invalid_argument "Event_queue.pop_exn: empty queue") (fun () ->
       ignore (Netsim.Event_queue.pop_exn q : unit -> unit))
 
+(* Model-based qcheck property: under arbitrary interleavings of pushes
+   and pops — with timestamps drawn from a tiny range so duplicates are
+   the common case, and pops interleaved so the hole-sifting insert has
+   to cope with a churning array — every pop returns the pending event
+   that is minimal in (time, seq). Among equal timestamps that is FIFO
+   order, the invariant the deterministic sharded scheduler leans on. *)
+let prop_eq_interleaved_fifo =
+  QCheck.Test.make
+    ~name:"event queue: interleaved push/pop is FIFO among equal times"
+    ~count:500
+    QCheck.(list (pair (int_bound 4) bool))
+    (fun ops ->
+      let q = Netsim.Event_queue.create () in
+      let popped = ref (-1., -1) in
+      let model = ref [] in
+      (* pending (time, seq), unsorted *)
+      let seq = ref 0 in
+      let ok = ref true in
+      let do_pop () =
+        let reported = Netsim.Event_queue.min_time q in
+        (Netsim.Event_queue.pop_exn q) ();
+        let min =
+          List.fold_left Stdlib.min (List.hd !model) (List.tl !model)
+        in
+        if !popped <> min || reported <> fst min then ok := false;
+        model := List.filter (fun x -> x <> min) !model
+      in
+      List.iter
+        (fun (t, push) ->
+          if push || !model = [] then begin
+            let id = (float_of_int t, !seq) in
+            Netsim.Event_queue.push q ~time:(fst id) ~seq:!seq (fun () ->
+                popped := id);
+            model := id :: !model;
+            incr seq
+          end
+          else do_pop ())
+        ops;
+      while !model <> [] do
+        do_pop ()
+      done;
+      !ok && Netsim.Event_queue.is_empty q)
+
 (* -- Sim ----------------------------------------------------------------- *)
 
 let test_sim_clock () =
@@ -488,7 +531,10 @@ let () =
         [ Alcotest.test_case "ordering" `Quick test_eq_ordering;
           Alcotest.test_case "fifo tiebreak" `Quick test_eq_tiebreak;
           Alcotest.test_case "growth" `Quick test_eq_grows;
-          Alcotest.test_case "empty pop" `Quick test_eq_empty_pop ] );
+          Alcotest.test_case "empty pop" `Quick test_eq_empty_pop;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 0x5eed |])
+            prop_eq_interleaved_fifo ] );
       ( "sim",
         [ Alcotest.test_case "clock" `Quick test_sim_clock;
           Alcotest.test_case "past rejected" `Quick test_sim_past_rejected;
