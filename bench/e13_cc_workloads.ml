@@ -5,12 +5,15 @@
    This is the motivation for swapping CC programs live (the cc_upgrade
    example performs the swap; this experiment shows why one would).
 
-   Two workloads over the same congested path, each run under the three
-   FlexBPF CC programs (interpreted per-ACK):
+   Three workloads over the same congested path, each run under the
+   three FlexBPF CC programs (interpreted per-ACK):
    - bulk: 4 long flows — throughput-bound, the interesting metric is
      the standing queue each CC maintains at the bottleneck;
    - incast: 24 short flows at once — loss/recovery-bound, the
-     interesting metrics are completion time and retransmissions. *)
+     interesting metrics are completion time and retransmissions;
+   - zipf: 16 flows with power-law (Traffic.zipf) sizes — mice and
+     elephants mixed, the regime where the bulk and incast optima
+     pull in opposite directions. *)
 
 let congested () =
   let sim = Netsim.Sim.create () in
@@ -41,11 +44,20 @@ let run_workload cc_block workload =
   ignore (Netsim.Transport.attach stack h1 ());
   Netsim.Transport.set_cc stack h0.Netsim.Node.id
     (Apps.Congestion.to_transport_cc cc_block);
-  let n, pkts = match workload with `Bulk -> (4, 800) | `Incast -> (24, 40) in
+  let n, next_packets =
+    match workload with
+    | `Bulk -> (4, fun () -> 800)
+    | `Incast -> (24, fun () -> 40)
+    | `Zipf ->
+      (* power-law flow sizes: P(size = s) ∝ 1/s^alpha — mostly mice,
+         the occasional elephant, all from one seeded sampler *)
+      let gen = Netsim.Traffic.create ~seed:42 sim in
+      (16, Netsim.Traffic.zipf ~alpha:1.1 gen ~n:800)
+  in
   let flows =
     List.init n (fun _ ->
         Netsim.Transport.start_flow stack ~src:h0.Netsim.Node.id
-          ~dst:h1.Netsim.Node.id ~packets:pkts ())
+          ~dst:h1.Netsim.Node.id ~packets:(next_packets ()) ())
   in
   ignore (Netsim.Sim.run ~until:200. sim);
   let fct =
@@ -73,8 +85,10 @@ let run () =
       (fun (name, blk) ->
         let bulk_fct, _, bulk_q, bulk_drops = run_workload blk `Bulk in
         let incast_fct, incast_retx, _, _ = run_workload blk `Incast in
+        let zipf_fct, zipf_retx, _, _ = run_workload blk `Zipf in
         [ name; Report.ms bulk_fct; Report.f1 bulk_q; Report.i bulk_drops;
-          Report.ms incast_fct; Report.i incast_retx ])
+          Report.ms incast_fct; Report.i incast_retx; Report.ms zipf_fct;
+          Report.i zipf_retx ])
       ccs
   in
   Report.print ~id:"E13" ~title:"congestion control vs workload mix"
@@ -84,5 +98,5 @@ let run () =
        fluctuates at runtime, motivating live CC swaps (see cc_upgrade)"
     ~header:
       [ "cc-program"; "bulk-FCT(ms)"; "bulk-queue(pkts)"; "bulk-drops";
-        "incast-FCT(ms)"; "incast-retx" ]
+        "incast-FCT(ms)"; "incast-retx"; "zipf-FCT(ms)"; "zipf-retx" ]
     rows

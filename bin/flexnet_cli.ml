@@ -8,6 +8,7 @@
      plan      dry-run a patch: print the cost-annotated plan, execute nothing
      attack    run the elastic DDoS defense scenario
      migrate   run the state-migration comparison
+     tables    drive a Zipf stream through a tiered match table, dump telemetry
 
    Examples:
      dune exec bin/flexnet_cli.exe -- archs
@@ -827,6 +828,141 @@ let migrate_cmd =
     (Cmd.info "migrate" ~doc:"Compare state-migration protocols")
     Term.(const run $ const ())
 
+(* -- tables ------------------------------------------------------------- *)
+
+(* Deterministic tiered-table workload: one exact-match forwarding table
+   with N logical rules, the device tier capped at a fraction of N, a
+   seeded Zipf destination stream through the compiled fast path. The
+   point of the subcommand is to make the tier telemetry inspectable
+   without running the full E17 bench. *)
+
+let tables_cmd =
+  let rules_arg =
+    Arg.(value & opt int 1024
+         & info [ "rules" ] ~docv:"N" ~doc:"Logical rule count")
+  in
+  let capacity_arg =
+    Arg.(value & opt (some int) None
+         & info [ "capacity" ] ~docv:"C"
+             ~doc:"Device-tier capacity in rules (default: 10%% of --rules)")
+  in
+  let packets_arg =
+    Arg.(value & opt int 20_000
+         & info [ "packets" ] ~docv:"P" ~doc:"Packets to drive")
+  in
+  let alpha_arg =
+    Arg.(value & opt float 1.4
+         & info [ "alpha" ] ~docv:"A" ~doc:"Zipf skew of the workload")
+  in
+  let tables_format_arg =
+    Arg.(value & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,table) or $(b,json)")
+  in
+  let run rules cap packets alpha format =
+    let open Flexbpf.Builder in
+    let rules = Stdlib.max 2 rules in
+    let cap =
+      match cap with
+      | Some c -> Stdlib.max 1 c
+      | None -> Stdlib.max 1 (rules / 10)
+    in
+    let tbl_name = "fwd" in
+    let port_of dst = 1 + (dst mod 64) in
+    let prog =
+      program "tables" ~headers:standard_headers ~parser:standard_parser
+        [ table tbl_name
+            ~keys:[ exact (field "ipv4" "dst") ]
+            ~actions:
+              [ action "fwd" ~params:[ "port" ] [ forward (param "port") ] ]
+            ~size:rules () ]
+    in
+    let env = Flexbpf.Interp.create_env prog in
+    for dst = 1 to rules do
+      Flexbpf.Interp.install_rule env tbl_name
+        (rule ~matches:[ exact_i dst ] ~action:("fwd", [ port_of dst ]) ())
+    done;
+    Flexbpf.Interp.set_tier_capacity env tbl_name cap;
+    let compiled = Flexbpf.Compile.compile env prog in
+    let sim = Netsim.Sim.create () in
+    let gen = Netsim.Traffic.create ~seed:1717 sim in
+    let draw = Netsim.Traffic.zipf ~alpha gen ~n:rules in
+    let pkts =
+      Array.init rules (fun i ->
+          Netsim.Traffic.tcp_packet ~src:7 ~dst:(i + 1) ~sport:1234 ~dport:80
+            ~born:0. ())
+    in
+    for _ = 1 to packets do
+      ignore (Flexbpf.Compile.run compiled pkts.(draw () - 1))
+    done;
+    let stats = Flexbpf.Compile.tier_stats compiled in
+    let logical_hits =
+      Netsim.Stats.Counters.get env.Flexbpf.Interp.stats (tbl_name ^ ".hit")
+    in
+    let logical_misses =
+      Netsim.Stats.Counters.get env.Flexbpf.Interp.stats (tbl_name ^ ".miss")
+    in
+    let ratio h m =
+      if h + m = 0 then 1. else float_of_int h /. float_of_int (h + m)
+    in
+    match format with
+    | `Table ->
+      Printf.printf
+        "workload: %d logical rules, device tier %d, %d zipf(%.2f) packets\n"
+        rules cap packets alpha;
+      Printf.printf "%-8s %-10s %-10s %-10s %-10s %-10s %-9s %-9s %-9s\n"
+        "table" "capacity" "resident" "tier-hits" "tier-miss" "hit-ratio"
+        "promoted" "evicted" "demoted";
+      List.iter
+        (fun (s : Flexbpf.Compile.tier_stat) ->
+          Printf.printf "%-8s %-10d %-10d %-10d %-10d %-10.4f %-9d %-9d %-9d\n"
+            s.Flexbpf.Compile.ts_table s.Flexbpf.Compile.ts_capacity
+            s.Flexbpf.Compile.ts_resident s.Flexbpf.Compile.ts_hits
+            s.Flexbpf.Compile.ts_misses
+            (ratio s.Flexbpf.Compile.ts_hits s.Flexbpf.Compile.ts_misses)
+            s.Flexbpf.Compile.ts_promotions s.Flexbpf.Compile.ts_evictions
+            s.Flexbpf.Compile.ts_demotions)
+        stats;
+      Printf.printf
+        "logical match hits %d, misses %d (tiering never changes these)\n"
+        logical_hits logical_misses;
+      Printf.printf "planner predicted hit rate (zipf-1 model): %.4f\n"
+        (1.
+         -. Targets.Resource.predicted_miss_rate ~logical:rules ~device:cap)
+    | `Json ->
+      Printf.printf
+        "{\"rules\":%d,\"capacity\":%d,\"packets\":%d,\"alpha\":%g,\
+         \"predicted_hit_rate\":%.4f,\"logical_hits\":%d,\
+         \"logical_misses\":%d,\"tables\":[%s]}\n"
+        rules cap packets alpha
+        (1.
+         -. Targets.Resource.predicted_miss_rate ~logical:rules ~device:cap)
+        logical_hits logical_misses
+        (String.concat ","
+           (List.map
+              (fun (s : Flexbpf.Compile.tier_stat) ->
+                Printf.sprintf
+                  "{\"table\":\"%s\",\"capacity\":%d,\"resident\":%d,\
+                   \"hits\":%d,\"misses\":%d,\"hit_ratio\":%.4f,\
+                   \"promotions\":%d,\"evictions\":%d,\"demotions\":%d}"
+                  (json_escape s.Flexbpf.Compile.ts_table)
+                  s.Flexbpf.Compile.ts_capacity s.Flexbpf.Compile.ts_resident
+                  s.Flexbpf.Compile.ts_hits s.Flexbpf.Compile.ts_misses
+                  (ratio s.Flexbpf.Compile.ts_hits s.Flexbpf.Compile.ts_misses)
+                  s.Flexbpf.Compile.ts_promotions
+                  s.Flexbpf.Compile.ts_evictions
+                  s.Flexbpf.Compile.ts_demotions)
+              stats))
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:
+         "Run a seeded Zipf workload against a tiered match table and \
+          report device-tier occupancy, hit/miss ratio, and \
+          promotion/eviction counts")
+    Term.(const run $ rules_arg $ capacity_arg $ packets_arg $ alpha_arg
+          $ tables_format_arg)
+
 (* -- policy ------------------------------------------------------------- *)
 
 let pattern_str = function
@@ -999,4 +1135,4 @@ let () =
     (Cmd.eval
        (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; lint_cmd; inject_cmd;
           demo_cmd; plan_cmd; metrics_cmd; trace_cmd; attack_cmd;
-          migrate_cmd; policy_cmd ]))
+          migrate_cmd; tables_cmd; policy_cmd ]))

@@ -54,7 +54,9 @@ let place_with_gc ?(max_iterations = 4) ~path ~removable prog =
       (* Stitch the optimization prelude ahead of the installs and
          re-annotate the cost against the devices' original state. *)
       let plan =
-        Plan.v pl.Placement.pln_plan.Plan.plan_name
+        Plan.v
+          ~residency:pl.Placement.pln_plan.Plan.residency
+          pl.Placement.pln_plan.Plan.plan_name
           (List.rev !prelude @ pl.Placement.pln_plan.Plan.ops)
       in
       let deltas =

@@ -368,7 +368,10 @@ let plan_full_recompile dep new_prog =
   with
   | Error f -> Error (Placement_error f)
   | Ok pl ->
-    let plan = Plan.v "full-recompile" (rm_ops @ pl.Placement.pln_plan.Plan.ops) in
+    let plan =
+      Plan.v ~residency:pl.Placement.pln_plan.Plan.residency "full-recompile"
+        (rm_ops @ pl.Placement.pln_plan.Plan.ops)
+    in
     let touched =
       List.sort_uniq compare
         (List.map snd old_where @ List.map snd pl.Placement.pln_where)

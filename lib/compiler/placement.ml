@@ -143,10 +143,24 @@ let plan_on ?(plan_name = "deploy") ~snaps ~path (prog : Ast.program) =
   match go snaps 0 [] [] units with
   | Error f -> Error f
   | Ok (snaps, where, ops) ->
-    let plan = Plan.v plan_name ops in
     let finalized =
       List.map (fun (id, s) -> (id, Targets.Resource.finalize s)) snaps
     in
+    (* residency of tables this plan placed oversubscribed — admission
+       treats an over-capacity table as policy, not rejection, and the
+       plan carries the predicted device-tier size and miss rate *)
+    let residency =
+      List.concat_map
+        (fun (_, s) ->
+          List.filter_map
+            (fun (p : Targets.Resource.placed) ->
+              if List.mem_assoc p.Targets.Resource.pl_name where then
+                p.Targets.Resource.pl_residency
+              else None)
+            s.Targets.Resource.placed)
+        finalized
+    in
+    let plan = Plan.v ~residency plan_name ops in
     let times_of = Plan.times_of_devices path in
     let deltas = snapshot_deltas ~before ~after:finalized plan in
     Ok

@@ -28,9 +28,15 @@ type op =
   | Defragment of { device : string; moves : int }
       (* re-pack staged elements; [moves] live relocations *)
 
-type t = { plan_name : string; ops : op list }
+type t = {
+  plan_name : string;
+  ops : op list;
+  residency : Targets.Resource.residency list;
+      (* tables this plan installs oversubscribed: planned device-tier
+         size and predicted miss rate, for display and admission audit *)
+}
 
-let v name ops = { plan_name = name; ops }
+let v ?(residency = []) name ops = { plan_name = name; ops; residency }
 
 let op_device = function
   | Install { device; _ } | Remove { device; _ } | Add_parser { device; _ }
@@ -150,6 +156,11 @@ let pp_cost_check ppf ck =
 let size t = List.length t.ops
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v2>plan %s (%d ops):@ %a@]" t.plan_name (size t)
+  let over =
+    match List.length t.residency with
+    | 0 -> ""
+    | n -> Printf.sprintf ", %d oversubscribed" n
+  in
+  Fmt.pf ppf "@[<v2>plan %s (%d ops%s):@ %a@]" t.plan_name (size t) over
     Fmt.(list ~sep:cut (of_to_string op_name))
     t.ops

@@ -28,9 +28,15 @@ type op =
   | Defragment of { device : string; moves : int }
       (* re-pack staged elements; [moves] live relocations *)
 
-type t = { plan_name : string; ops : op list }
+type t = {
+  plan_name : string;
+  ops : op list;
+  residency : Targets.Resource.residency list;
+      (* tables this plan installs oversubscribed: planned device-tier
+         size and predicted miss rate *)
+}
 
-val v : string -> op list -> t
+val v : ?residency:Targets.Resource.residency list -> string -> op list -> t
 
 (** The device an op executes on (destination for moves/migrations). *)
 val op_device : op -> string

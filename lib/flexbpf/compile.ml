@@ -767,6 +767,18 @@ type index =
   | Scan of prepared array
     (* pre-sorted by (priority desc, specificity desc), stable in
        install recency — first match wins, no per-packet sort *)
+  | Tiered of {
+      td_auth : index;
+        (* the authoritative host tier: the full Hash_index/Scan over
+           every installed rule, never [Tiered] itself *)
+      td_cache : prepared option State.Tier.t;
+        (* the bounded device tier: evaluated key tuple -> memoized
+           winner of the authoritative first-match lookup. Because a
+           binding is the memoized {e result} (including [None] = the
+           default action), partial residency cannot shadow a
+           higher-priority host rule — priority semantics are exact for
+           every pattern kind, and demotion is semantically neutral. *)
+    }
 
 type ctable = {
   ct_table : table;
@@ -843,19 +855,35 @@ let build_index env (ct : ctable) =
         | c -> c)
       rules
   in
+  let auth =
+    if rules <> [] && List.for_all all_exact rules then begin
+      let h = Key_tbl.create (2 * List.length rules) in
+      (* first in sorted order wins a duplicate key tuple *)
+      List.iter
+        (fun r ->
+          let k = exact_key r in
+          if not (Key_tbl.mem h k) then
+            Key_tbl.add h k (prepare_rule ct.ct_bind r))
+        sorted;
+      Hash_index h
+    end
+    else Scan (Array.of_list (List.map (prepare_rule ct.ct_bind) sorted))
+  in
   ct.ct_index <-
-    (if rules <> [] && List.for_all all_exact rules then begin
-       let h = Key_tbl.create (2 * List.length rules) in
-       (* first in sorted order wins a duplicate key tuple *)
-       List.iter
-         (fun r ->
-           let k = exact_key r in
-           if not (Key_tbl.mem h k) then
-             Key_tbl.add h k (prepare_rule ct.ct_bind r))
-         sorted;
-       Hash_index h
-     end
-     else Scan (Array.of_list (List.map (prepare_rule ct.ct_bind) sorted)));
+    (match Interp.tier_capacity env ct.ct_table.tbl_name with
+     | Some cap ->
+       (* Any rule-set change flushes the device tier wholesale: stale
+          memoized winners (deleted rules, priority updates) cannot
+          survive a generation, and cumulative telemetry is kept. *)
+       let cache =
+         match ct.ct_index with
+         | Tiered { td_cache; _ } ->
+           State.Tier.flush ~cap td_cache;
+           td_cache
+         | Hash_index _ | Scan _ -> State.Tier.create ~cap
+       in
+       Tiered { td_auth = auth; td_cache = cache }
+     | None -> auth);
   ct.ct_gen <- env.Interp.rules_gen
 
 let compile_table env (t : table) : ctable =
@@ -884,6 +912,23 @@ let scan_match (pre : prepared) (keys : int64 array) =
   in
   go 0
 
+let probe_scan (arr : prepared array) (keys : int64 array) =
+  let len = Array.length arr in
+  let rec first i =
+    if i >= len then None
+    else if scan_match arr.(i) keys then Some arr.(i)
+    else first (i + 1)
+  in
+  first 0
+
+(* Authoritative (host-tier) probe: evaluated keys as both the tuple
+   list (hash probe) and the scratch array (scan). *)
+let probe_auth auth klist keys =
+  match auth with
+  | Hash_index h -> Key_tbl.find_opt h klist
+  | Scan arr -> probe_scan arr keys
+  | Tiered _ -> assert false (* td_auth is never itself tiered *)
+
 let exec_ctable env (ct : ctable) pkt verdict =
   if ct.ct_gen <> env.Interp.rules_gen then build_index env ct;
   (* key expressions are always evaluated, rules installed or not — a
@@ -896,13 +941,33 @@ let exec_ctable env (ct : ctable) pkt verdict =
       for i = 0 to Array.length ct.ct_keys - 1 do
         keys.(i) <- ct.ct_keys.(i) pkt no_args
       done;
-      let len = Array.length arr in
-      let rec first i =
-        if i >= len then None
-        else if scan_match arr.(i) keys then Some arr.(i)
-        else first (i + 1)
-      in
-      first 0
+      probe_scan arr keys
+    | Tiered { td_auth; td_cache } ->
+      (* evaluate each key expression exactly once — key evaluation may
+         touch maps (LRU ticks), observable through State semantics *)
+      let keys = ct.ct_scratch in
+      for i = 0 to Array.length ct.ct_keys - 1 do
+        keys.(i) <- ct.ct_keys.(i) pkt no_args
+      done;
+      let klist = Array.to_list keys in
+      (match State.Tier.find td_cache klist with
+       | Some memo -> memo (* device-tier hit *)
+       | None ->
+         (* device-tier fault: the authoritative lookup serves the
+            packet (slow path), and the binding is demand-paged in
+            through the runtime's hook. The commit closure re-checks
+            the generation and index identity so a promotion that lands
+            after a rule change (async dRPC) is dropped, not applied
+            stale. *)
+         let winner = probe_auth td_auth klist keys in
+         let gen = ct.ct_gen in
+         env.Interp.page_in ct.ct_table.tbl_name klist (fun () ->
+             if ct.ct_gen = gen && env.Interp.rules_gen = gen then
+               match ct.ct_index with
+               | Tiered { td_cache = c; _ } when c == td_cache ->
+                 State.Tier.promote c klist winner
+               | _ -> ());
+         winner)
   in
   match selected with
   | Some pre ->
@@ -1026,3 +1091,75 @@ let run (t : t) pkt : Interp.result =
       verdict.Interp.dropped <- true;
       { Interp.verdict; parse_ok = true; runtime_error = Some msg }
   end
+
+(* -- Tier introspection (off the packet path) -------------------------- *)
+
+type tier_stat = {
+  ts_table : string;
+  ts_capacity : int;
+  ts_resident : int;
+  ts_hits : int;
+  ts_misses : int;
+  ts_promotions : int;
+  ts_evictions : int;
+  ts_demotions : int;
+}
+
+(* Stats and warm-start act on current indexes, so bring stale ones up
+   to the environment's generation first (exactly what the next packet
+   would do). *)
+let refresh_indexes t =
+  Array.iter
+    (function
+      | C_table ct when ct.ct_gen <> t.c_env.Interp.rules_gen ->
+        build_index t.c_env ct
+      | _ -> ())
+    t.c_pipeline
+
+let find_ctable t name =
+  let rec go i =
+    if i >= Array.length t.c_pipeline then None
+    else
+      match t.c_pipeline.(i) with
+      | C_table ct when String.equal ct.ct_table.tbl_name name -> Some ct
+      | _ -> go (i + 1)
+  in
+  go 0
+
+let tier_stats t =
+  refresh_indexes t;
+  Array.to_list t.c_pipeline
+  |> List.filter_map (function
+       | C_table { ct_table; ct_index = Tiered { td_cache = c; _ }; _ } ->
+         Some
+           { ts_table = ct_table.tbl_name;
+             ts_capacity = State.Tier.capacity c;
+             ts_resident = State.Tier.resident c;
+             ts_hits = State.Tier.hits c;
+             ts_misses = State.Tier.misses c;
+             ts_promotions = State.Tier.promotions c;
+             ts_evictions = State.Tier.evictions c;
+             ts_demotions = State.Tier.demotions c }
+       | _ -> None)
+
+let tier_resident_keys t name =
+  refresh_indexes t;
+  match find_ctable t name with
+  | Some { ct_index = Tiered { td_cache; _ }; _ } -> State.Tier.keys td_cache
+  | _ -> []
+
+(** Pre-fault [keys] into [name]'s device tier (migration warm start):
+    each key's binding is resolved against the authoritative tier and
+    promoted, without touching hit/miss telemetry of the packet path.
+    Keys whose arity does not match the table are skipped. *)
+let warm_table t name keys =
+  refresh_indexes t;
+  match find_ctable t name with
+  | Some ({ ct_index = Tiered { td_auth; td_cache }; _ } as ct) ->
+    let arity = Array.length ct.ct_keys in
+    List.iter
+      (fun k ->
+        if List.length k = arity && not (State.Tier.mem td_cache k) then
+          State.Tier.promote td_cache k (probe_auth td_auth k (Array.of_list k)))
+      keys
+  | _ -> ()

@@ -42,3 +42,40 @@ val env : t -> Interp.env
 (** Run the compiled program on one packet: parser gate, then the
     pipeline in order. Semantics identical to [Interp.run env prog]. *)
 val run : t -> Netsim.Packet.t -> Interp.result
+
+(** {2 Tiered match tables}
+
+    A table whose [Interp.env.tier_caps] entry bounds its device tier
+    executes through a two-tier index: a bounded key-tuple → memoized
+    winner cache ([State.Tier]) in front of the authoritative
+    per-generation index. A device-tier fault is served by the
+    authoritative lookup (same result, slower) and demand-paged in
+    through [Interp.env.page_in]. Because bindings memoize full
+    first-match {e results} (including "no match" = default action),
+    residency never affects semantics — only latency — and any
+    generation bump flushes the tier. *)
+
+(** Cumulative device-tier telemetry of one tiered table. *)
+type tier_stat = {
+  ts_table : string;
+  ts_capacity : int; (* device-tier bound, rules *)
+  ts_resident : int; (* currently cached bindings *)
+  ts_hits : int; (* lookups served by the device tier *)
+  ts_misses : int; (* faults escalated to the host tier *)
+  ts_promotions : int;
+  ts_evictions : int; (* LRU victims demoted under pressure *)
+  ts_demotions : int; (* evictions + invalidation/flush drops *)
+}
+
+(** Telemetry of every tiered table in pipeline order (empty when no
+    table is tiered). Refreshes stale indexes first. *)
+val tier_stats : t -> tier_stat list
+
+(** Resident hot-key set of [table]'s device tier — the warm-start
+    payload carried by migration. Empty when the table is not tiered. *)
+val tier_resident_keys : t -> string -> State.key list
+
+(** Pre-fault [keys] into [table]'s device tier (migration warm
+    start) without touching hit/miss telemetry. No-op on untired
+    tables; keys of the wrong arity are skipped. *)
+val warm_table : t -> string -> State.key list -> unit

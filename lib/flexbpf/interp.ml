@@ -22,6 +22,20 @@ type env = {
   mutable now_us : int64; (* virtual time, set by the device before exec *)
   mutable punt : string -> Netsim.Packet.t -> unit;
   mutable drpc : string -> int64 list -> int64;
+  tier_caps : (string, int) Hashtbl.t;
+      (* table -> device-tier capacity (rules). Absent: the table's
+         whole rule set is device-resident (today's flat store). The
+         compiled fast path (Compile) tiers its rule index accordingly;
+         this reference interpreter ignores it — it IS the unbounded
+         host tier. *)
+  mutable page_in : string -> State.key -> (unit -> unit) -> unit;
+      (* demand-paging hook: [page_in table key commit] asks the
+         runtime to fault [key]'s binding into [table]'s device tier;
+         calling [commit] performs the promotion. The default commits
+         immediately (deterministic, no runtime); [Runtime.Drpc]
+         rebinds it so promotion rides the dRPC timeout/backoff
+         machinery — a dropped page means no promotion, never a wrong
+         result. *)
   mutable stats : Netsim.Stats.Counters.t;
   mutable work : int;
       (* cumulative executed work units, on the [Analysis.stmt_cost]
@@ -47,6 +61,8 @@ let create_env ?(default_encoding = State.Stateful_table) (prog : program) =
   { maps; rules; tables; rules_gen = 0; maps_gen = 0; now_us = 0L;
     punt = (fun _ _ -> ());
     drpc = (fun _ _ -> 0L);
+    tier_caps = Hashtbl.create 4;
+    page_in = (fun _ _ commit -> commit ());
     stats = Netsim.Stats.Counters.create (); work = 0 }
 
 let env_map env name =
@@ -94,6 +110,16 @@ let remove_rules env table pred =
 
 let table_rules env table =
   Option.value (Hashtbl.find_opt env.rules table) ~default:[]
+
+(** Bound [table]'s device tier to [cap] rules ([cap <= 0] restores the
+    unbounded flat store). Bumps [rules_gen] so the compiled fast path
+    rebuilds the table's index under the new residency. *)
+let set_tier_capacity env table cap =
+  if cap <= 0 then Hashtbl.remove env.tier_caps table
+  else Hashtbl.replace env.tier_caps table cap;
+  env.rules_gen <- env.rules_gen + 1
+
+let tier_capacity env table = Hashtbl.find_opt env.tier_caps table
 
 (** Outcome of running a pipeline on one packet. [Forward]/[Drop] do not
     short-circuit (P4 semantics: later elements may override). *)

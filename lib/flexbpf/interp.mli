@@ -24,6 +24,15 @@ type env = {
   mutable now_us : int64; (* virtual time, set by the device before exec *)
   mutable punt : string -> Netsim.Packet.t -> unit;
   mutable drpc : string -> int64 list -> int64;
+  tier_caps : (string, int) Hashtbl.t;
+      (* table -> device-tier capacity in rules; absent = unbounded
+         flat store. Only the compiled fast path tiers its index — the
+         interpreter is the authoritative (host-tier) reference. *)
+  mutable page_in : string -> State.key -> (unit -> unit) -> unit;
+      (* demand-paging hook: [page_in table key commit]; [commit]
+         performs the promotion into the device tier. Defaults to an
+         immediate commit; [Runtime.Drpc.bind_paging] reroutes it over
+         dRPC so drops delay promotion, never correctness. *)
   mutable stats : Netsim.Stats.Counters.t;
   mutable work : int;
       (* cumulative executed work units on the [Analysis.stmt_cost]
@@ -59,6 +68,13 @@ val install_rule : env -> string -> Ast.rule -> unit
 
 val remove_rules : env -> string -> (Ast.rule -> bool) -> unit
 val table_rules : env -> string -> Ast.rule list
+
+(** Bound [table]'s device tier to [cap] rules; [cap <= 0] restores the
+    unbounded flat store. Bumps [rules_gen] so compiled indexes rebuild
+    under the new residency. *)
+val set_tier_capacity : env -> string -> int -> unit
+
+val tier_capacity : env -> string -> int option
 
 (** Outcome of running a pipeline on one packet. [Drop] is sticky:
     once set, later forwards cannot resurrect the packet. *)

@@ -250,3 +250,95 @@ let clear t =
     destination copy. *)
 let merge_add t snap =
   List.iter (fun (k, v) -> ignore (incr t k v)) snap.snap_entries
+
+(* -- Device-tier cache (tiered match tables) -------------------------- *)
+
+(** Bounded on-device tier of a virtualized match table: a key-tuple →
+    binding cache with LRU demotion, the Synapse-style "hot rules
+    on-device, the rest in a host tier" split. The cache is policy-free
+    about what it stores ([Compile] memoizes full first-match lookup
+    {e results}, so priority semantics cannot be violated by partial
+    residency); this module only owns bounded residency, LRU victim
+    selection via the same touch-tick scheme as [st_store], and the
+    tier telemetry (hits/misses/promotions/evictions/demotions). *)
+module Tier = struct
+  type 'a cell = { mutable tv : 'a; mutable tt : int (* last-touch tick *) }
+
+  type 'a t = {
+    tc_tbl : 'a cell KH.t;
+    mutable tc_cap : int;
+    mutable tc_tick : int;
+    mutable tc_hits : int;
+    mutable tc_misses : int;
+    mutable tc_promotions : int;
+    mutable tc_evictions : int;
+    mutable tc_demotions : int;
+  }
+
+  let create ~cap =
+    { tc_tbl = KH.create (max 1 cap); tc_cap = max 1 cap; tc_tick = 0;
+      tc_hits = 0; tc_misses = 0; tc_promotions = 0; tc_evictions = 0;
+      tc_demotions = 0 }
+
+  let capacity t = t.tc_cap
+  let resident t = KH.length t.tc_tbl
+  let hits t = t.tc_hits
+  let misses t = t.tc_misses
+  let promotions t = t.tc_promotions
+  let evictions t = t.tc_evictions
+  let demotions t = t.tc_demotions
+
+  let find t key =
+    match KH.find t.tc_tbl key with
+    | c ->
+      t.tc_hits <- t.tc_hits + 1;
+      t.tc_tick <- t.tc_tick + 1;
+      c.tt <- t.tc_tick;
+      Some c.tv
+    | exception Not_found ->
+      t.tc_misses <- t.tc_misses + 1;
+      None
+
+  let mem t key = KH.mem t.tc_tbl key
+
+  let evict_lru t =
+    let victim =
+      KH.fold
+        (fun k (c : _ cell) acc ->
+          match acc with
+          | Some (_, best) when best <= c.tt -> acc
+          | _ -> Some (k, c.tt))
+        t.tc_tbl None
+    in
+    match victim with
+    | Some (k, _) ->
+      KH.remove t.tc_tbl k;
+      t.tc_evictions <- t.tc_evictions + 1;
+      t.tc_demotions <- t.tc_demotions + 1
+    | None -> ()
+
+  let promote t key v =
+    match KH.find t.tc_tbl key with
+    | c ->
+      t.tc_tick <- t.tc_tick + 1;
+      c.tt <- t.tc_tick;
+      c.tv <- v
+    | exception Not_found ->
+      if KH.length t.tc_tbl >= t.tc_cap then evict_lru t;
+      t.tc_tick <- t.tc_tick + 1;
+      KH.replace t.tc_tbl key { tv = v; tt = t.tc_tick };
+      t.tc_promotions <- t.tc_promotions + 1
+
+  let demote t key =
+    if KH.mem t.tc_tbl key then begin
+      KH.remove t.tc_tbl key;
+      t.tc_demotions <- t.tc_demotions + 1
+    end
+
+  let flush ?cap t =
+    t.tc_demotions <- t.tc_demotions + KH.length t.tc_tbl;
+    KH.reset t.tc_tbl;
+    match cap with Some c -> t.tc_cap <- max 1 c | None -> ()
+
+  let keys t = KH.fold (fun k _ acc -> k :: acc) t.tc_tbl []
+end

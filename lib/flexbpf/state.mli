@@ -69,3 +69,49 @@ val clear : t -> unit
 (** Fold a snapshot in by summing values — used by the data-plane
     migration protocol for in-flight updates. *)
 val merge_add : t -> snapshot -> unit
+
+(** Bounded on-device tier of a virtualized match table (tiered match
+    tables): a key-tuple → binding cache with LRU demotion. The cache
+    is policy-free about what it stores — [Compile] memoizes full
+    first-match lookup {e results}, so priority semantics cannot be
+    violated by partial residency. Owns the tier telemetry
+    (hits/misses/promotions/evictions/demotions); eviction = LRU victim
+    demoted under capacity pressure, demotion additionally counts
+    explicit invalidations and flushes. *)
+module Tier : sig
+  type 'a t
+
+  (** [cap] is clamped to at least 1. *)
+  val create : cap:int -> 'a t
+
+  val capacity : 'a t -> int
+
+  (** Resident binding count (≤ capacity). *)
+  val resident : 'a t -> int
+
+  val hits : 'a t -> int
+  val misses : 'a t -> int
+  val promotions : 'a t -> int
+  val evictions : 'a t -> int
+  val demotions : 'a t -> int
+
+  (** Probe the device tier; a hit refreshes the binding's LRU rank.
+      Bumps the hit/miss telemetry. *)
+  val find : 'a t -> key -> 'a option
+
+  val mem : 'a t -> key -> bool
+
+  (** Install (or refresh) a binding, demoting the LRU victim when the
+      tier is full. *)
+  val promote : 'a t -> key -> 'a -> unit
+
+  (** Drop one binding (rule deletion / priority-update hygiene). *)
+  val demote : 'a t -> key -> unit
+
+  (** Drop every binding — generation change or residency replan —
+      keeping cumulative telemetry; [cap] resizes the tier. *)
+  val flush : ?cap:int -> 'a t -> unit
+
+  (** Resident keys, unordered — the hot set carried by migration. *)
+  val keys : 'a t -> key list
+end

@@ -24,6 +24,30 @@ let pareto t ~alpha ~xmin ~xmax =
   let x = (-.((u *. ha) -. u *. la -. ha) /. (ha *. la)) ** (-1. /. alpha) in
   Float.min xmax (Float.max xmin x)
 
+(** Zipf-distributed rank sampler over [1, n]: rank r is drawn with
+    probability proportional to 1/r^alpha — the canonical skewed
+    popularity law for flow/rule reference streams. The normalizing
+    CDF is precomputed once; each draw is one RNG call plus a binary
+    search, and determinism follows from the seeded [t.rng]. *)
+let zipf ?(alpha = 1.1) t ~n =
+  let n = Stdlib.max 1 n in
+  let cdf = Array.make n 0. in
+  let total = ref 0. in
+  for r = 0 to n - 1 do
+    total := !total +. (1. /. (float_of_int (r + 1) ** alpha));
+    cdf.(r) <- !total
+  done;
+  let total = !total in
+  fun () ->
+    let u = Random.State.float t.rng total in
+    (* smallest rank whose cumulative mass covers u *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cdf.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo + 1
+
 (** Constant bit rate: [rate_pps] packets per second in [start, stop). *)
 let cbr t ~rate_pps ~start ~stop ~send =
   let interval = 1. /. rate_pps in

@@ -16,6 +16,14 @@ val exponential : t -> mean:float -> float
 (** Bounded Pareto, the canonical heavy-tailed flow-size model. *)
 val pareto : t -> alpha:float -> xmin:float -> xmax:float -> float
 
+(** [zipf ?alpha t ~n] precomputes a Zipf(alpha) sampler over ranks
+    [1, n] (probability of rank r proportional to 1/r^alpha; [alpha]
+    defaults to 1.1): the skewed popularity law driving the
+    tiered-table (E17) and heavy-hitter workloads. Each call of the
+    returned thunk draws one rank from the seeded RNG, so streams are
+    reproducible. *)
+val zipf : ?alpha:float -> t -> n:int -> unit -> int
+
 (** Constant bit rate: [rate_pps] sends/second in [start, stop). *)
 val cbr :
   t -> rate_pps:float -> start:float -> stop:float -> send:(unit -> unit) ->

@@ -158,6 +158,44 @@ let invoke_controlplane t ?timeout ?(max_retries = 3) name args ~k =
 let bind_device t device =
   (Targets.Device.env device).Flexbpf.Interp.drpc <- invoke_inline t
 
+(** The well-known demand-paging service: a tiered table's device-tier
+    fault ships the faulted key to the host tier and the promotion
+    commits when the page RPC completes. The handler is a pure ack —
+    the authoritative binding already lives in the device's [Interp]
+    environment; what rides the fabric (and what faults can drop) is
+    the {e promotion}, never the lookup result. *)
+let page_service = "tier.page"
+
+(** Route [device]'s demand paging ([Interp.env.page_in]) through this
+    registry's async machinery: each device-tier fault becomes a
+    "tier.page" data-plane invocation with the standard
+    timeout/backoff/retry loop, wrapped in a [table.fault] span. A
+    dropped page (fault-injected dRPC window) means the commit never
+    fires — lookups keep being served by the host tier, slower but
+    never wrong — and "table.faults" / "table.fault_drops" count both
+    outcomes in the unified registry. *)
+let bind_paging ?(latency = 20e-6) ?timeout ?max_retries t device =
+  if not (Hashtbl.mem t.services page_service) then
+    register t ~dataplane_latency:latency page_service (fun _ -> 1L);
+  let env = Targets.Device.env device in
+  let dev_id = Targets.Device.id device in
+  env.Flexbpf.Interp.page_in <-
+    (fun table key commit ->
+      let span =
+        Obs.Trace.start (tracer t) "table.fault"
+          ~attrs:
+            [ ("table", Obs.Trace.S table);
+              ("device", Obs.Trace.S dev_id);
+              ("key_arity", Obs.Trace.I (List.length key)) ]
+      in
+      Netsim.Stats.Counters.incr t.stats "table.faults";
+      invoke_dataplane t ?timeout ?max_retries page_service key ~k:(fun res ->
+          let ok = res <> None in
+          if ok then commit ()
+          else Netsim.Stats.Counters.incr t.stats "table.fault_drops";
+          Obs.Trace.finish (tracer t) span
+            ~attrs:[ ("ok", Obs.Trace.B ok) ]))
+
 let dp_invocations t = !(t.dp_invocations)
 let cp_invocations t = !(t.cp_invocations)
 

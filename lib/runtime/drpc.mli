@@ -58,6 +58,20 @@ val invoke_controlplane :
     environment. *)
 val bind_device : t -> Targets.Device.t -> unit
 
+(** Name of the demand-paging service registered by [bind_paging]. *)
+val page_service : string
+
+(** Route [device]'s tiered-table demand paging
+    ([Flexbpf.Interp.env.page_in]) through this registry: each
+    device-tier fault becomes a "tier.page" data-plane invocation under
+    the standard timeout/backoff/retry machinery, traced as a
+    [table.fault] span and counted as "table.faults" /
+    "table.fault_drops". A dropped page delays promotion — host-tier
+    lookups keep serving, slower but never wrong. *)
+val bind_paging :
+  ?latency:float -> ?timeout:float -> ?max_retries:int -> t ->
+  Targets.Device.t -> unit
+
 val dp_invocations : t -> int
 val cp_invocations : t -> int
 

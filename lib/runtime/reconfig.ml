@@ -50,20 +50,44 @@ let wired_for wireds dev_id =
     (fun w -> Targets.Device.id w.Wiring.device = dev_id)
     wireds
 
+(* Devices whose structural state an op mutates (state migration only
+   copies map contents; it needs no two-version window). *)
+let structural_op_devices = function
+  | Compiler.Plan.Migrate_state _ -> []
+  | Compiler.Plan.Move { from_device; to_device; _ } ->
+    [ from_device; to_device ]
+  | op -> [ Compiler.Plan.op_device op ]
+
 (* Serial op time per wired device in the plan (ops on devices outside
    the wired set — host stacks — are free here, as before; the cost
-   model itself lives in [Compiler.Plan.times_of_devices]). *)
+   model itself lives in [Compiler.Plan.times_of_devices]). Every
+   structurally-touched wired device appears in the result even when
+   the op's cost is charged elsewhere — a Move's source performs an
+   uninstall inside the same window whose time is billed to the
+   destination, but it still needs its own freeze/ack entry so a crash
+   rolls it back too. *)
 let per_device_times plan wireds =
   let devices = List.map (fun w -> w.Wiring.device) wireds in
   let wired_ids = List.map Targets.Device.id devices in
   let wired_ops =
     List.filter
-      (fun op -> List.mem (Compiler.Plan.op_device op) wired_ids)
+      (fun op ->
+        List.exists
+          (fun d -> List.mem d wired_ids)
+          (Compiler.Plan.op_device op :: structural_op_devices op))
       plan.Compiler.Plan.ops
   in
-  Compiler.Plan.per_device_times
-    ~times_of:(Compiler.Plan.times_of_devices devices)
-    { plan with Compiler.Plan.ops = wired_ops }
+  let times =
+    Compiler.Plan.per_device_times
+      ~times_of:(Compiler.Plan.times_of_devices devices)
+      { plan with Compiler.Plan.ops = wired_ops }
+  in
+  List.fold_left
+    (fun acc d ->
+      if List.mem_assoc d acc || not (List.mem d wired_ids) then acc
+      else (d, 0.) :: acc)
+    times
+    (List.sort_uniq compare (List.concat_map structural_op_devices wired_ops))
 
 (** Execute [plan] starting now. [apply] performs the device mutations
     immediately (under freeze); visibility and loss follow the mode's
@@ -285,9 +309,34 @@ let apply_op devices op =
         Result.bind (dev to_device) (fun dst ->
             let name = Ast.element_name element in
             let carried = snapshot_maps src element in
+            (* both tiers travel with a table: the authoritative host-
+               tier rule set, and (best-effort) the resident hot-key set
+               of the device tier so the destination starts warm.
+               Captured before the uninstall, replayed after the
+               install — invisible to traffic until the thaw. *)
+            let rules, hot =
+              match element with
+              | Ast.Table tbl ->
+                ( Interp.table_rules (Targets.Device.env src) tbl.Ast.tbl_name,
+                  Targets.Device.tier_resident_keys src tbl.Ast.tbl_name )
+              | Ast.Block _ -> ([], [])
+            in
             ignore (Targets.Device.uninstall src name);
             match Targets.Device.install dst ~ctx ~order element with
-            | Ok _ -> restore_maps dst carried; Ok ()
+            | Ok _ ->
+              restore_maps dst carried;
+              (match element with
+               | Ast.Table tbl ->
+                 let tname = tbl.Ast.tbl_name in
+                 let dst_env = Targets.Device.env dst in
+                 (* rule storage is newest-first: replay oldest-first to
+                    preserve install order and first-match semantics *)
+                 List.iter
+                   (fun r -> Interp.install_rule dst_env tname r)
+                   (List.rev rules);
+                 if hot <> [] then Targets.Device.warm_tier dst tname hot
+               | Ast.Block _ -> ());
+              Ok ()
             | Error r ->
               Error
                 (Printf.sprintf "move %s to %s: %s" name to_device
@@ -331,14 +380,6 @@ let apply_ops devices plan =
       (match apply_op devices op with Ok () -> go rest | Error e -> Error e)
   in
   go plan.Compiler.Plan.ops
-
-(* Devices whose structural state an op mutates (state migration only
-   copies map contents; it needs no two-version window). *)
-let structural_op_devices = function
-  | Compiler.Plan.Migrate_state _ -> []
-  | Compiler.Plan.Move { from_device; to_device; _ } ->
-    [ from_device; to_device ]
-  | op -> [ Compiler.Plan.op_device op ]
 
 (** Untimed plan execution: freeze the touched devices (those not
     already inside a caller-held window), interpret the ops, thaw. An

@@ -23,6 +23,8 @@ type installed = {
   inst_owner : string;
   demand : Resource.t;
   maps_charged : (string * int) list; (* map name, bytes charged here *)
+  residency : Resource.residency option;
+      (* oversubscribed table: bounded device tier over a host tier *)
   mutable slot : slot;
   order : int;
   mutable active : bool; (* controller-maintained "in use" bit *)
@@ -91,6 +93,7 @@ and checkpoint = {
   ck_map_refs : (string * int) list;
   ck_env_maps : string list; (* env map names present at freeze *)
   ck_env_tables : string list; (* registered table names at freeze *)
+  ck_tier_caps : (string * int) list; (* device-tier bounds at freeze *)
   ck_version : int;
 }
 
@@ -183,7 +186,7 @@ let snapshot t : Resource.snapshot =
         (fun i ->
           { Resource.pl_name = Ast.element_name i.inst_element;
             pl_order = i.order; pl_slot = i.slot; pl_demand = i.demand;
-            pl_element = i.inst_element })
+            pl_element = i.inst_element; pl_residency = i.residency })
         t.elements;
     parser_rules = List.map (fun r -> r.Ast.pr_name) t.parser;
     map_refs =
@@ -328,8 +331,17 @@ let install t ~(ctx : Ast.program) ~order element =
   let snap = snapshot t in
   match Resource.admit snap ~ctx ~order element with
   | Error _ as e -> e
-  | Ok (slot, _predicted) ->
-    let demand, new_maps = Resource.element_demand snap ~ctx element in
+  | Ok (slot, admitted) ->
+    (* the placed entry in the admitted snapshot is authoritative: for
+       an oversubscribed table its demand is already clamped to the
+       device tier and it carries the residency — recomputing the raw
+       demand here would diverge from the planner's model *)
+    let entry =
+      Option.get (Resource.find_placed admitted (Ast.element_name element))
+    in
+    let demand = entry.Resource.pl_demand in
+    let residency = entry.Resource.pl_residency in
+    let _, new_maps = Resource.element_demand snap ~ctx element in
     (match merge_parser t ctx with
      | Error e -> Error e (* unreachable: [admit] checked the capacity *)
      | Ok () ->
@@ -337,11 +349,19 @@ let install t ~(ctx : Ast.program) ~order element =
        merge_headers t ctx;
        instantiate_maps t ctx element;
        (match element with
-        | Ast.Table tbl -> Interp.register_table t.env tbl
+        | Ast.Table tbl ->
+          Interp.register_table t.env tbl;
+          (match residency with
+           | Some r ->
+             Interp.set_tier_capacity t.env tbl.Ast.tbl_name
+               r.Resource.res_device_rules
+           | None ->
+             if Interp.tier_capacity t.env tbl.Ast.tbl_name <> None then
+               Interp.set_tier_capacity t.env tbl.Ast.tbl_name 0)
         | Ast.Block _ -> ());
        let inst =
          { inst_element = element; inst_owner = ctx.owner; demand;
-           maps_charged = new_maps; slot; order; active = true }
+           maps_charged = new_maps; residency; slot; order; active = true }
        in
        t.elements <-
          List.sort (fun a b -> compare a.order b.order) (inst :: t.elements);
@@ -376,7 +396,16 @@ let uninstall t name =
     t.elements <- List.filter (fun i -> i != inst) t.elements;
     (match inst.inst_element with
      | Ast.Table tbl ->
-       defer t (fun () -> Interp.unregister_table t.env tbl.Ast.tbl_name)
+       let tname = tbl.Ast.tbl_name in
+       defer t (fun () ->
+           (* skip when an element of that name was (re)installed during
+              the window — its registration, rules, and tier bound must
+              survive the thaw *)
+           if find_installed t tname = None then begin
+             Interp.unregister_table t.env tname;
+             if Interp.tier_capacity t.env tname <> None then
+               Interp.set_tier_capacity t.env tname 0
+           end)
      | Ast.Block _ -> ());
     rebuild_program t;
     true
@@ -488,6 +517,9 @@ let freeze t =
             Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.map_refs [];
           ck_env_maps = hashtbl_keys t.env.Interp.maps;
           ck_env_tables = hashtbl_keys t.env.Interp.tables;
+          ck_tier_caps =
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc)
+              t.env.Interp.tier_caps [];
           ck_version = t.version }
   end
 
@@ -538,6 +570,18 @@ let rollback t =
         if not (List.mem name ck.ck_env_tables) then
           Interp.unregister_table t.env name)
       (hashtbl_keys t.env.Interp.tables);
+    (* tier bounds changed by the aborted update are restored too —
+       both tiers obey old-XOR-new *)
+    List.iter
+      (fun name ->
+        if not (List.mem_assoc name ck.ck_tier_caps) then
+          Interp.set_tier_capacity t.env name 0)
+      (hashtbl_keys t.env.Interp.tier_caps);
+    List.iter
+      (fun (name, cap) ->
+        if Interp.tier_capacity t.env name <> Some cap then
+          Interp.set_tier_capacity t.env name cap)
+      ck.ck_tier_caps;
     (* deferred cleanups belong to the aborted new version: the old
        program's maps/tables were never actually removed, so dropping
        the cleanups restores them fully *)
@@ -619,6 +663,40 @@ let exec t ~now_us pkt =
 (** Per-packet processing latency of the currently installed program. *)
 let latency_ns t =
   Arch.latency_ns t.profile ~cycles:(Analysis.max_cycles (program t))
+
+(* -- Tiered-table introspection ---------------------------------------- *)
+
+let tier_stats t = Compile.tier_stats (compiled_program t)
+
+let tier_resident_keys t name =
+  Compile.tier_resident_keys (compiled_program t) name
+
+let warm_tier t name keys = Compile.warm_table (compiled_program t) name keys
+
+(** Push the device-tier telemetry of every tiered table into the
+    attached scope as gauges labelled (device, table). No-op when no
+    scope is wired or no table is tiered. *)
+let publish_tier_metrics t =
+  match t.obs_scope with
+  | None -> ()
+  | Some scope ->
+    let m = Obs.Scope.metrics scope in
+    List.iter
+      (fun (s : Compile.tier_stat) ->
+        let labels =
+          ("device", t.dev_id) :: ("table", s.Compile.ts_table) :: t.obs_labels
+        in
+        let gauge name v =
+          Obs.Metrics.set_gauge m ~labels name (float_of_int v)
+        in
+        gauge "table.capacity" s.Compile.ts_capacity;
+        gauge "table.resident" s.Compile.ts_resident;
+        gauge "table.hits" s.Compile.ts_hits;
+        gauge "table.misses" s.Compile.ts_misses;
+        gauge "table.promotions" s.Compile.ts_promotions;
+        gauge "table.evictions" s.Compile.ts_evictions;
+        gauge "table.demotions" s.Compile.ts_demotions)
+      (tier_stats t)
 
 (* -- Utilization / energy --------------------------------------------- *)
 

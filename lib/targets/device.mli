@@ -156,6 +156,31 @@ val exec : t -> now_us:int64 -> Netsim.Packet.t -> Flexbpf.Interp.result
 (** Per-packet processing latency of the installed program. *)
 val latency_ns : t -> float
 
+(** {2 Tiered match tables}
+
+    A table admitted oversubscribed ([Resource.admit] residency) runs
+    with a bounded device tier in front of the authoritative host tier;
+    [install] wires the bound into the interpreter environment
+    ([Flexbpf.Interp.set_tier_capacity]) so the compiled fast path
+    tiers its index. *)
+
+(** Device-tier telemetry of every tiered table on this device. *)
+val tier_stats : t -> Flexbpf.Compile.tier_stat list
+
+(** Resident hot-key set of [table]'s device tier — the warm-start
+    payload a migration carries. Empty when the table is not tiered. *)
+val tier_resident_keys : t -> string -> Flexbpf.State.key list
+
+(** Pre-fault [keys] into [table]'s device tier (migration warm start);
+    no-op on untiered tables. *)
+val warm_tier : t -> string -> Flexbpf.State.key list -> unit
+
+(** Push tiered-table telemetry into the attached scope as gauges
+    ("table.hits", "table.misses", "table.promotions",
+    "table.evictions", "table.demotions", "table.capacity",
+    "table.resident") labelled (device, table). *)
+val publish_tier_metrics : t -> unit
+
 (** {2 Utilization / energy} *)
 
 (** Most-loaded-dimension occupancy in [0, 1]. *)

@@ -111,12 +111,39 @@ type shape =
       (* typed tiles + shared action/instruction pool *)
   | Sh_pooled of { pool : t } (* dRMT / NIC / FPGA / host *)
 
+(** Residency of an oversubscribed table: the device holds a bounded
+    hot tier of [res_device_rules] while the full [res_logical_rules]
+    stay authoritative on the host; misses page in on demand.
+    [res_miss_rate] is the planner's prediction under the Zipfian
+    reference workload (see [predicted_miss_rate]). *)
+type residency = {
+  res_table : string;
+  res_logical_rules : int;
+  res_device_rules : int;
+  res_miss_rate : float;
+}
+
+let euler_gamma = 0.5772156649015329
+
+(** Predicted steady-state miss rate of a [device]-rule hot tier over
+    [logical] rules under a Zipf(1) reference popularity: an LRU cache
+    of C entries captures ≈ H_C / H_N of the mass, with the harmonic
+    number approximated as H_n ≈ ln n + γ. *)
+let predicted_miss_rate ~logical ~device =
+  if device >= logical || logical <= 0 then 0.
+  else if device <= 0 then 1.
+  else
+    let h n = log (float_of_int n) +. euler_gamma in
+    Float.max 0. (1. -. (h device /. h logical))
+
 type placed = {
   pl_name : string;
   pl_order : int;
   pl_slot : slot;
   pl_demand : t;
   pl_element : Ast.element;
+  pl_residency : residency option;
+      (* present iff the element is a table admitted oversubscribed *)
 }
 
 type snapshot = {
@@ -302,20 +329,89 @@ let refund snap slot demand =
     in
     { snap with tiles_used; pool_used = sub snap.pool_used pool_demand }
 
+(* -- Oversubscription --------------------------------------------------- *)
+
+(** Clamp a table's demand to [device_rules] resident rules: only the
+    match memory shrinks — maps, action slots, and instruction store
+    cost the same whether a rule is resident or paged. *)
+let clamp_demand ~needs_tcam ~rule_bytes ~logical demand device_rules =
+  let cut = (logical - device_rules) * rule_bytes in
+  if needs_tcam then { demand with tcam_bytes = demand.tcam_bytes - cut }
+  else { demand with sram_bytes = demand.sram_bytes - cut }
+
+(** A table whose full logical rule set does not slot is admitted
+    oversubscribed: binary-search (fit is monotone in the resident rule
+    count) the largest device tier whose clamped match memory slots,
+    and record the residency so the device bounds its tier and the
+    planner carries the predicted miss rate. [None] when not even one
+    resident rule fits. *)
+let admit_oversubscribed snap ~(ctx : Ast.program) ~order (tbl : Ast.table)
+    element demand =
+  let logical = tbl.Ast.tbl_size in
+  if logical <= 1 then None
+  else begin
+    let rule_bytes = max 1 (Analysis.table_bytes ctx tbl / logical) in
+    let needs_tcam = Analysis.table_needs_tcam tbl in
+    let fits_with d =
+      admit_slot snap ~order element
+        (clamp_demand ~needs_tcam ~rule_bytes ~logical demand d)
+    in
+    match fits_with 1 with
+    | Error _ -> None
+    | Ok _ ->
+      (* largest admissible resident count in [1, logical - 1] *)
+      let rec search lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi + 1) / 2 in
+          match fits_with mid with
+          | Ok _ -> search mid hi
+          | Error _ -> search lo (mid - 1)
+      in
+      let device = search 1 (logical - 1) in
+      match fits_with device with
+      | Error _ -> None
+      | Ok slot ->
+        let residency =
+          { res_table = tbl.Ast.tbl_name; res_logical_rules = logical;
+            res_device_rules = device;
+            res_miss_rate = predicted_miss_rate ~logical ~device }
+        in
+        Some
+          (slot,
+           clamp_demand ~needs_tcam ~rule_bytes ~logical demand device,
+           residency)
+  end
+
 (** Admit element [element] of [ctx] at pipeline position [order]:
     the full install-time check — block-cycle bound, demand including
     first-reference map bytes, architecture-specific slotting, parser
     capacity for the context's missing rules — and the snapshot as it
-    would look after the install. *)
+    would look after the install. A table whose match memory does not
+    fit is not rejected outright: it is admitted oversubscribed with a
+    clamped device tier and a [residency] record on its [placed] entry
+    (misses demand-page from the host tier at run time). *)
 let admit snap ~(ctx : Ast.program) ~order element =
   let name = Ast.element_name element in
   if find_placed snap name <> None then
     Error (Unsupported (Printf.sprintf "element %s already installed" name))
   else begin
     let demand, _new_maps = element_demand snap ~ctx element in
-    match admit_slot snap ~order element demand with
-    | Error _ as e -> e
-    | Ok slot ->
+    let slotting =
+      match admit_slot snap ~order element demand with
+      | Ok slot -> Ok (slot, demand, None)
+      | Error (No_capacity _ as err) ->
+        (match element with
+         | Ast.Table tbl ->
+           (match admit_oversubscribed snap ~ctx ~order tbl element demand with
+            | Some (slot, demand, res) -> Ok (slot, demand, Some res)
+            | None -> Error err)
+         | Ast.Block _ -> Error err)
+      | Error err -> Error err
+    in
+    match slotting with
+    | Error e -> Error e
+    | Ok (slot, demand, residency) ->
       let missing_rules =
         List.filter
           (fun r -> not (List.mem r.Ast.pr_name snap.parser_rules))
@@ -341,7 +437,8 @@ let admit snap ~(ctx : Ast.program) ~order element =
         in
         let entry =
           { pl_name = name; pl_order = order; pl_slot = slot;
-            pl_demand = demand; pl_element = element }
+            pl_demand = demand; pl_element = element;
+            pl_residency = residency }
         in
         (* cons-then-stable-sort, like the device, so elements sharing
            an order keep identical list positions on both sides *)

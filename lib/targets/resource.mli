@@ -66,12 +66,31 @@ type shape =
   | Sh_tiled of { tiles : (tile_kind * int) list; tile_bytes : int; pool : t }
   | Sh_pooled of { pool : t }
 
+(** Residency of an oversubscribed table: the device holds a bounded
+    hot tier of [res_device_rules] rules while all [res_logical_rules]
+    stay authoritative on the host tier; device-tier misses demand-page
+    at run time. *)
+type residency = {
+  res_table : string;
+  res_logical_rules : int;
+  res_device_rules : int;
+  res_miss_rate : float; (* planner prediction, Zipf(1) reference *)
+}
+
+(** Predicted steady-state miss rate of a [device]-rule hot tier over
+    [logical] rules under a Zipf(1) popularity law (harmonic-number
+    approximation H_n ≈ ln n + γ). 0 when everything fits, 1 when
+    nothing does. *)
+val predicted_miss_rate : logical:int -> device:int -> float
+
 type placed = {
   pl_name : string;
   pl_order : int;
   pl_slot : slot;
   pl_demand : t;
   pl_element : Flexbpf.Ast.element;
+  pl_residency : residency option;
+      (* present iff the element is a table admitted oversubscribed *)
 }
 
 type snapshot = {
@@ -107,7 +126,12 @@ val min_stage : snapshot -> order:int -> int
     position [order]: block-cycle bound, demand, architecture-specific
     slotting, parser capacity for missing context rules. On success
     returns the chosen slot and the post-install snapshot — exactly
-    what [Targets.Device.install] would do to the live device. *)
+    what [Targets.Device.install] would do to the live device.
+
+    Oversubscription is admission policy, not rejection: a table whose
+    full match memory does not slot is admitted with the largest
+    device tier that does fit, its [placed] entry carrying the
+    [residency] (clamped demand, predicted miss rate). *)
 val admit :
   snapshot -> ctx:Flexbpf.Ast.program -> order:int -> Flexbpf.Ast.element ->
   (slot * snapshot, reject) result

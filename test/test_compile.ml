@@ -326,6 +326,63 @@ let prop_compiled_equals_interpreted =
       && envs_agree prog env_a env_b
       && !punts_a = !punts_b)
 
+(* The tiered datapath against the unbounded reference: same scenarios,
+   but env_b's "t0" device tier is capped at 1..4 memoized winners, far
+   below the generated rule sets — every lookup beyond the cap faults to
+   the authoritative host tier and promotes under LRU pressure. Verdicts,
+   packet mutations, map state, stats counters, and punts must all stay
+   identical: residency is a latency property, never a semantic one. *)
+let tiered_arb =
+  QCheck.make
+    ~print:(fun (sc, cap) ->
+      Printf.sprintf "device-tier cap=%d\n%s" cap (scenario_print sc))
+    QCheck.Gen.(pair scenario_gen (int_range 1 4))
+
+let prop_tiered_equals_interpreted =
+  QCheck.Test.make
+    ~name:"tiered compiled = interpreted under eviction pressure" ~count:300
+    tiered_arb
+    (fun ((prog, ops), cap) ->
+      let env_a = Interp.create_env prog in
+      let env_b = Interp.create_env prog in
+      let punts_a = ref [] and punts_b = ref [] in
+      env_a.Interp.punt <- (fun d _ -> punts_a := d :: !punts_a);
+      env_b.Interp.punt <- (fun d _ -> punts_b := d :: !punts_b);
+      env_a.Interp.drpc <- (fun _ args -> List.fold_left Int64.add 1L args);
+      env_b.Interp.drpc <- (fun _ args -> List.fold_left Int64.add 1L args);
+      Interp.set_tier_capacity env_b "t0" cap;
+      let compiled = Compile.compile env_b prog in
+      let install env r =
+        match Interp.install_rule env "t0" r with
+        | () -> true
+        | exception Interp.Eval_error _ -> false
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | Install r -> install env_a r = install env_b r
+          | RemoveAbove n ->
+            Interp.remove_rules env_a "t0" (fun r -> r.Ast.rule_priority >= n);
+            Interp.remove_rules env_b "t0" (fun r -> r.Ast.rule_priority >= n);
+            true
+          | Advance n ->
+            env_a.Interp.now_us <- Int64.add env_a.Interp.now_us (Int64.of_int n);
+            env_b.Interp.now_us <- Int64.add env_b.Interp.now_us (Int64.of_int n);
+            true
+          | Run spec ->
+            let pkt_a = mk_pkt spec and pkt_b = mk_pkt spec in
+            let ra = Interp.run env_a prog pkt_a in
+            let rb = Compile.run compiled pkt_b in
+            results_agree ra rb
+            && meta_list pkt_a = meta_list pkt_b
+            && headers_list pkt_a = headers_list pkt_b)
+        ops
+      && envs_agree prog env_a env_b
+      && !punts_a = !punts_b
+      && List.for_all
+           (fun (s : Compile.tier_stat) -> s.Compile.ts_resident <= cap)
+           (Compile.tier_stats compiled))
+
 (* Recompiling mid-stream against live state must not change behaviour:
    a fresh Compile.t over the same env picks up installed rules and map
    contents. *)
@@ -447,6 +504,48 @@ let test_index_demotes_to_scan () =
   Interp.remove_rules env "t" (fun r -> r.Ast.rule_priority = 1);
   check_port "back to exact index" (Some 7) (exec_compiled compiled 2L)
 
+(* Regression: a cached device-tier winner must not survive the deletion
+   or priority update of the rule that produced it. Every install_rule /
+   remove_rules bumps the per-env rules generation; the tier flushes on
+   the next lookup (counted as demotions), so lookups after the change
+   re-fault against the authoritative host tier. *)
+let test_tier_invalidated_on_rule_change () =
+  let prog = program "p" [ fwd_table ] in
+  let env = Interp.create_env prog in
+  Interp.set_tier_capacity env "t" 2;
+  let compiled = Compile.compile env prog in
+  for d = 1 to 4 do
+    Interp.install_rule env "t"
+      (rule ~matches:[ exact_i d ] ~action:("fwd", [ 10 + d ]) ())
+  done;
+  (* touch all four: only 2 stay resident, the rest were LRU-evicted *)
+  for d = 1 to 4 do
+    check_port "pre-change lookup" (Some (10 + d))
+      (exec_compiled compiled (Int64.of_int d))
+  done;
+  (match Compile.tier_stats compiled with
+   | [ s ] ->
+     Alcotest.(check bool) "resident bounded by capacity" true
+       (s.Compile.ts_resident <= 2);
+     Alcotest.(check bool) "eviction pressure exercised" true
+       (s.Compile.ts_evictions > 0)
+   | _ -> Alcotest.fail "expected one tiered table");
+  (* deletion: dst=2 was just looked up, so its winner is cache-warm *)
+  Interp.remove_rules env "t" (fun r -> r.Ast.matches = [ Ast.P_exact 2L ]);
+  check_port "deleted rule not served from stale cache" None
+    (exec_compiled compiled 2L);
+  (* priority update: a higher-priority rule over a cache-warm key *)
+  check_port "warm the key" (Some 11) (exec_compiled compiled 1L);
+  Interp.install_rule env "t"
+    (rule ~priority:9 ~matches:[ exact_i 1 ] ~action:("fwd", [ 99 ]) ());
+  check_port "priority update shadows the cached winner" (Some 99)
+    (exec_compiled compiled 1L);
+  (match Compile.tier_stats compiled with
+   | [ s ] ->
+     Alcotest.(check bool) "flushes counted as demotions" true
+       (s.Compile.ts_demotions > s.Compile.ts_evictions)
+   | _ -> Alcotest.fail "expected one tiered table")
+
 (* -- Two-version swap: compiled path across freeze/thaw ------------------------ *)
 
 let route_all_prog = Apps.L2l3.program ()
@@ -535,6 +634,7 @@ let () =
   Alcotest.run "compile"
     [ ( "differential",
         [ to_alcotest prop_compiled_equals_interpreted;
+          to_alcotest prop_tiered_equals_interpreted;
           to_alcotest prop_recompile_transparent ] );
       ( "install_validation",
         [ Alcotest.test_case "rule arity checked" `Quick
@@ -542,7 +642,9 @@ let () =
       ( "rule_index",
         [ Alcotest.test_case "hash index tracks rules" `Quick
             test_hash_index_tracks_rules;
-          Alcotest.test_case "demotes to scan" `Quick test_index_demotes_to_scan ] );
+          Alcotest.test_case "demotes to scan" `Quick test_index_demotes_to_scan;
+          Alcotest.test_case "tier invalidated on rule change" `Quick
+            test_tier_invalidated_on_rule_change ] );
       ( "two_version_swap",
         [ Alcotest.test_case "device swap consistency" `Quick
             test_device_swap_consistency;

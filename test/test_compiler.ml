@@ -119,6 +119,42 @@ let test_unplace () =
     check "everything removed" true
       (List.for_all (fun d -> Targets.Device.installed_names d = []) path)
 
+let test_oversubscribed_residency_planned () =
+  (* a table bigger than any single RMT stage used to fail placement;
+     now the planner admits it with a clamped device tier and the plan
+     carries the residency (which table, how many rules resident, the
+     predicted miss rate) as a first-class admission decision *)
+  let path = mk_path ~arch:Targets.Arch.Rmt () in
+  let huge =
+    table "huge"
+      ~keys:[ exact (field "ipv4" "dst") ]
+      ~actions:[ action "a" [ Flexbpf.Ast.Nop ] ]
+      ~default:("a", []) ~size:150_000 ()
+  in
+  let prog = program "over" [ small_table "front"; huge ] in
+  match Compiler.Placement.plan ~path prog with
+  | Error f -> Alcotest.failf "plan: %a" Compiler.Placement.pp_failure f
+  | Ok planned ->
+    let plan = planned.Compiler.Placement.pln_plan in
+    check_int "exactly one oversubscribed table" 1
+      (List.length plan.Compiler.Plan.residency);
+    let r = List.hd plan.Compiler.Plan.residency in
+    check "residency names the table" true
+      (r.Targets.Resource.res_table = "huge");
+    check "device tier clamped below logical size" true
+      (r.Targets.Resource.res_device_rules > 0
+       && r.Targets.Resource.res_device_rules
+          < r.Targets.Resource.res_logical_rules);
+    check "predicted miss rate in (0,1)" true
+      (r.Targets.Resource.res_miss_rate > 0.
+       && r.Targets.Resource.res_miss_rate < 1.);
+    (* the fully-resident table contributes no residency entry *)
+    check "small table fully resident" true
+      (List.for_all
+         (fun (res : Targets.Resource.residency) ->
+           res.Targets.Resource.res_table <> "front")
+         plan.Compiler.Plan.residency)
+
 (* -- Fungible loop ------------------------------------------------------------ *)
 
 let big_table ?(size = 80_000) name =
@@ -129,12 +165,18 @@ let big_table ?(size = 80_000) name =
 
 let test_gc_enables_placement () =
   (* one switch, pre-filled with idle apps; a new program only fits
-     after the fungible compiler garbage-collects them *)
+     after the fungible compiler garbage-collects them. Since tiered
+     virtualization a stage with any slack admits a table at reduced
+     residency, so the prefill uses oversubscribed tables that pack
+     every stage down to less than one rule's bytes — only then is a
+     new table genuinely unplaceable. *)
   let sw = Targets.Device.create ~id:"s0" Targets.Arch.rmt in
   let path = [ sw ] in
-  (* fill every stage with one big idle table *)
+  (* pack every stage to the byte with one oversubscribed idle table *)
   let idle_names = List.init 12 (fun i -> Printf.sprintf "idle%d" i) in
-  let idle_prog = program "idle" (List.map big_table idle_names) in
+  let idle_prog =
+    program "idle" (List.map (big_table ~size:200_000) idle_names)
+  in
   (match Runtime.Reconfig.place ~path idle_prog with
    | Ok _ -> ()
    | Error f -> Alcotest.failf "prefill: %a" Compiler.Placement.pp_failure f);
@@ -155,10 +197,14 @@ let test_gc_enables_placement () =
   check "reclaimed idle apps" true (outcome.Runtime.Reconfig.gc_removed <> [])
 
 let test_gc_loop_terminates () =
-  (* nothing removable and nothing fits: loop must stop *)
+  (* nothing removable and nothing fits (stages packed to the byte, so
+     not even a clamped device tier squeezes in): loop must stop *)
   let sw = Targets.Device.create ~id:"s0" Targets.Arch.rmt in
   let path = [ sw ] in
-  let pinned = program "pinned" (List.init 12 (fun i -> big_table (Printf.sprintf "p%d" i))) in
+  let pinned =
+    program "pinned"
+      (List.init 12 (fun i -> big_table ~size:200_000 (Printf.sprintf "p%d" i)))
+  in
   ignore (Runtime.Reconfig.place ~path pinned);
   let outcome =
     Runtime.Reconfig.place_with_gc ~path
@@ -460,7 +506,9 @@ let () =
         [ Alcotest.test_case "vertical split" `Quick test_vertical_split;
           Alcotest.test_case "order preserved" `Quick test_order_preserved_along_path;
           Alcotest.test_case "rollback" `Quick test_placement_rollback;
-          Alcotest.test_case "unplace" `Quick test_unplace ] );
+          Alcotest.test_case "unplace" `Quick test_unplace;
+          Alcotest.test_case "oversubscribed residency planned" `Quick
+            test_oversubscribed_residency_planned ] );
       ( "fungible",
         [ Alcotest.test_case "gc enables placement" `Quick test_gc_enables_placement;
           Alcotest.test_case "loop terminates" `Quick test_gc_loop_terminates ] );

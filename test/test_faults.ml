@@ -382,6 +382,220 @@ let prop_fault_plan_old_xor_new =
   QCheck.Test.make ~name:"reconfig under faults: old-XOR-new, never mid-update"
     ~count:150 plan_arb prop_old_xor_new
 
+(* -- Tiered tables: demand paging under dRPC faults ----------------------
+   The promotion rides the fabric ("tier.page"), the lookup result never
+   does: a dropped page may only delay residency. Whatever the drop
+   pattern, forwarding must be byte-identical to the flat store. *)
+
+let tier_table ?(size = 64) name =
+  table name
+    ~keys:[ exact (field "ipv4" "dst") ]
+    ~actions:[ action "fwd" ~params:[ "p" ] [ forward (param "p") ] ]
+    ~default:("nop", []) ~size ()
+
+let tier_lookup dev dst =
+  let pkt =
+    Netsim.Packet.create
+      [ Netsim.Packet.ethernet ~src:1L ~dst ();
+        Netsim.Packet.ipv4 ~src:1L ~dst ();
+        Netsim.Packet.tcp ~sport:1L ~dport:2L () ]
+  in
+  (Targets.Device.exec dev ~now_us:0L pkt).Flexbpf.Interp.verdict
+    .Flexbpf.Interp.egress
+
+(* One paging run: 8 rules, device tier capped at 2, lookups rotating
+   over [ndsts] destinations at 1ms intervals, pages dropped with
+   [drop_prob] while the window is open. Returns the device, the dRPC
+   registry (fault counters), and how many lookups forwarded wrong. *)
+let paging_scenario ~seed ~drop_prob ~stop ~ndsts ~lookups =
+  let sim = Netsim.Sim.create () in
+  let dev = Targets.Device.create ~id:"s0" Targets.Arch.drmt in
+  let tbl = tier_table "t" in
+  let prog = program "fwd" [ tbl ] in
+  (match Targets.Device.install dev ~ctx:prog ~order:0 tbl with
+   | Ok _ -> ()
+   | Error r -> Alcotest.failf "install: %s" (Targets.Device.reject_to_string r));
+  let env = Targets.Device.env dev in
+  for d = 1 to 8 do
+    Flexbpf.Interp.install_rule env "t"
+      (rule ~matches:[ exact_i d ] ~action:("fwd", [ 10 + d ]) ())
+  done;
+  Flexbpf.Interp.set_tier_capacity env "t" 2;
+  let reg = Runtime.Drpc.create sim in
+  let faults =
+    Netsim.Faults.create ~sim ~seed
+      [ Netsim.Faults.Drpc_window
+          { service = Runtime.Drpc.page_service; start = 0.; stop; drop_prob } ]
+  in
+  Runtime.Drpc.set_faults reg (Some faults);
+  Runtime.Drpc.bind_paging reg dev;
+  let wrong = ref 0 in
+  for i = 0 to lookups - 1 do
+    let dst = 1 + (i mod ndsts) in
+    Netsim.Sim.at sim
+      (0.001 *. float_of_int (i + 1))
+      (fun () ->
+        if tier_lookup dev (Int64.of_int dst) <> Some (10 + dst) then
+          incr wrong)
+  done;
+  ignore (Netsim.Sim.run sim);
+  (dev, reg, !wrong)
+
+let prop_dropped_pages_never_change_forwarding =
+  QCheck.Test.make
+    ~name:"dropped pages: host tier serves, forwarding never wrong" ~count:60
+    (QCheck.make
+       ~print:(fun (s, p) -> Printf.sprintf "seed=%d drop_prob=%.2f" s p)
+       QCheck.Gen.(pair (int_bound 10_000) (float_bound_inclusive 1.0)))
+    (fun (seed, drop_prob) ->
+      let dev, reg, wrong =
+        paging_scenario ~seed ~drop_prob ~stop:1e9 ~ndsts:8 ~lookups:48
+      in
+      let stats = Runtime.Drpc.stats reg in
+      let faults_n = Netsim.Stats.Counters.get stats "table.faults" in
+      let drops = Netsim.Stats.Counters.get stats "table.fault_drops" in
+      wrong = 0 && faults_n > 0
+      && List.for_all
+           (fun (s : Flexbpf.Compile.tier_stat) ->
+             s.Flexbpf.Compile.ts_resident <= 2
+             (* promotions commit only on delivered pages *)
+             && s.Flexbpf.Compile.ts_promotions <= faults_n - drops)
+           (Targets.Device.tier_stats dev))
+
+let test_paging_full_drop_host_serves () =
+  let dev, reg, wrong =
+    paging_scenario ~seed:7 ~drop_prob:1.0 ~stop:1e9 ~ndsts:8 ~lookups:40
+  in
+  check_int "every lookup forwarded correctly" 0 wrong;
+  (match Targets.Device.tier_stats dev with
+   | [ s ] ->
+     check_int "no promotion ever commits" 0 s.Flexbpf.Compile.ts_promotions;
+     check_int "nothing resident" 0 s.Flexbpf.Compile.ts_resident;
+     check_int "every lookup was a host-tier fault" 40
+       s.Flexbpf.Compile.ts_misses
+   | _ -> Alcotest.fail "expected one tiered table");
+  check "page drops counted" true
+    (Netsim.Stats.Counters.get (Runtime.Drpc.stats reg) "table.fault_drops" > 0)
+
+let test_paging_recovers_after_window () =
+  (* the drop window eats the first pages (host tier serves, slower);
+     once it closes the hot keys promote and lookups start hitting *)
+  let dev, reg, wrong =
+    paging_scenario ~seed:7 ~drop_prob:1.0 ~stop:0.0045 ~ndsts:2 ~lookups:20
+  in
+  check_int "every lookup forwarded correctly" 0 wrong;
+  (match Targets.Device.tier_stats dev with
+   | [ s ] ->
+     check "hot keys promoted after the window" true
+       (s.Flexbpf.Compile.ts_promotions > 0);
+     check "post-promotion lookups hit the device tier" true
+       (s.Flexbpf.Compile.ts_hits > 0);
+     check_int "both hot keys resident" 2 s.Flexbpf.Compile.ts_resident
+   | _ -> Alcotest.fail "expected one tiered table");
+  check "windowed drops counted" true
+    (Netsim.Stats.Counters.get (Runtime.Drpc.stats reg) "table.fault_drops" > 0)
+
+(* -- Move migrates both tiers; a crash mid-move keeps old-XOR-new --------- *)
+
+let move_fixture ~crash =
+  let sim = Netsim.Sim.create () in
+  let built = Netsim.Topology.linear ~sim ~switches:2 () in
+  let topo = built.Netsim.Topology.topo in
+  let devs =
+    List.mapi
+      (fun i _ ->
+        Targets.Device.create ~id:(Printf.sprintf "s%d" i) Targets.Arch.rmt)
+      built.Netsim.Topology.switch_list
+  in
+  let wireds =
+    List.map2
+      (fun n d -> Runtime.Wiring.attach topo n d)
+      built.Netsim.Topology.switch_list devs
+  in
+  (* oversubscribed on both ends: 150k logical rules exceed one RMT
+     stage, so src and dst each get a clamped device tier *)
+  let tbl = tier_table ~size:150_000 "t" in
+  let prog = program "fwd" [ tbl ] in
+  let src = List.nth devs 0 and dst = List.nth devs 1 in
+  (match Targets.Device.install src ~ctx:prog ~order:0 tbl with
+   | Ok _ -> ()
+   | Error r -> Alcotest.failf "install: %s" (Targets.Device.reject_to_string r));
+  for d = 1 to 8 do
+    Flexbpf.Interp.install_rule (Targets.Device.env src) "t"
+      (rule ~matches:[ exact_i d ] ~action:("fwd", [ 10 + d ]) ())
+  done;
+  (* warm three keys into src's device tier *)
+  List.iter (fun d -> ignore (tier_lookup src d)) [ 1L; 2L; 3L ];
+  (match crash with
+   | None -> ()
+   | Some (device, restart_after) ->
+     let faults =
+       Netsim.Faults.create ~sim ~seed:3
+         [ Netsim.Faults.Device_crash { device; at = 1.02; restart_after } ]
+     in
+     List.iter (Runtime.Wiring.bind_faults faults) wireds);
+  let plan =
+    Compiler.Plan.v "mv"
+      [ Compiler.Plan.Move
+          { from_device = "s0"; to_device = "s1"; element = tbl; ctx = prog;
+            order = 0 } ]
+  in
+  let outcome = ref None in
+  Netsim.Sim.at sim 1.0 (fun () ->
+      Runtime.Reconfig.execute_plan ~sim ~mode:Runtime.Reconfig.Hitless ~wireds
+        ~plan ~max_retries:2 ~retry_backoff:0.02
+        ~on_done:(fun o -> outcome := Some o) ());
+  ignore (Netsim.Sim.run sim);
+  (src, dst, Option.get !outcome)
+
+let test_move_carries_both_tiers () =
+  let src, dst, o = move_fixture ~crash:None in
+  check "move completed" false o.Runtime.Reconfig.rolled_back;
+  check "src no longer hosts the table" false
+    (List.mem "t" (Targets.Device.installed_names src));
+  (* authoritative tier: the full rule set survived the move *)
+  check_int "all rules on dst" 8
+    (List.length (Flexbpf.Interp.table_rules (Targets.Device.env dst) "t"));
+  check "dst device tier is capped" true
+    (Flexbpf.Interp.tier_capacity (Targets.Device.env dst) "t" <> None);
+  (* hot tier: the warmed keys crossed with the element *)
+  check "hot keys carried to dst" true
+    (List.length (Targets.Device.tier_resident_keys dst "t") >= 3);
+  (* and forwarding on dst is intact for the whole logical rule set *)
+  List.iter
+    (fun d ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "dst forwards %d" d)
+        (Some (10 + d))
+        (tier_lookup dst (Int64.of_int d)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_crash_mid_move_old_xor_new () =
+  (* dst dies for longer than every retry: the move must abort with the
+     table — rules and tier capacity — fully back on src and nothing on
+     dst *)
+  let src, dst, o = move_fixture ~crash:(Some ("s1", 30.0)) in
+  check "move rolled back" true o.Runtime.Reconfig.rolled_back;
+  check "src still hosts the table" true
+    (List.mem "t" (Targets.Device.installed_names src));
+  check_int "src keeps all rules" 8
+    (List.length (Flexbpf.Interp.table_rules (Targets.Device.env src) "t"));
+  check "src keeps its tier capacity" true
+    (Flexbpf.Interp.tier_capacity (Targets.Device.env src) "t" <> None);
+  check "dst hosts nothing" true (Targets.Device.installed_names dst = []);
+  check "dst has no tier capacity" true
+    (Flexbpf.Interp.tier_capacity (Targets.Device.env dst) "t" = None);
+  check "neither device left frozen" false
+    (Targets.Device.is_frozen src || Targets.Device.is_frozen dst);
+  (* src still forwards the whole rule set after the abort *)
+  List.iter
+    (fun d ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "src forwards %d" d)
+        (Some (10 + d))
+        (tier_lookup src (Int64.of_int d)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
 (* -- Replication: failover on crash, rejoin + resync on restart ---------- *)
 
 let counting_device id =
@@ -492,6 +706,16 @@ let () =
           Alcotest.test_case "deploy crash: atomic abort" `Quick
             test_deploy_crash_atomic_abort;
           to_alcotest prop_fault_plan_old_xor_new ] );
+      ( "tiering",
+        [ to_alcotest prop_dropped_pages_never_change_forwarding;
+          Alcotest.test_case "full drop: host tier serves every lookup" `Quick
+            test_paging_full_drop_host_serves;
+          Alcotest.test_case "promotions resume after drop window" `Quick
+            test_paging_recovers_after_window;
+          Alcotest.test_case "move carries both tiers" `Quick
+            test_move_carries_both_tiers;
+          Alcotest.test_case "crash mid-move: old XOR new tiers" `Quick
+            test_crash_mid_move_old_xor_new ] );
       ( "control",
         [ Alcotest.test_case "replication failover+rejoin" `Quick
             test_replication_failover_and_rejoin;

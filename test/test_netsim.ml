@@ -452,6 +452,41 @@ let test_pareto_bounds () =
   done;
   check "bounded pareto stays in bounds" true !ok
 
+let test_zipf_deterministic () =
+  (* same seed => identical rank stream, independent of wall clock *)
+  let draw_seq seed =
+    let sim = Netsim.Sim.create () in
+    let gen = Netsim.Traffic.create ~seed sim in
+    let draw = Netsim.Traffic.zipf ~alpha:1.1 gen ~n:512 in
+    List.init 2000 (fun _ -> draw ())
+  in
+  check "same seed, same stream" true (draw_seq 42 = draw_seq 42);
+  check "different seed, different stream" true (draw_seq 42 <> draw_seq 43);
+  let in_range = List.for_all (fun r -> r >= 1 && r <= 512) (draw_seq 7) in
+  check "ranks stay in [1, n]" true in_range
+
+let test_zipf_tail_mass () =
+  (* Zipf(1.1) over 1000 ranks: the top 10% of ranks carry the bulk of
+     the draws (analytically ~78%; 70% is a generous floor robust to
+     sampling noise), and rank 1 must be the most popular *)
+  let sim = Netsim.Sim.create () in
+  let gen = Netsim.Traffic.create ~seed:11 sim in
+  let n = 1000 and draws = 50_000 in
+  let draw = Netsim.Traffic.zipf ~alpha:1.1 gen ~n in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to draws do
+    let r = draw () in
+    counts.(r) <- counts.(r) + 1
+  done;
+  let top = ref 0 in
+  for r = 1 to n / 10 do
+    top := !top + counts.(r)
+  done;
+  check "top 10% of ranks carry >= 70% of draws" true
+    (float_of_int !top >= 0.70 *. float_of_int draws);
+  let max_count = Array.fold_left max 0 counts in
+  check "rank 1 is the mode" true (counts.(1) = max_count)
+
 (* -- Stats ---------------------------------------------------------------- *)
 
 let test_summary () =
@@ -562,7 +597,9 @@ let () =
           Alcotest.test_case "attack ramp" `Quick test_ramp_shape;
           Alcotest.test_case "on/off bursts" `Quick test_onoff_bursty;
           Alcotest.test_case "flow arrivals" `Quick test_flow_arrivals;
-          Alcotest.test_case "pareto bounds" `Quick test_pareto_bounds ] );
+          Alcotest.test_case "pareto bounds" `Quick test_pareto_bounds;
+          Alcotest.test_case "zipf deterministic" `Quick test_zipf_deterministic;
+          Alcotest.test_case "zipf tail mass" `Quick test_zipf_tail_mass ] );
       ( "stats",
         [ Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "reservoir" `Quick test_reservoir_percentiles;

@@ -125,25 +125,39 @@ let test_uninstall_frees_resources () =
 
 let test_rmt_stage_fragmentation () =
   (* RMT: a table must fit within ONE stage; total free space spread
-     over stages does not help — the defining fungibility limit. *)
+     over stages does not help — the defining fungibility limit. Since
+     tiered virtualization, overflow is no longer a hard rejection: a
+     table that cannot be fully resident in any stage is admitted with
+     a clamped device tier, so fragmentation shows up as residency
+     rather than No_capacity. *)
   let dev = Targets.Device.create Targets.Arch.rmt in
   let stages = Targets.Arch.rmt.Targets.Arch.stages in
-  (* two 25KB-entry exact tables (~825KB) per 1280KB stage: second table
-     goes to the next stage; 12 stages fit 12 such tables at one per
-     stage once each stage is half-full. *)
+  (* two 25KB-entry exact tables (~825KB) per 1280KB stage: the second
+     does not fully fit, so at most one fully-resident table per stage *)
   let ctx =
     prog_of (List.init (2 * stages) (fun i -> big_exact_table (Printf.sprintf "t%d" i)))
   in
-  let installed = ref 0 in
+  let full = ref 0 and oversubscribed = ref 0 in
   List.iteri
     (fun i el ->
       match Targets.Device.install dev ~ctx ~order:i el with
-      | Ok _ -> incr installed
-      | Error _ -> ())
+      | Error _ -> ()
+      | Ok _ ->
+        (match
+           Targets.Resource.find_placed (Targets.Device.snapshot dev)
+             (Flexbpf.Ast.element_name el)
+         with
+         | Some { Targets.Resource.pl_residency = None; _ } -> incr full
+         | Some { Targets.Resource.pl_residency = Some _; _ } ->
+           incr oversubscribed
+         | None -> ()))
     ctx.Flexbpf.Ast.pipeline;
-  (* each stage fits one 25k-entry table (825KB of 1280KB); the second
-     one per stage does not fit -> exactly [stages] admitted *)
-  check_int "one big table per stage" stages !installed
+  (* each stage fully fits one 25k-entry table (825KB of 1280KB); the
+     second one per stage only gets the stage's remainder as its
+     device tier *)
+  check_int "one fully-resident big table per stage" stages !full;
+  check "overflow admitted oversubscribed, not rejected" true
+    (!oversubscribed > 0)
 
 let test_rmt_order_constraint () =
   (* element at a later pipeline position may not occupy an earlier
@@ -259,6 +273,57 @@ let test_map_charged_once () =
     (d1.Targets.Resource.sram_bytes > d2.Targets.Resource.sram_bytes);
   check_int "map charged to first" 1 (List.length maps1);
   check_int "not charged twice" 0 (List.length maps2)
+
+let test_oversubscribed_table_admitted () =
+  (* an exact table whose rule memory exceeds a whole RMT stage used to
+     be a hard No_capacity rejection; admission now treats the overflow
+     as policy — clamp the device tier to what fits, record the
+     residency, and let the host tier hold the rest *)
+  let dev = Targets.Device.create Targets.Arch.rmt in
+  let tbl = big_exact_table ~size:150_000 "huge" in
+  let ctx = prog_of [ tbl ] in
+  let demand, _ = Targets.Device.element_demand dev ~ctx tbl in
+  check "logical demand exceeds a stage" true
+    (demand.Targets.Resource.sram_bytes
+     > Targets.Arch.rmt.Targets.Arch.per_stage.Targets.Resource.sram_bytes);
+  (match Targets.Device.install dev ~ctx ~order:0 tbl with
+   | Error r ->
+     Alcotest.failf "oversubscribed install rejected: %s"
+       (Targets.Device.reject_to_string r)
+   | Ok _ -> ());
+  (* the snapshot carries the residency, the env carries the tier cap *)
+  (match Targets.Resource.find_placed (Targets.Device.snapshot dev) "huge" with
+   | Some { Targets.Resource.pl_residency = Some r; _ } ->
+     check_int "logical rules" 150_000 r.Targets.Resource.res_logical_rules;
+     check "device tier strictly smaller" true
+       (r.Targets.Resource.res_device_rules > 0
+        && r.Targets.Resource.res_device_rules < 150_000);
+     check "predicted miss rate in (0,1)" true
+       (r.Targets.Resource.res_miss_rate > 0.
+        && r.Targets.Resource.res_miss_rate < 1.)
+   | Some { Targets.Resource.pl_residency = None; _ } ->
+     Alcotest.fail "placed entry carries no residency"
+   | None -> Alcotest.fail "table not in snapshot");
+  (match Flexbpf.Interp.tier_capacity (Targets.Device.env dev) "huge" with
+   | Some cap ->
+     check "tier cap mirrors residency" true (cap > 0 && cap < 150_000)
+   | None -> Alcotest.fail "device tier capacity not set");
+  (* the datapath still serves the whole logical rule set: a lookup
+     faults into the bounded device tier rather than missing *)
+  Flexbpf.Interp.install_rule (Targets.Device.env dev) "huge"
+    (rule ~matches:[ exact_i 2 ] ~action:("a", []) ());
+  ignore (Targets.Device.exec dev ~now_us:0L (mk_packet ~dst:2L ()));
+  (match Targets.Device.tier_stats dev with
+   | [ s ] ->
+     check "lookup faulted and promoted" true
+       (s.Flexbpf.Compile.ts_misses >= 1
+        && s.Flexbpf.Compile.ts_promotions >= 1)
+   | _ -> Alcotest.fail "expected one tiered table");
+  (* uninstall releases both the clamped charge and the tier cap *)
+  check "uninstall works" true (Targets.Device.uninstall dev "huge");
+  Alcotest.(check (float 1e-9)) "all freed" 0. (Targets.Device.utilization dev);
+  check "tier cap cleared" true
+    (Flexbpf.Interp.tier_capacity (Targets.Device.env dev) "huge" = None)
 
 (* -- Defragmentation -------------------------------------------------------- *)
 
@@ -426,7 +491,9 @@ let () =
           Alcotest.test_case "tiles typed" `Quick test_tiles_typed_capacity;
           Alcotest.test_case "elastic PEM" `Quick test_elastic_pem_for_blocks;
           Alcotest.test_case "block cycle limits" `Quick test_block_cycle_limits;
-          Alcotest.test_case "map charged once" `Quick test_map_charged_once ] );
+          Alcotest.test_case "map charged once" `Quick test_map_charged_once;
+          Alcotest.test_case "oversubscribed table admitted" `Quick
+            test_oversubscribed_table_admitted ] );
       ( "reconfiguration",
         [ Alcotest.test_case "defragment" `Quick test_defragment_compacts;
           Alcotest.test_case "parser runtime ops" `Quick test_parser_runtime_ops;
