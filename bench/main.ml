@@ -1,7 +1,7 @@
 (* FlexNet benchmark harness.
 
    Usage:
-     dune exec bench/main.exe            # all experiments E1..E17 + F1 + A1 A2
+     dune exec bench/main.exe            # all experiments E1..E18 + F1 + A1 A2
      dune exec bench/main.exe E5 E7      # selected experiments
      dune exec bench/main.exe -- --micro # bechamel microbenchmarks
      dune exec bench/main.exe -- --micro --quota 0.05 --out BENCH_micro.json
@@ -32,6 +32,7 @@ let experiments =
     ("E15", E15_observability.run);
     ("E16", E16_multicore.run);
     ("E17", E17_virtualization.run);
+    ("E18", E18_economy.run);
     ("F1", F01_whole_stack.run);
     ("A1", A01_adjacency.run);
     ("A2", A02_consistency.run) ]

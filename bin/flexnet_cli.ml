@@ -9,6 +9,7 @@
      attack    run the elastic DDoS defense scenario
      migrate   run the state-migration comparison
      tables    drive a Zipf stream through a tiered match table, dump telemetry
+     market    run seeded bidders through the tenant-economy auction
 
    Examples:
      dune exec bin/flexnet_cli.exe -- archs
@@ -963,6 +964,213 @@ let tables_cmd =
     Term.(const run $ rules_arg $ capacity_arg $ packets_arg $ alpha_arg
           $ tables_format_arg)
 
+(* -- market ------------------------------------------------------------- *)
+
+(* Stateless demo of the tenant economy: bring up a network, enqueue a
+   seeded population of bidders (the same program mix as the E18
+   workload generator), run clearing rounds, and dump the price books,
+   per-tenant standing bids, and auction history. The point is to make
+   the market's state inspectable without running the full E18 bench. *)
+
+let market_cmd =
+  let tenants_arg =
+    Arg.(value & opt int 24
+         & info [ "tenants" ] ~docv:"N" ~doc:"Bidders to enqueue")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 8
+         & info [ "rounds" ] ~docv:"R" ~doc:"Clearing rounds to run")
+  in
+  let seed_arg =
+    Arg.(value & opt int 31
+         & info [ "seed" ] ~docv:"S" ~doc:"Workload seed")
+  in
+  let market_format_arg =
+    Arg.(value & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output format: $(b,table) or $(b,json)")
+  in
+  let run switches tenants rounds seed format =
+    let net = Flexnet.create ~arch:Targets.Arch.Drmt ~switches () in
+    (match Flexnet.deploy_infrastructure net with
+     | Ok _ -> ()
+     | Error e -> failwith e);
+    let tmgr = Flexnet.tenants_exn net in
+    (* price the path's tail device: pipeline-order placement packs
+       tenant elements onto it, so that pool is the scarce resource *)
+    let book_path = [ List.hd (List.rev (Flexnet.path net)) ] in
+    let au = Market.Auction.create ~tenants:tmgr ~path:book_path () in
+    let rng = Random.State.make [| seed |] in
+    for i = 1 to tenants do
+      let name = Printf.sprintf "tenant%d" i in
+      let program =
+        match Random.State.int rng 10 with
+        | 0 | 1 -> Apps.Firewall.program ~owner:name ~boundary:100 ()
+        | 2 | 3 ->
+          Apps.Nat.program ~owner:name ~public:(900 + i) ~subnet_lo:10
+            ~subnet_hi:20 ()
+        | _ ->
+          Apps.Acl.program ~owner:name
+            ~size:(65536 lsl Random.State.int rng 5)
+            ()
+      in
+      match
+        Market.Tenant.create
+          ~sla:
+            (if Random.State.int rng 10 = 0 then Market.Tenant.Protected
+             else Market.Tenant.Best_effort)
+          ~budget:(4. +. Random.State.float rng 12.)
+          ~weight:(1.2 +. Random.State.float rng 4.)
+          program
+      with
+      | Error _ -> ()
+      | Ok mt -> Market.Auction.submit au mt
+    done;
+    for _ = 1 to rounds do
+      ignore (Market.Auction.clear au)
+    done;
+    let books = Market.Auction.books au in
+    let occ = Market.Auction.occupancy au in
+    let adm = Market.Auction.admitted au in
+    let replicas_of (a : Market.Auction.admitted) =
+      match a.Market.Auction.ad_bid with
+      | Some b -> b.Market.Tenant.bid_replicas
+      | None -> 1
+    in
+    match format with
+    | `Table ->
+      Printf.printf "price books (after %d rounds, %d bidders):\n" rounds
+        tenants;
+      List.iter
+        (fun (arch, book) ->
+          let used, cap = List.assoc arch occ in
+          Printf.printf "  %-12s %s\n"
+            (Targets.Arch.kind_to_string arch)
+            (String.concat "  "
+               (List.map
+                  (fun (k, p) ->
+                    Printf.sprintf "%s=%.4f (%.0f/%.0f)"
+                      (Market.Prices.rkind_to_string k)
+                      p
+                      (Market.Prices.units k used)
+                      (Market.Prices.units k cap))
+                  (Market.Prices.prices book))))
+        books;
+      Printf.printf "\nadmitted tenants (%d admitted, %d waiting):\n"
+        (List.length adm)
+        (List.length (Market.Auction.waiting au));
+      Printf.printf "  %-10s %-11s %-4s %-9s %-9s %-9s %-9s\n" "tenant" "sla"
+        "reps" "price" "spend" "utility" "density";
+      List.iter
+        (fun (a : Market.Auction.admitted) ->
+          let mt = a.Market.Auction.ad_tenant in
+          let q = replicas_of a in
+          Printf.printf "  %-10s %-11s %-4d %-9.4f %-9.3f %-9.3f %-9.3f\n"
+            mt.Market.Tenant.mt_name
+            (Market.Tenant.sla_to_string mt.Market.Tenant.mt_sla)
+            q a.Market.Auction.ad_price a.Market.Auction.ad_spend
+            (Market.Tenant.utility mt q)
+            (match a.Market.Auction.ad_bid with
+             | Some b -> b.Market.Tenant.bid_density
+             | None -> 0.))
+        adm;
+      Printf.printf "\nclearing history:\n";
+      Printf.printf "  %-6s %-6s %-10s %-8s %-9s %-9s %-10s %-9s\n" "round"
+        "iters" "converged" "bidders" "admitted" "deferred" "preempted"
+        "rejected";
+      List.iter
+        (fun (r : Market.Auction.round) ->
+          Printf.printf "  %-6d %-6d %-10b %-8d %-9d %-9d %-10d %-9d\n"
+            r.Market.Auction.rd_index r.Market.Auction.rd_iterations
+            r.Market.Auction.rd_converged r.Market.Auction.rd_bidders
+            (List.length r.Market.Auction.rd_admitted)
+            (List.length r.Market.Auction.rd_deferred)
+            (List.length r.Market.Auction.rd_preempted)
+            (List.length r.Market.Auction.rd_rejected))
+        (Market.Auction.rounds au)
+    | `Json ->
+      let books_json =
+        String.concat ","
+          (List.map
+             (fun (arch, book) ->
+               let used, cap = List.assoc arch occ in
+               Printf.sprintf "{\"arch\":\"%s\",\"prices\":{%s},\"used\":{%s},\"capacity\":{%s}}"
+                 (Targets.Arch.kind_to_string arch)
+                 (String.concat ","
+                    (List.map
+                       (fun (k, p) ->
+                         Printf.sprintf "\"%s\":%.6f"
+                           (Market.Prices.rkind_to_string k)
+                           p)
+                       (Market.Prices.prices book)))
+                 (String.concat ","
+                    (List.map
+                       (fun k ->
+                         Printf.sprintf "\"%s\":%.1f"
+                           (Market.Prices.rkind_to_string k)
+                           (Market.Prices.units k used))
+                       Market.Prices.all_rkinds))
+                 (String.concat ","
+                    (List.map
+                       (fun k ->
+                         Printf.sprintf "\"%s\":%.1f"
+                           (Market.Prices.rkind_to_string k)
+                           (Market.Prices.units k cap))
+                       Market.Prices.all_rkinds)))
+             books)
+      in
+      let tenants_json =
+        String.concat ","
+          (List.map
+             (fun (a : Market.Auction.admitted) ->
+               let mt = a.Market.Auction.ad_tenant in
+               let q = replicas_of a in
+               Printf.sprintf
+                 "{\"tenant\":\"%s\",\"sla\":\"%s\",\"replicas\":%d,\
+                  \"price\":%.6f,\"spend\":%.6f,\"utility\":%.6f,\
+                  \"density\":%.6f}"
+                 (json_escape mt.Market.Tenant.mt_name)
+                 (Market.Tenant.sla_to_string mt.Market.Tenant.mt_sla)
+                 q a.Market.Auction.ad_price a.Market.Auction.ad_spend
+                 (Market.Tenant.utility mt q)
+                 (match a.Market.Auction.ad_bid with
+                  | Some b -> b.Market.Tenant.bid_density
+                  | None -> 0.))
+             adm)
+      in
+      let rounds_json =
+        String.concat ","
+          (List.map
+             (fun (r : Market.Auction.round) ->
+               Printf.sprintf
+                 "{\"round\":%d,\"iterations\":%d,\"converged\":%b,\
+                  \"bidders\":%d,\"admitted\":%d,\"deferred\":%d,\
+                  \"preempted\":%d,\"rejected\":%d}"
+                 r.Market.Auction.rd_index r.Market.Auction.rd_iterations
+                 r.Market.Auction.rd_converged r.Market.Auction.rd_bidders
+                 (List.length r.Market.Auction.rd_admitted)
+                 (List.length r.Market.Auction.rd_deferred)
+                 (List.length r.Market.Auction.rd_preempted)
+                 (List.length r.Market.Auction.rd_rejected))
+             (Market.Auction.rounds au))
+      in
+      Printf.printf
+        "{\"bidders\":%d,\"rounds_run\":%d,\"admitted\":%d,\"waiting\":%d,\
+         \"books\":[%s],\"tenants\":[%s],\"rounds\":[%s]}\n"
+        tenants rounds (List.length adm)
+        (List.length (Market.Auction.waiting au))
+        books_json tenants_json rounds_json
+  in
+  Cmd.v
+    (Cmd.info "market"
+       ~doc:
+         "Run a seeded bidder population through the tenant-economy \
+          auction and report per-architecture resource prices, admitted \
+          tenants' standing bids/spend/utility, and the clearing-round \
+          history")
+    Term.(const run $ switches_arg $ tenants_arg $ rounds_arg $ seed_arg
+          $ market_format_arg)
+
 (* -- policy ------------------------------------------------------------- *)
 
 let pattern_str = function
@@ -1135,4 +1343,4 @@ let () =
     (Cmd.eval
        (Cmd.group info [ archs_cmd; apps_cmd; certify_cmd; lint_cmd; inject_cmd;
           demo_cmd; plan_cmd; metrics_cmd; trace_cmd; attack_cmd;
-          migrate_cmd; tables_cmd; policy_cmd ]))
+          migrate_cmd; tables_cmd; market_cmd; policy_cmd ]))

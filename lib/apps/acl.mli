@@ -1,0 +1,15 @@
+(** Per-tenant ACL: an allow/deny match table over (src, dst). [size]
+    is the tenant's rule count and directly sets its per-replica
+    footprint, which makes ACL tenants the unit of resource contention
+    in the tenant economy (E18): large rule sets exhaust the match
+    memory of the device the planner packs them onto, and the market's
+    prices ration it. *)
+
+val acl_table : ?name:string -> ?size:int -> unit -> Flexbpf.Ast.element
+val program : ?owner:string -> ?size:int -> unit -> Flexbpf.Ast.program
+
+(** Deny traffic from [src] to [dst]. *)
+val deny_rule : src:int -> dst:int -> Flexbpf.Ast.rule
+
+(** Packets denied so far, read from device state. *)
+val denied_count : Targets.Device.t -> int64

@@ -40,12 +40,18 @@ type t = {
   mutable admitted : int;
   mutable rejected : int;
   mutable departed : int;
+  mutable clock : unit -> float;
+      (* wall clock behind the admission-latency histogram; injectable
+         so benches can use a high-resolution timer without this
+         library depending on unix *)
 }
 
 let create ?(exports = []) ?(shards = 1) ~sim deployment =
   if shards <= 0 then invalid_arg "Tenants.create: shards must be positive";
   { sim; deployment; exports; shards; tenants = []; next_vlan = 100;
-    admitted = 0; rejected = 0; departed = 0 }
+    admitted = 0; rejected = 0; departed = 0; clock = Sys.time }
+
+let set_clock t clock = t.clock <- clock
 
 (* FNV-1a over the tenant name: [Hashtbl.hash] is fine within one
    binary, but placement lands in reports and tests compare them across
@@ -71,6 +77,29 @@ let place t ~tenant_name (cert : Dataflow.Shard_safety.t) =
    unified registry *)
 let count t name =
   Obs.Metrics.incr (Obs.Scope.metrics (Netsim.Sim.obs t.sim)) name
+
+(* Admission outcomes, one labelled counter series per class. Admit and
+   depart record their own outcomes; [Deferred] is recorded by the
+   market layer when an auction postpones a priced-out bidder. *)
+type outcome = Admitted | Rejected | Preempted | Deferred
+
+let outcome_to_string = function
+  | Admitted -> "admitted"
+  | Rejected -> "rejected"
+  | Preempted -> "preempted"
+  | Deferred -> "deferred"
+
+let record_outcome t o =
+  Obs.Metrics.incr
+    (Obs.Scope.metrics (Netsim.Sim.obs t.sim))
+    ~labels:[ ("outcome", outcome_to_string o) ]
+    "tenants.outcome"
+
+let observe_admit_latency t ~t0 =
+  let ms = Float.max 0. ((t.clock () -. t0) *. 1000.) in
+  Obs.Metrics.observe
+    (Obs.Scope.metrics (Netsim.Sim.obs t.sim))
+    "tenants.admit_latency_ms" ms
 
 let find t name = List.find_opt (fun x -> x.tenant_name = name) t.tenants
 
@@ -117,13 +146,15 @@ let injection_patch ~tenant_name ~base (ext : Ast.program) =
   Patch.v ~owner:tenant_name (tenant_name ^ "-arrival") ops
 
 (** Admit a tenant extension program. On success the network has been
-    live-patched and the tenant is registered. *)
-let admit t (ext : Ast.program) =
+    live-patched and the tenant is registered. [attrs] carries extra
+    span attributes (the market path tags bid/price context). *)
+let admit_with ~attrs t (ext : Ast.program) =
   let tenant_name = ext.Ast.owner in
   let scope = Netsim.Sim.obs t.sim in
+  let t0 = t.clock () in
   let result =
     Obs.Trace.with_span (Obs.Scope.trace scope) "tenant.admit"
-      ~attrs:[ ("tenant", Obs.Trace.S tenant_name) ]
+      ~attrs:(("tenant", Obs.Trace.S tenant_name) :: attrs)
       (fun span ->
         let result =
           if find t tenant_name <> None then begin
@@ -197,8 +228,22 @@ let admit t (ext : Ast.program) =
         Obs.Trace.add_attr span "ok" (Obs.Trace.B (Result.is_ok result));
         result)
   in
+  observe_admit_latency t ~t0;
+  record_outcome t (if Result.is_ok result then Admitted else Rejected);
   count t (if Result.is_ok result then "tenants.admitted" else "tenants.rejected");
   result
+
+let admit t ext = admit_with ~attrs:[] t ext
+
+(** Market admission hook: the ordinary pipeline with the winning bid's
+    context recorded on the [tenant.admit] span, so auction outcomes
+    are attributable in the trace. *)
+let admit_bid t ~bid ~density ~price ext =
+  admit_with t ext
+    ~attrs:
+      [ ("bid", Obs.Trace.F bid);
+        ("density", Obs.Trace.F density);
+        ("price", Obs.Trace.F price) ]
 
 (** Tenant departure: remove every element, map, and parser rule the
     tenant owns, releasing the resources. *)
@@ -208,7 +253,7 @@ let pp_departure_error ppf = function
   | Unknown_tenant -> Fmt.string ppf "unknown tenant"
   | Departure_failed s -> Fmt.pf ppf "departure failed: %s" s
 
-let depart t tenant_name =
+let depart ?(reason = `Voluntary) t tenant_name =
   match find t tenant_name with
   | None -> Error Unknown_tenant
   | Some tenant ->
@@ -232,8 +277,13 @@ let depart t tenant_name =
     in
     let patch = Patch.v ~owner:tenant_name (tenant_name ^ "-departure") ops in
     let scope = Netsim.Sim.obs t.sim in
+    let reason_str =
+      match reason with `Voluntary -> "voluntary" | `Preempted -> "preempted"
+    in
     Obs.Trace.with_span (Obs.Scope.trace scope) "tenant.depart"
-      ~attrs:[ ("tenant", Obs.Trace.S tenant_name) ]
+      ~attrs:
+        [ ("tenant", Obs.Trace.S tenant_name);
+          ("reason", Obs.Trace.S reason_str) ]
       (fun span ->
         match Runtime.Reconfig.apply_patch ~obs:scope t.deployment patch with
         | Error e ->
@@ -244,6 +294,7 @@ let depart t tenant_name =
           t.tenants <- List.filter (fun x -> x != tenant) t.tenants;
           t.departed <- t.departed + 1;
           count t "tenants.departed";
+          if reason = `Preempted then record_outcome t Preempted;
           Obs.Trace.add_attr span "ok" (Obs.Trace.B true);
           Ok report)
 

@@ -33,6 +33,7 @@ type t = {
   mutable admitted : int;
   mutable rejected : int;
   mutable departed : int;
+  mutable clock : unit -> float; (* see [set_clock] *)
 }
 
 (** [shards] (default 1) is the shard pool admission places into:
@@ -49,6 +50,27 @@ val create :
 
 val find : t -> string -> tenant option
 
+(** Swap the wall clock behind the [tenants.admit_latency_ms]
+    histogram. The default is [Sys.time] (no unix dependency); benches
+    inject [Unix.gettimeofday] for sub-millisecond resolution. *)
+val set_clock : t -> (unit -> float) -> unit
+
+(** {2 Admission outcome instrumentation}
+
+    Every admission attempt lands in two registry series: the labelled
+    counter [tenants.outcome{outcome=admitted|rejected|preempted|
+    deferred}] and the latency histogram [tenants.admit_latency_ms]
+    (wall-clock from entry to verdict, so e9/e18 report percentiles
+    instead of raw counts). [Admitted]/[Rejected] are recorded by
+    {!admit}, [Preempted] by {!depart} with [~reason:`Preempted], and
+    [Deferred] by the market layer via {!record_outcome} when an
+    auction postpones a priced-out bidder. *)
+
+type outcome = Admitted | Rejected | Preempted | Deferred
+
+val outcome_to_string : outcome -> string
+val record_outcome : t -> outcome -> unit
+
 type admission_error =
   | Already_present
   | Certification of Flexbpf.Analysis.rejection
@@ -62,6 +84,14 @@ val pp_admission_error : Format.formatter -> admission_error -> unit
     registered. *)
 val admit :
   t -> Flexbpf.Ast.program ->
+  (tenant * Compiler.Incremental.report, admission_error) result
+
+(** Market admission hook: the ordinary pipeline (certification,
+    namespacing, access control, VLAN guarding, incremental plan) with
+    the winning bid's value, density, and quoted unit price recorded as
+    attributes on the [tenant.admit] span. *)
+val admit_bid :
+  t -> bid:float -> density:float -> price:float -> Flexbpf.Ast.program ->
   (tenant * Compiler.Incremental.report, admission_error) result
 
 type policy_admission_error =
@@ -86,9 +116,13 @@ type departure_error = Unknown_tenant | Departure_failed of string
 
 val pp_departure_error : Format.formatter -> departure_error -> unit
 
-(** Remove every element, map, and parser rule the tenant owns. *)
+(** Remove every element, map, and parser rule the tenant owns.
+    [~reason:`Preempted] marks a market eviction: the departure span is
+    tagged and the [Preempted] outcome recorded; the removal path is
+    identical (same patch, same rollback guarantees). *)
 val depart :
-  t -> string -> (Compiler.Incremental.report, departure_error) result
+  ?reason:[ `Voluntary | `Preempted ] -> t -> string ->
+  (Compiler.Incremental.report, departure_error) result
 
 val active_count : t -> int
 

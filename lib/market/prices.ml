@@ -1,0 +1,170 @@
+(** Per-resource-kind unit prices, iterated against capacity
+    (multiplicative tâtonnement à la CloudNetworking's
+    optimizeResourcePriceNew: raise the price of an oversubscribed
+    resource proportionally to its excess demand, relax slack ones
+    toward a floor, stop when every market balances or the iteration
+    budget runs out). Pure arithmetic over resource snapshots. *)
+
+type rkind = Sram | Tcam | Actions | Instructions
+
+let all_rkinds = [ Sram; Tcam; Actions; Instructions ]
+
+let rkind_to_string = function
+  | Sram -> "sram-kb"
+  | Tcam -> "tcam-kb"
+  | Actions -> "action-slots"
+  | Instructions -> "instructions"
+
+let index = function Sram -> 0 | Tcam -> 1 | Actions -> 2 | Instructions -> 3
+
+(* SRAM/TCAM are priced per KiB so one unit of any kind is of the same
+   order of magnitude: a tenant footprint of a few KB and a few action
+   slots yields a cost dominated by neither dimension. *)
+let units kind (r : Targets.Resource.t) =
+  match kind with
+  | Sram -> float_of_int r.Targets.Resource.sram_bytes /. 1024.
+  | Tcam -> float_of_int r.Targets.Resource.tcam_bytes /. 1024.
+  | Actions -> float_of_int r.Targets.Resource.action_slots
+  | Instructions -> float_of_int r.Targets.Resource.instructions
+
+type config = {
+  cfg_floor : float;
+  cfg_gamma : float;
+  cfg_eps : float;
+  cfg_budget : int;
+}
+
+let default_config =
+  { cfg_floor = 0.01; cfg_gamma = 0.5; cfg_eps = 0.05; cfg_budget = 64 }
+
+type t = { config : config; p : float array (* indexed by [index] *) }
+
+let create ?(config = default_config) () =
+  if config.cfg_floor <= 0. then invalid_arg "Prices.create: floor must be > 0";
+  if config.cfg_budget <= 0 then invalid_arg "Prices.create: budget must be > 0";
+  { config; p = Array.make 4 config.cfg_floor }
+
+let config t = t.config
+let price t k = t.p.(index k)
+let prices t = List.map (fun k -> (k, price t k)) all_rkinds
+
+let cost t r =
+  List.fold_left (fun acc k -> acc +. (price t k *. units k r)) 0. all_rkinds
+
+(* -- occupancy ---------------------------------------------------------- *)
+
+let capacity_of_snapshot (s : Targets.Resource.snapshot) =
+  match s.Targets.Resource.shape with
+  | Targets.Resource.Sh_staged { stages; per_stage } ->
+    Targets.Resource.scale stages per_stage
+  | Targets.Resource.Sh_staged_pem { stages; per_stage; _ } ->
+    Targets.Resource.scale stages per_stage
+  | Targets.Resource.Sh_tiled { tiles; tile_bytes; pool } ->
+    List.fold_left
+      (fun acc (k, n) ->
+        let bytes = n * tile_bytes in
+        Targets.Resource.add acc
+          (match k with
+           | Targets.Resource.Tcam_tile ->
+             Targets.Resource.v ~tcam_bytes:bytes ()
+           | Targets.Resource.Hash_tile | Targets.Resource.Index_tile ->
+             Targets.Resource.v ~sram_bytes:bytes ()))
+      pool tiles
+  | Targets.Resource.Sh_pooled { pool } -> pool
+
+let capacity_of_snapshots snaps =
+  List.fold_left
+    (fun acc (_, s) -> Targets.Resource.add acc (capacity_of_snapshot s))
+    Targets.Resource.zero snaps
+
+let used_of_snapshots snaps =
+  List.fold_left
+    (fun acc (_, s) -> Targets.Resource.add acc (Targets.Resource.used s))
+    Targets.Resource.zero snaps
+
+let seed_from_occupancy t ~used ~capacity =
+  List.iter
+    (fun k ->
+      let cap = units k capacity in
+      if cap > 0. then begin
+        let rho = Float.min 0.95 (units k used /. cap) in
+        t.p.(index k) <- t.config.cfg_floor /. (1. -. rho)
+      end)
+    all_rkinds
+
+(* -- tâtonnement -------------------------------------------------------- *)
+
+(* Per-kind relative load; NaN-free: unmarketed (zero-capacity) kinds
+   report balance. *)
+let rho k ~capacity ~demand =
+  let cap = units k capacity in
+  if cap <= 0. then 1. else units k demand /. cap
+
+let step t ~capacity ~demand =
+  let excess = ref neg_infinity in
+  List.iter
+    (fun k ->
+      let cap = units k capacity in
+      if cap > 0. then begin
+        let r = units k demand /. cap in
+        excess := Float.max !excess (r -. 1.);
+        let old = t.p.(index k) in
+        let raw = old *. (1. +. (t.config.cfg_gamma *. (r -. 1.))) in
+        (* clamp the multiplicative change to [1/2, 2] per step for
+           stability; strict monotonicity in the direction of the
+           imbalance is preserved *)
+        let clamped = Float.min (2. *. old) (Float.max (0.5 *. old) raw) in
+        t.p.(index k) <- Float.max t.config.cfg_floor clamped
+      end)
+    all_rkinds;
+  if !excess = neg_infinity then 0. else !excess
+
+let converged t ~capacity ~demand =
+  List.for_all
+    (fun k ->
+      let cap = units k capacity in
+      if cap <= 0. then true
+      else
+        let r = units k demand /. cap in
+        r <= 1. +. t.config.cfg_eps
+        && (r >= 1. -. t.config.cfg_eps
+            || t.p.(index k) <= t.config.cfg_floor *. 1.000001))
+    all_rkinds
+
+type outcome = {
+  out_rounds : int;
+  out_converged : bool;
+  out_excess : float;
+  out_prices : (rkind * float) list;
+}
+
+let iterate t ~capacity ~demand_at =
+  let max_excess d =
+    List.fold_left
+      (fun acc k ->
+        if units k capacity > 0. then
+          Float.max acc (rho k ~capacity ~demand:d -. 1.)
+        else acc)
+      0. all_rkinds
+  in
+  let rec go n =
+    let d = demand_at t in
+    if converged t ~capacity ~demand:d then
+      { out_rounds = n; out_converged = true; out_excess = max_excess d;
+        out_prices = prices t }
+    else if n >= t.config.cfg_budget then
+      { out_rounds = n; out_converged = false; out_excess = max_excess d;
+        out_prices = prices t }
+    else begin
+      ignore (step t ~capacity ~demand:d);
+      go (n + 1)
+    end
+  in
+  go 0
+
+let pp ppf t =
+  Fmt.pf ppf "%a"
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf (k, p) ->
+          pf ppf "%s=%.4f" (rkind_to_string k) p))
+    (prices t)

@@ -1,0 +1,93 @@
+(** Per-resource-kind unit prices, iterated against capacity.
+
+    The market prices the four dimensions of {!Targets.Resource.t}
+    independently: a price book holds one unit price per resource kind,
+    derived from immutable snapshot occupancy and updated by
+    multiplicative tâtonnement — excess demand raises a price, slack
+    lowers it toward the floor — under a fixed convergence budget.
+    Everything here is pure arithmetic over snapshots; books never touch
+    a device. The auction keeps one book per device architecture, so
+    prices are per-(architecture, resource-kind) as in the
+    CloudNetworking price-iteration scheme the design ports. *)
+
+type rkind = Sram | Tcam | Actions | Instructions
+
+val all_rkinds : rkind list
+val rkind_to_string : rkind -> string
+
+(** Quantity of one kind inside a resource vector, in priced units
+    (SRAM and TCAM are priced per KiB so the four dimensions have
+    comparable magnitudes; slots and instructions per unit). *)
+val units : rkind -> Targets.Resource.t -> float
+
+type config = {
+  cfg_floor : float; (* minimum unit price; slack goods settle here *)
+  cfg_gamma : float; (* tâtonnement step size *)
+  cfg_eps : float; (* relative excess tolerated as "converged" *)
+  cfg_budget : int; (* max price iterations per clearing *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+val price : t -> rkind -> float
+val prices : t -> (rkind * float) list
+
+(** Cost of a demand vector at current prices: Σ_k price_k · units_k. *)
+val cost : t -> Targets.Resource.t -> float
+
+(** {2 Occupancy} *)
+
+(** Total capacity a snapshot's shape offers, as one vector: staged
+    shapes sum their stages, tiled shapes count hash/index tiles as
+    SRAM and TCAM tiles as TCAM on top of the pool. *)
+val capacity_of_snapshot : Targets.Resource.snapshot -> Targets.Resource.t
+
+val capacity_of_snapshots :
+  (string * Targets.Resource.snapshot) list -> Targets.Resource.t
+
+val used_of_snapshots :
+  (string * Targets.Resource.snapshot) list -> Targets.Resource.t
+
+(** Seed prices from occupancy: each kind starts at
+    floor / (1 - min(0.95, utilization)) — a congestion prior that
+    makes a nearly-full dimension expensive before any bidding. *)
+val seed_from_occupancy :
+  t -> used:Targets.Resource.t -> capacity:Targets.Resource.t -> unit
+
+(** {2 Tâtonnement} *)
+
+(** One multiplicative update against a demand vector:
+    p_k ← clamp(p_k · (1 + γ·(ρ_k − 1))) with ρ_k = demand_k/capacity_k,
+    clamped to [½p_k, 2p_k] and floored. Zero-capacity kinds are
+    skipped. Returns the maximum relative excess max_k (ρ_k − 1) seen
+    {e before} the update. Under excess demand (ρ_k > 1) the update is
+    strictly increasing in kind k; under slack it is strictly
+    decreasing until the floor. *)
+val step :
+  t -> capacity:Targets.Resource.t -> demand:Targets.Resource.t -> float
+
+(** Is the book at rest for this demand: every priced kind either
+    balances within eps or sits at the floor with slack (a free good)? *)
+val converged :
+  t -> capacity:Targets.Resource.t -> demand:Targets.Resource.t -> bool
+
+type outcome = {
+  out_rounds : int; (* iterations spent *)
+  out_converged : bool;
+  out_excess : float; (* max_k (ρ_k − 1) at exit *)
+  out_prices : (rkind * float) list;
+}
+
+(** Iterate [step] against a price-dependent demand curve until
+    [converged] or the budget is exhausted. [demand_at] must be
+    non-increasing in each price for convergence to be meaningful (the
+    tenant demand curves are). *)
+val iterate :
+  t -> capacity:Targets.Resource.t ->
+  demand_at:(t -> Targets.Resource.t) -> outcome
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,376 @@
+(* Property-based tests (qcheck) on the tenant-economy market layer:
+   tâtonnement price dynamics (monotone under excess demand, floored
+   under slack, convergent within the iteration budget), tenant demand
+   curves (non-increasing in price, budget-capped bids), and auction
+   clearing invariants (device capacity conserved, admitted/waiting
+   disjoint, preemption only ever evicts best-effort tenants) — plus a
+   deterministic eviction scenario that forces a preemption and checks
+   the displaced tenant had strictly lower bid density. *)
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* -- generators ---------------------------------------------------------- *)
+
+let res_gen =
+  QCheck.Gen.(
+    map
+      (fun (s, t, a, i) ->
+        Targets.Resource.v ~sram_bytes:s ~tcam_bytes:t ~action_slots:a
+          ~instructions:i ())
+      (quad (int_range 1024 100_000_000) (int_range 1024 10_000_000)
+         (int_range 16 4096) (int_range 1024 1_000_000)))
+
+let res_print (r : Targets.Resource.t) =
+  Printf.sprintf "{sram=%d tcam=%d slots=%d instr=%d}"
+    r.Targets.Resource.sram_bytes r.Targets.Resource.tcam_bytes
+    r.Targets.Resource.action_slots r.Targets.Resource.instructions
+
+let res_arb = QCheck.make ~print:res_print res_gen
+
+(* -- price dynamics ------------------------------------------------------ *)
+
+(* Excess demand strictly raises every over-subscribed price: with
+   demand = 2x capacity on all kinds, one step moves each price up
+   (the multiplicative update 1 + gamma*(rho-1) with rho = 2, inside
+   the [1/2 p, 2 p] clamp). *)
+let prop_price_up_under_excess =
+  QCheck.Test.make ~name:"excess demand raises prices" ~count:200 res_arb
+    (fun capacity ->
+      let book = Market.Prices.create () in
+      let before = Market.Prices.prices book in
+      let demand = Targets.Resource.scale 2 capacity in
+      ignore (Market.Prices.step book ~capacity ~demand : float);
+      List.for_all2
+        (fun (k, p0) (k', p1) -> k = k' && p1 > p0)
+        before
+        (Market.Prices.prices book))
+
+(* Slack relaxes prices monotonically and never through the floor:
+   starting from congestion-seeded prices, zero demand walks every
+   price down to the floor within the budget, never below it. *)
+let prop_price_floor_under_slack =
+  QCheck.Test.make ~name:"slack lowers prices to the floor" ~count:200
+    res_arb (fun capacity ->
+      let book = Market.Prices.create () in
+      let cfg = Market.Prices.config book in
+      let used =
+        Targets.Resource.v
+          ~sram_bytes:(capacity.Targets.Resource.sram_bytes * 9 / 10)
+          ~tcam_bytes:(capacity.Targets.Resource.tcam_bytes * 9 / 10)
+          ~action_slots:(capacity.Targets.Resource.action_slots * 9 / 10)
+          ~instructions:(capacity.Targets.Resource.instructions * 9 / 10)
+          ()
+      in
+      Market.Prices.seed_from_occupancy book ~used ~capacity;
+      let monotone = ref true in
+      for _ = 1 to cfg.Market.Prices.cfg_budget do
+        let before = Market.Prices.prices book in
+        ignore
+          (Market.Prices.step book ~capacity ~demand:Targets.Resource.zero
+            : float);
+        List.iter2
+          (fun (_, p0) (_, p1) ->
+            if p1 > p0 +. 1e-12 || p1 < cfg.Market.Prices.cfg_floor -. 1e-12
+            then monotone := false)
+          before
+          (Market.Prices.prices book)
+      done;
+      !monotone
+      && List.for_all
+           (fun (_, p) -> abs_float (p -. cfg.Market.Prices.cfg_floor) < 1e-9)
+           (Market.Prices.prices book))
+
+(* A smooth, strictly price-decreasing demand curve settles within the
+   iteration budget even when prices start an order of magnitude above
+   equilibrium. The curve demand_k(p) = capacity_k * (1+a)*f/(f + a*p)
+   balances exactly at p = f (the floor), so tatonnement has a fixed
+   point to find; [iterate] must report convergence without exhausting
+   cfg_budget from the congestion-seeded start. *)
+let prop_iterate_converges =
+  QCheck.Test.make ~name:"tatonnement converges within budget" ~count:100
+    QCheck.(pair res_arb (float_range 0.5 2.0))
+    (fun (capacity, a) ->
+      let book = Market.Prices.create () in
+      let cfg = Market.Prices.config book in
+      let f = cfg.Market.Prices.cfg_floor in
+      let used =
+        Targets.Resource.v
+          ~sram_bytes:(capacity.Targets.Resource.sram_bytes * 9 / 10)
+          ~tcam_bytes:(capacity.Targets.Resource.tcam_bytes * 9 / 10)
+          ~action_slots:(capacity.Targets.Resource.action_slots * 9 / 10)
+          ~instructions:(capacity.Targets.Resource.instructions * 9 / 10)
+          ()
+      in
+      Market.Prices.seed_from_occupancy book ~used ~capacity;
+      let demand_at bk =
+        let frac k =
+          (1. +. a) *. f /. (f +. (a *. Market.Prices.price bk k))
+        in
+        Targets.Resource.v
+          ~sram_bytes:
+            (int_of_float
+               (float_of_int capacity.Targets.Resource.sram_bytes
+               *. frac Market.Prices.Sram))
+          ~tcam_bytes:
+            (int_of_float
+               (float_of_int capacity.Targets.Resource.tcam_bytes
+               *. frac Market.Prices.Tcam))
+          ~action_slots:
+            (int_of_float
+               (float_of_int capacity.Targets.Resource.action_slots
+               *. frac Market.Prices.Actions))
+          ~instructions:
+            (int_of_float
+               (float_of_int capacity.Targets.Resource.instructions
+               *. frac Market.Prices.Instructions))
+          ()
+      in
+      let out = Market.Prices.iterate book ~capacity ~demand_at in
+      out.Market.Prices.out_converged
+      && out.Market.Prices.out_rounds <= cfg.Market.Prices.cfg_budget)
+
+(* -- tenant demand curves ------------------------------------------------ *)
+
+let acl_tenant ?(sla = Market.Tenant.Best_effort) ~name ~weight ~budget
+    ~size () =
+  match
+    Market.Tenant.create ~sla ~weight ~budget
+      (Apps.Acl.program ~owner:name ~size ())
+  with
+  | Ok mt -> mt
+  | Error e ->
+    Alcotest.failf "acl tenant %s uncertifiable: %a" name
+      Flexbpf.Analysis.pp_rejection e
+
+let params_arb =
+  QCheck.(
+    make
+      ~print:(fun (w, b, e) -> Printf.sprintf "w=%.2f b=%.2f exp=%d" w b e)
+      Gen.(triple (float_range 1.1 6.0) (float_range 2.0 20.0) (int_range 0 4)))
+
+(* Demand is non-increasing in the unit price, and a bid never demands
+   less than one replica, never overruns the (floor-rent-denominated)
+   budget, and ranks by exactly value/cost. *)
+let prop_demand_monotone_and_budgeted =
+  QCheck.Test.make ~name:"demand monotone in price, bids budget-capped"
+    ~count:60
+    QCheck.(pair params_arb (pair (float_range 0.5 40.) (float_range 0.5 40.)))
+    (fun ((w, b, e), (c1, c2)) ->
+      let mt =
+        acl_tenant ~name:"t" ~weight:w ~budget:b ~size:(65536 lsl e) ()
+      in
+      let lo = Float.min c1 c2 and hi = Float.max c1 c2 in
+      let rent = Market.Tenant.floor_rent mt.Market.Tenant.mt_footprint in
+      Market.Tenant.demand mt ~unit_cost:(rent *. hi)
+      <= Market.Tenant.demand mt ~unit_cost:(rent *. lo)
+      &&
+      match Market.Tenant.bid mt ~unit_cost:(rent *. lo) with
+      | None -> true
+      | Some bid ->
+        bid.Market.Tenant.bid_replicas >= 1
+        && bid.Market.Tenant.bid_cost <= mt.Market.Tenant.mt_budget +. 1e-6
+        && abs_float
+             (bid.Market.Tenant.bid_density
+             -. (bid.Market.Tenant.bid_value /. bid.Market.Tenant.bid_cost))
+           < 1e-6)
+
+(* -- auction clearing ---------------------------------------------------- *)
+
+type pspec = {
+  p_kind : int; (* 0-1 firewall, 2-3 nat, else acl *)
+  p_exp : int; (* acl size = 65536 lsl p_exp *)
+  p_weight : float;
+  p_budget : float;
+  p_prot : bool;
+}
+
+let pspec_gen =
+  QCheck.Gen.(
+    map
+      (fun (k, e, w, b, p) ->
+        { p_kind = k; p_exp = e; p_weight = w; p_budget = b; p_prot = p })
+      (tup5 (int_bound 9) (int_range 0 6) (float_range 1.2 5.2)
+         (float_range 4.0 16.0)
+         (map (fun n -> n = 0) (int_bound 9))))
+
+let pspec_print s =
+  Printf.sprintf "{kind=%d exp=%d w=%.2f b=%.2f prot=%b}" s.p_kind s.p_exp
+    s.p_weight s.p_budget s.p_prot
+
+let specs_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map pspec_print l))
+    QCheck.Gen.(list_size (int_range 1 25) pspec_gen)
+
+let spec_program ~name i s =
+  match s.p_kind with
+  | 0 | 1 -> Apps.Firewall.program ~owner:name ~boundary:100 ()
+  | 2 | 3 ->
+    Apps.Nat.program ~owner:name ~public:(900 + i) ~subnet_lo:10
+      ~subnet_hi:20 ()
+  | _ -> Apps.Acl.program ~owner:name ~size:(65536 lsl s.p_exp) ()
+
+(* Build a 1-switch network, submit one bidder per spec, and run a few
+   clearing rounds; the auction prices the path-tail device (the pool
+   pipeline-order placement packs tenants onto). *)
+let cleared_auction specs =
+  let net = Flexnet.create ~arch:Targets.Arch.Drmt ~switches:1 () in
+  (match Flexnet.deploy_infrastructure net with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let tenants = Flexnet.tenants_exn net in
+  let path = [ List.hd (List.rev (Flexnet.path net)) ] in
+  let au = Market.Auction.create ~tenants ~path () in
+  List.iteri
+    (fun i s ->
+      let name = Printf.sprintf "qt%d" i in
+      match
+        Market.Tenant.create
+          ~sla:
+            (if s.p_prot then Market.Tenant.Protected
+             else Market.Tenant.Best_effort)
+          ~weight:s.p_weight ~budget:s.p_budget
+          (spec_program ~name i s)
+      with
+      | Ok mt -> Market.Auction.submit au mt
+      | Error _ -> ())
+    specs;
+  for _ = 1 to 4 do
+    ignore (Market.Auction.clear au : Market.Auction.round)
+  done;
+  au
+
+(* Clearing conserves capacity and bookkeeping: the priced pool is
+   never over-committed (winners went through the ordinary admission
+   pipeline, which enforces device capacity), and no tenant is both
+   admitted and waiting. *)
+let prop_auction_conserves_capacity =
+  QCheck.Test.make ~name:"clearing never over-commits the priced pool"
+    ~count:12 specs_arb (fun specs ->
+      let au = cleared_auction specs in
+      let capacity_ok =
+        List.for_all
+          (fun (_, (used, cap)) -> Targets.Resource.fits used cap)
+          (Market.Auction.occupancy au)
+      in
+      let admitted =
+        List.map
+          (fun a ->
+            a.Market.Auction.ad_tenant.Market.Tenant.mt_name)
+          (Market.Auction.admitted au)
+      in
+      let waiting =
+        List.map
+          (fun (t : Market.Tenant.t) -> t.Market.Tenant.mt_name)
+          (Market.Auction.waiting au)
+      in
+      capacity_ok
+      && List.for_all (fun n -> not (List.mem n waiting)) admitted
+      && List.length admitted + List.length waiting <= List.length specs)
+
+(* Preemption only ever evicts best-effort tenants: across the whole
+   clearing history no Protected bidder's name appears in a round's
+   preempted list, and every preempted name belongs to a submitted
+   best-effort spec. *)
+let prop_preemption_spares_protected =
+  QCheck.Test.make ~name:"preemption never touches protected tenants"
+    ~count:12 specs_arb (fun specs ->
+      let au = cleared_auction specs in
+      let protected_names =
+        List.concat
+          (List.mapi
+             (fun i s -> if s.p_prot then [ Printf.sprintf "qt%d" i ] else [])
+             specs)
+      in
+      let best_effort_names =
+        List.concat
+          (List.mapi
+             (fun i s ->
+               if s.p_prot then [] else [ Printf.sprintf "qt%d" i ])
+             specs)
+      in
+      List.for_all
+        (fun (r : Market.Auction.round) ->
+          List.for_all
+            (fun n ->
+              (not (List.mem n protected_names))
+              && List.mem n best_effort_names)
+            r.Market.Auction.rd_preempted)
+        (Market.Auction.rounds au))
+
+(* -- deterministic eviction scenario ------------------------------------- *)
+
+(* Force a preemption and check its shape: fill the host pool with
+   low-weight best-effort giants, then bid a much higher-weight tenant
+   with a small footprint. The footprint must be small because of how
+   the economy reaches preemption: tâtonnement only settles while the
+   waiting demand keeps total excess within eps, so a giant entrant is
+   priced out before the ranked admission loop ever bids — the small,
+   dense entrant is the one that bids against a full pool, takes the
+   capacity reject, and displaces a lower-density incumbent. The
+   Protected incumbent must survive every round. *)
+let test_forced_preemption () =
+  let net = Flexnet.create ~arch:Targets.Arch.Drmt ~switches:1 () in
+  (match Flexnet.deploy_infrastructure net with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  let tenants = Flexnet.tenants_exn net in
+  let path = [ List.hd (List.rev (Flexnet.path net)) ] in
+  let au = Market.Auction.create ~tenants ~path () in
+  let size = 65536 lsl 6 (* 64 MiB of sram per replica *) in
+  (* one protected incumbent (weight above the fillers, so it ranks in),
+     then best-effort fillers to exhaustion *)
+  Market.Auction.submit au
+    (acl_tenant ~sla:Market.Tenant.Protected ~name:"prot" ~weight:2.5
+       ~budget:8.0 ~size ());
+  for i = 1 to 9 do
+    Market.Auction.submit au
+      (acl_tenant
+         ~name:(Printf.sprintf "fill%d" i)
+         ~weight:1.5 ~budget:8.0 ~size ())
+  done;
+  ignore (Market.Auction.clear au : Market.Auction.round);
+  ignore (Market.Auction.clear au : Market.Auction.round);
+  let before = List.length (Market.Auction.admitted au) in
+  Alcotest.(check bool) "pool saturated" true (before < 10 && before > 2);
+  Alcotest.(check bool) "protected incumbent admitted" true
+    (Market.Auction.find_admitted au "prot" <> None);
+  (* a small, far denser bid arrives; somebody best-effort must make room *)
+  Market.Auction.submit au
+    (acl_tenant ~name:"vip" ~weight:40.0 ~budget:200.0 ~size:65536 ());
+  let preempted =
+    let rec go n acc =
+      if n = 0 then acc
+      else
+        let r = Market.Auction.clear au in
+        go (n - 1) (acc @ r.Market.Auction.rd_preempted)
+    in
+    go 3 []
+  in
+  Alcotest.(check bool) "a preemption happened" true (preempted <> []);
+  Alcotest.(check bool) "protected incumbent spared" false
+    (List.mem "prot" preempted);
+  Alcotest.(check bool) "vip admitted" true
+    (Market.Auction.find_admitted au "vip" <> None);
+  (* the displaced tenants were strictly less dense than the vip's bid *)
+  let vip = Option.get (Market.Auction.find_admitted au "vip") in
+  (match vip.Market.Auction.ad_bid with
+  | None -> Alcotest.fail "vip has no standing bid"
+  | Some b ->
+    Alcotest.(check bool) "vip bid is dense" true
+      (b.Market.Tenant.bid_density > 1.0));
+  ()
+
+let () =
+  Alcotest.run "market"
+    [ ( "prices",
+        [ to_alcotest prop_price_up_under_excess;
+          to_alcotest prop_price_floor_under_slack;
+          to_alcotest prop_iterate_converges ] );
+      ( "tenant", [ to_alcotest prop_demand_monotone_and_budgeted ] );
+      ( "auction",
+        [ to_alcotest prop_auction_conserves_capacity;
+          to_alcotest prop_preemption_spares_protected ] );
+      ( "preemption",
+        [ Alcotest.test_case "forced eviction" `Quick test_forced_preemption ]
+      ) ]
